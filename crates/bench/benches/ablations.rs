@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! adaptive bound `b`, pick policy, hierarchy depth, landmark selection,
+//! and compression. Timing side of the `experiments ablations` report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbq_bench::{ExpConfig, PatternDataset};
+use rbq_core::guard::Semantics;
+use rbq_core::{
+    search_reduced_graph_with, NeighborIndex, PickPolicy, ReductionConfig, ResourceBudget,
+};
+use rbq_reach::{HierarchicalIndex, IndexParams, SelectionStrategy};
+use rbq_workload::{layered_dag, PatternSpec};
+use std::hint::black_box;
+
+fn ablation_reduction(c: &mut Criterion) {
+    let cfg = ExpConfig {
+        snapshot_nodes: 10_000,
+        ..Default::default()
+    };
+    let ds = PatternDataset::youtube(&cfg);
+    let qs = ds.patterns(PatternSpec::new(4, 8), 3, cfg.seed);
+    let budget = ds.budget_for_paper_alpha(1.6e-5);
+    let mut group = c.benchmark_group("ablation_reduction");
+    group.sample_size(20);
+    for (name, conf) in [
+        ("adaptive_b", ReductionConfig::default()),
+        (
+            "fixed_b2",
+            ReductionConfig {
+                adaptive_b: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "pick_fifo",
+            ReductionConfig {
+                pick_policy: PickPolicy::Fifo,
+                ..Default::default()
+            },
+        ),
+        (
+            "pick_random",
+            ReductionConfig {
+                pick_policy: PickPolicy::Random,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &qs {
+                    black_box(search_reduced_graph_with(
+                        &ds.g,
+                        &ds.idx,
+                        q,
+                        &budget,
+                        Semantics::Simulation,
+                        conf,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+    let _: Option<NeighborIndex> = None;
+    let _: Option<ResourceBudget> = None;
+}
+
+fn ablation_index(c: &mut Criterion) {
+    let g = layered_dag(25, 60, 0.02, 15, 42);
+    let mut group = c.benchmark_group("ablation_index_build");
+    group.sample_size(10);
+    for (name, params) in [
+        ("multi_level", IndexParams::new(0.05)),
+        (
+            "flat",
+            IndexParams {
+                max_levels: 1,
+                ..IndexParams::new(0.05)
+            },
+        ),
+        (
+            "coverage_sel",
+            IndexParams::new(0.05).with_selection(SelectionStrategy::Coverage),
+        ),
+        (
+            "no_equiv_merge",
+            IndexParams::new(0.05).with_equivalence_merge(false),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("build", name), &params, |b, p| {
+            b.iter(|| black_box(HierarchicalIndex::build_with(&g, *p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_reduction, ablation_index);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Empirical accuracy-ratio analysis — the paper's second open topic (§7):
+//! *"find, given a resource ratio α, the maximum accuracy ratio η that such
+//! algorithms can guarantee."*
+//!
+//! The theoretical question is open; this module provides the empirical
+//! counterpart: sweep a query workload across a grid of α values and
+//! report, per α, the accuracy distribution (minimum = the strongest `η`
+//! the workload witnesses, mean, and a low quantile). Used to chart
+//! accuracy/resource trade-off curves (`examples/eta_curve.rs`).
+
+use crate::accuracy::pattern_accuracy;
+use crate::budget::ResourceBudget;
+use crate::neighbor_index::NeighborIndex;
+use crate::rbsim::rbsim;
+use crate::rbsub::rbsub;
+use rbq_graph::Graph;
+use rbq_pattern::{match_opt, vf2_opt, ResolvedPattern, Vf2Config};
+
+/// Which algorithm the profile evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfiledAlgorithm {
+    /// RBSim against the strong-simulation exact answer.
+    RbSim,
+    /// RBSub against the subgraph-isomorphism exact answer.
+    RbSub,
+}
+
+/// One row of an η profile: the accuracy distribution at a given α.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtaPoint {
+    /// The resource ratio.
+    pub alpha: f64,
+    /// Absolute budget `⌊α·|G|⌋` used.
+    pub budget_units: usize,
+    /// Minimum accuracy over the workload — the empirical `η` guarantee.
+    pub eta_min: f64,
+    /// Mean accuracy.
+    pub mean: f64,
+    /// 10th-percentile accuracy.
+    pub p10: f64,
+    /// Fraction of queries answered exactly.
+    pub exact_fraction: f64,
+}
+
+/// Compute the empirical η profile of `algo` over `queries` for each α in
+/// `alphas`.
+///
+/// Exact answers are computed once per query with the unbounded baseline
+/// (`MatchOpt` / `VF2OPT`); each α point then runs the bounded algorithm
+/// per query and aggregates F-measure accuracies.
+pub fn eta_profile(
+    g: &Graph,
+    idx: &NeighborIndex,
+    queries: &[ResolvedPattern],
+    alphas: &[f64],
+    algo: ProfiledAlgorithm,
+) -> Vec<EtaPoint> {
+    assert!(!queries.is_empty(), "eta_profile needs at least one query");
+    let exact: Vec<Vec<rbq_graph::NodeId>> = queries
+        .iter()
+        .map(|q| match algo {
+            ProfiledAlgorithm::RbSim => match_opt(q, g),
+            ProfiledAlgorithm::RbSub => vf2_opt(q, g, Vf2Config::default()).output_matches,
+        })
+        .collect();
+
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let budget = ResourceBudget::from_ratio(g, alpha);
+            let mut accs: Vec<f64> = queries
+                .iter()
+                .zip(&exact)
+                .map(|(q, ex)| {
+                    let got = match algo {
+                        ProfiledAlgorithm::RbSim => rbsim(g, idx, q, &budget).matches,
+                        ProfiledAlgorithm::RbSub => rbsub(g, idx, q, &budget).matches,
+                    };
+                    pattern_accuracy(ex, &got).f1
+                })
+                .collect();
+            accs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let n = accs.len();
+            EtaPoint {
+                alpha,
+                budget_units: budget.max_units,
+                eta_min: accs[0],
+                mean: accs.iter().sum::<f64>() / n as f64,
+                p10: accs[(n - 1) / 10],
+                exact_fraction: accs.iter().filter(|&&a| a == 1.0).count() as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// The smallest α in `profile` whose minimum accuracy reaches `eta`, if
+/// any — an empirical answer to "what resources buy accuracy η?".
+pub fn min_alpha_for_eta(profile: &[EtaPoint], eta: f64) -> Option<f64> {
+    profile
+        .iter()
+        .filter(|p| p.eta_min >= eta)
+        .map(|p| p.alpha)
+        .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_workload::{extract_pattern, yahoo_like, PatternSpec};
+
+    fn setup() -> (Graph, NeighborIndex, Vec<ResolvedPattern>) {
+        // Small graph: these tests exercise aggregation logic, not scale
+        // (the bench harness covers scale).
+        let g = yahoo_like(800, 9);
+        let idx = NeighborIndex::build(&g);
+        let queries: Vec<ResolvedPattern> = (0..200u64)
+            .filter_map(|s| extract_pattern(&g, PatternSpec::new(4, 8), s))
+            .filter_map(|p| p.resolve(&g).ok())
+            .take(3)
+            .collect();
+        (g, idx, queries)
+    }
+
+    #[test]
+    fn profile_is_monotone_at_extremes() {
+        let (g, idx, queries) = setup();
+        if queries.is_empty() {
+            return;
+        }
+        let profile = eta_profile(
+            &g,
+            &idx,
+            &queries,
+            &[0.0005, 0.01, 1.0],
+            ProfiledAlgorithm::RbSim,
+        );
+        assert_eq!(profile.len(), 3);
+        // Full budget is exact on every query.
+        let full = profile.last().unwrap();
+        assert_eq!(full.eta_min, 1.0);
+        assert_eq!(full.exact_fraction, 1.0);
+        // Accuracy at full budget >= at the smallest.
+        assert!(full.mean >= profile[0].mean - 1e-12);
+    }
+
+    #[test]
+    fn eta_point_fields_consistent() {
+        let (g, idx, queries) = setup();
+        if queries.is_empty() {
+            return;
+        }
+        let profile = eta_profile(&g, &idx, &queries, &[0.05], ProfiledAlgorithm::RbSim);
+        let p = &profile[0];
+        assert!(p.eta_min <= p.p10 + 1e-12);
+        assert!(p.p10 <= 1.0 && p.eta_min >= 0.0);
+        assert!(p.mean >= p.eta_min && p.mean <= 1.0);
+        assert!(p.budget_units > 0);
+    }
+
+    #[test]
+    fn min_alpha_for_eta_picks_smallest() {
+        let pts = vec![
+            EtaPoint {
+                alpha: 0.001,
+                budget_units: 10,
+                eta_min: 0.5,
+                mean: 0.8,
+                p10: 0.6,
+                exact_fraction: 0.2,
+            },
+            EtaPoint {
+                alpha: 0.01,
+                budget_units: 100,
+                eta_min: 0.9,
+                mean: 0.95,
+                p10: 0.92,
+                exact_fraction: 0.7,
+            },
+            EtaPoint {
+                alpha: 0.1,
+                budget_units: 1000,
+                eta_min: 1.0,
+                mean: 1.0,
+                p10: 1.0,
+                exact_fraction: 1.0,
+            },
+        ];
+        assert_eq!(min_alpha_for_eta(&pts, 0.9), Some(0.01));
+        assert_eq!(min_alpha_for_eta(&pts, 1.0), Some(0.1));
+        assert_eq!(min_alpha_for_eta(&pts, 0.4), Some(0.001));
+        let too_high = min_alpha_for_eta(&pts[..2], 1.0);
+        assert_eq!(too_high, None);
+    }
+
+    #[test]
+    fn rbsub_profile_works() {
+        let (g, idx, queries) = setup();
+        if queries.is_empty() {
+            return;
+        }
+        let profile = eta_profile(&g, &idx, &queries, &[1.0], ProfiledAlgorithm::RbSub);
+        assert_eq!(profile[0].eta_min, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_workload_panics() {
+        let g = yahoo_like(100, 1);
+        let idx = NeighborIndex::build(&g);
+        let _ = eta_profile(&g, &idx, &[], &[0.1], ProfiledAlgorithm::RbSim);
+    }
+}

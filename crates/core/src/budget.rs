@@ -1,0 +1,177 @@
+//! The resource ratio `α` and visit accounting (§3).
+//!
+//! An algorithm with resource bound `α` must (1) fetch a fraction `G_Q` of
+//! `G` with `|G_Q| ≤ α·|G|` and (2) visit at most `α·c·|G|` data while doing
+//! so, where `c` is a coefficient with `α·c < 1`. For the pattern
+//! algorithms, `c` materializes as `d_G` — the maximum degree in
+//! `G_dQ(v_p)` (Theorem 3); for reachability, `c = 1` (Theorem 4).
+
+use rbq_graph::GraphView;
+
+/// A resource budget: the ratio `α` plus derived absolute limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceBudget {
+    /// The resource ratio `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Absolute size bound `⌊α·|G|⌋` in nodes+edges units.
+    pub max_units: usize,
+    /// Optional hard cap on visited data (`α·c·|G|`); `None` leaves visiting
+    /// bounded only by the algorithm's structure (Theorem 3's `d_G·α|G|`).
+    pub visit_cap: Option<usize>,
+}
+
+impl ResourceBudget {
+    /// Budget allowing `⌊alpha · |g|⌋` units for `G_Q`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not in `(0, 1]` or is not finite.
+    pub fn from_ratio<V: GraphView + ?Sized>(g: &V, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "resource ratio must lie in (0, 1], got {alpha}"
+        );
+        let max_units = (alpha * g.size() as f64).floor() as usize;
+        ResourceBudget {
+            alpha,
+            max_units,
+            visit_cap: None,
+        }
+    }
+
+    /// Budget from an absolute unit count (useful in tests and when scaling
+    /// paper `α` values across graph sizes; the algorithms only ever consume
+    /// the absolute budget `α·|G|`).
+    pub fn from_units<V: GraphView + ?Sized>(g: &V, units: usize) -> Self {
+        let size = g.size().max(1);
+        ResourceBudget {
+            alpha: units as f64 / size as f64,
+            max_units: units,
+            visit_cap: None,
+        }
+    }
+
+    /// Attach a visit cap `α·c·|G|` with coefficient `c`.
+    pub fn with_visit_coefficient(mut self, c: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "coefficient must be positive");
+        self.visit_cap = Some((self.max_units as f64 * c).ceil() as usize);
+        self
+    }
+
+    /// Attach an absolute visit cap.
+    pub fn with_visit_cap(mut self, cap: usize) -> Self {
+        self.visit_cap = Some(cap);
+        self
+    }
+}
+
+/// Running account of data visited by a resource-bounded procedure.
+///
+/// Mirrors [`rbq_graph::traverse::VisitStats`] but adds budget-overflow
+/// checks against a [`ResourceBudget`] visit cap.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VisitAccount {
+    /// Nodes expanded / inspected.
+    pub nodes: usize,
+    /// Adjacency entries scanned.
+    pub edges: usize,
+}
+
+impl VisitAccount {
+    /// Total data units visited.
+    pub fn total(&self) -> usize {
+        self.nodes + self.edges
+    }
+
+    /// Record one node inspection.
+    #[inline]
+    pub fn node(&mut self) {
+        self.nodes += 1;
+    }
+
+    /// Record `n` adjacency-entry scans.
+    #[inline]
+    pub fn edges(&mut self, n: usize) {
+        self.edges += n;
+    }
+
+    /// Whether the account exceeds the budget's visit cap (if any).
+    pub fn over_cap(&self, budget: &ResourceBudget) -> bool {
+        budget.visit_cap.is_some_and(|cap| self.total() > cap)
+    }
+
+    /// Merge another account into this one.
+    pub fn add_from(&mut self, other: &VisitAccount) {
+        self.nodes += other.nodes;
+        self.edges += other.edges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::builder::graph_from_edges;
+
+    fn g10() -> rbq_graph::Graph {
+        // 5 nodes + 5 edges = size 10.
+        graph_from_edges(&["A"; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    }
+
+    #[test]
+    fn from_ratio_floors() {
+        let g = g10();
+        let b = ResourceBudget::from_ratio(&g, 0.25);
+        assert_eq!(b.max_units, 2);
+        assert_eq!(b.visit_cap, None);
+    }
+
+    #[test]
+    fn from_units_derives_alpha() {
+        let g = g10();
+        let b = ResourceBudget::from_units(&g, 5);
+        assert_eq!(b.max_units, 5);
+        assert!((b.alpha - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "resource ratio")]
+    fn zero_alpha_rejected() {
+        let g = g10();
+        let _ = ResourceBudget::from_ratio(&g, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resource ratio")]
+    fn over_one_alpha_rejected() {
+        let g = g10();
+        let _ = ResourceBudget::from_ratio(&g, 1.5);
+    }
+
+    #[test]
+    fn visit_coefficient_scales_cap() {
+        let g = g10();
+        let b = ResourceBudget::from_ratio(&g, 0.5).with_visit_coefficient(3.0);
+        assert_eq!(b.visit_cap, Some(15));
+    }
+
+    #[test]
+    fn account_tracks_and_checks_cap() {
+        let g = g10();
+        let b = ResourceBudget::from_ratio(&g, 0.5).with_visit_cap(3);
+        let mut acc = VisitAccount::default();
+        acc.node();
+        acc.edges(2);
+        assert_eq!(acc.total(), 3);
+        assert!(!acc.over_cap(&b));
+        acc.edges(1);
+        assert!(acc.over_cap(&b));
+    }
+
+    #[test]
+    fn no_cap_never_over() {
+        let g = g10();
+        let b = ResourceBudget::from_ratio(&g, 0.5);
+        let mut acc = VisitAccount::default();
+        acc.edges(1_000_000);
+        assert!(!acc.over_cap(&b));
+    }
+}

@@ -1,0 +1,200 @@
+//! The once-for-all offline auxiliary structure of §4.1.
+//!
+//! For each node `v`, the paper precomputes (Example 3): the degree `d(v)`
+//! and the set `S_l` of `(label, occurrence-count)` pairs over the
+//! neighborhood `N(v)`. We refine `S_l` by direction (separate child and
+//! parent label counts) — a strict superset of the paper's structure that
+//! lets the guarded condition `C(v, u)` check parents and children exactly,
+//! as its definition demands, still in `O(1)`-ish hashed lookups.
+//!
+//! The index is computed by one linear traversal of `G` and its cost is
+//! *offline*: it is excluded from the online `α·c·|G|` visiting budget
+//! (§3 "Remarks").
+
+use rbq_graph::{Graph, Label, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Per-node neighbor-label summary, split by direction.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSummary {
+    /// `(label, count)` over children (out-neighbors), sorted by label.
+    pub out_labels: Vec<(Label, u32)>,
+    /// `(label, count)` over parents (in-neighbors), sorted by label.
+    pub in_labels: Vec<(Label, u32)>,
+    /// Total degree `d(v)`.
+    pub degree: u32,
+}
+
+impl NodeSummary {
+    fn count_in(list: &[(Label, u32)], l: Label) -> u32 {
+        match list.binary_search_by_key(&l, |&(x, _)| x) {
+            Ok(i) => list[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Occurrences of label `l` among children.
+    pub fn out_count(&self, l: Label) -> u32 {
+        Self::count_in(&self.out_labels, l)
+    }
+
+    /// Occurrences of label `l` among parents.
+    pub fn in_count(&self, l: Label) -> u32 {
+        Self::count_in(&self.in_labels, l)
+    }
+
+    /// Pooled count over `N(v)` — the paper's original `S_l` view.
+    pub fn pooled_count(&self, l: Label) -> u32 {
+        self.out_count(l) + self.in_count(l)
+    }
+}
+
+/// The offline index: one [`NodeSummary`] per node.
+///
+/// Construction is `O(|V| + |E|)`; lookups never touch the graph.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    summaries: Vec<NodeSummary>,
+}
+
+impl NeighborIndex {
+    /// Build the index by a single linear traversal of `g`.
+    pub fn build(g: &Graph) -> Self {
+        let mut summaries = Vec::with_capacity(g.node_count());
+        let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+        for v in g.nodes() {
+            counts.clear();
+            for &w in g.out(v) {
+                *counts.entry(g.node_label(w)).or_insert(0) += 1;
+            }
+            let mut out_labels: Vec<(Label, u32)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
+            out_labels.sort_unstable_by_key(|&(l, _)| l);
+
+            counts.clear();
+            for &w in g.inn(v) {
+                *counts.entry(g.node_label(w)).or_insert(0) += 1;
+            }
+            let mut in_labels: Vec<(Label, u32)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
+            in_labels.sort_unstable_by_key(|&(l, _)| l);
+
+            summaries.push(NodeSummary {
+                out_labels,
+                in_labels,
+                degree: g.deg(v) as u32,
+            });
+        }
+        NeighborIndex { summaries }
+    }
+
+    /// The summary for node `v`.
+    #[inline]
+    pub fn summary(&self, v: NodeId) -> &NodeSummary {
+        &self.summaries[v.index()]
+    }
+
+    /// Degree `d(v)` without touching the graph.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> u32 {
+        self.summaries[v.index()].degree
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.summaries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::GraphBuilder;
+
+    /// Example 3's shape: Michael with 96 HG children, 3 CC children.
+    #[test]
+    fn example3_counts() {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let mut hgs = Vec::new();
+        for _ in 0..96 {
+            hgs.push(b.add_node("HG"));
+        }
+        let ccs: Vec<_> = (0..3).map(|_| b.add_node("CC")).collect();
+        for &h in &hgs {
+            b.add_edge(michael, h);
+        }
+        for &c in &ccs {
+            b.add_edge(michael, c);
+        }
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        let hg = g.labels().get("HG").unwrap();
+        let cc = g.labels().get("CC").unwrap();
+        let s = idx.summary(michael);
+        assert_eq!(s.out_count(hg), 96);
+        assert_eq!(s.out_count(cc), 3);
+        assert_eq!(s.pooled_count(hg), 96);
+        assert_eq!(idx.degree(michael), 99);
+    }
+
+    #[test]
+    fn direction_split() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("X");
+        let p = b.add_node("P");
+        let c = b.add_node("C");
+        b.add_edge(p, x); // parent labeled P
+        b.add_edge(x, c); // child labeled C
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        let lp = g.labels().get("P").unwrap();
+        let lc = g.labels().get("C").unwrap();
+        let s = idx.summary(x);
+        assert_eq!(s.in_count(lp), 1);
+        assert_eq!(s.out_count(lp), 0);
+        assert_eq!(s.out_count(lc), 1);
+        assert_eq!(s.in_count(lc), 0);
+        assert_eq!(s.pooled_count(lp), 1);
+        assert_eq!(idx.degree(x), 2);
+    }
+
+    #[test]
+    fn missing_label_counts_zero() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("X");
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        assert_eq!(idx.summary(x).out_count(Label(7)), 0);
+        assert_eq!(idx.summary(x).in_count(Label(7)), 0);
+        assert_eq!(idx.degree(x), 0);
+    }
+
+    #[test]
+    fn len_matches_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_node("A");
+        b.add_node("B");
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn self_loop_counts_both_directions() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("A");
+        b.add_edge(x, x);
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        let la = g.labels().get("A").unwrap();
+        let s = idx.summary(x);
+        assert_eq!(s.out_count(la), 1);
+        assert_eq!(s.in_count(la), 1);
+        assert_eq!(s.pooled_count(la), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Parallel batch evaluation of pattern query sets.
+//!
+//! The data graph and the offline [`NeighborIndex`] are immutable during
+//! querying, so a batch of personalized queries partitions across threads
+//! freely; each query runs its own dynamic reduction on a private `G_Q`.
+
+use crate::budget::ResourceBudget;
+use crate::neighbor_index::NeighborIndex;
+use crate::rbsim::rbsim;
+use crate::rbsub::rbsub;
+use crate::reduction::PatternAnswer;
+use rbq_graph::Graph;
+use rbq_pattern::ResolvedPattern;
+
+/// Which bounded algorithm a batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAlgorithm {
+    /// Strong simulation (RBSim).
+    Simulation,
+    /// Subgraph isomorphism (RBSub).
+    Isomorphism,
+}
+
+/// Evaluate `queries` under the shared `budget` with `threads` workers.
+///
+/// Answers are returned in input order, identical to sequential runs.
+pub fn batch_pattern_queries(
+    g: &Graph,
+    idx: &NeighborIndex,
+    queries: &[ResolvedPattern],
+    budget: &ResourceBudget,
+    algo: BatchAlgorithm,
+    threads: usize,
+) -> Vec<PatternAnswer> {
+    let run = |q: &ResolvedPattern| match algo {
+        BatchAlgorithm::Simulation => rbsim(g, idx, q, budget),
+        BatchAlgorithm::Isomorphism => rbsub(g, idx, q, budget),
+    };
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 || queries.len() < 2 {
+        return queries.iter().map(run).collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<Vec<PatternAnswer>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| scope.spawn(move |_| qs.iter().map(run).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("pattern worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_workload::{extract_pattern, youtube_like, PatternSpec};
+
+    fn setup() -> (Graph, NeighborIndex, Vec<ResolvedPattern>) {
+        let g = youtube_like(2_000, 5);
+        let idx = NeighborIndex::build(&g);
+        let queries: Vec<ResolvedPattern> = (0..200u64)
+            .filter_map(|s| extract_pattern(&g, PatternSpec::new(4, 8), s))
+            .filter_map(|p| p.resolve(&g).ok())
+            .take(6)
+            .collect();
+        (g, idx, queries)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_sim() {
+        let (g, idx, queries) = setup();
+        if queries.len() < 2 {
+            return;
+        }
+        let budget = ResourceBudget::from_ratio(&g, 0.01);
+        let seq = batch_pattern_queries(&g, &idx, &queries, &budget, BatchAlgorithm::Simulation, 1);
+        let par = batch_pattern_queries(&g, &idx, &queries, &budget, BatchAlgorithm::Simulation, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.matches, b.matches);
+            assert_eq!(a.gq_size, b.gq_size);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_iso() {
+        let (g, idx, queries) = setup();
+        if queries.len() < 2 {
+            return;
+        }
+        let budget = ResourceBudget::from_ratio(&g, 0.01);
+        let seq =
+            batch_pattern_queries(&g, &idx, &queries, &budget, BatchAlgorithm::Isomorphism, 1);
+        let par =
+            batch_pattern_queries(&g, &idx, &queries, &budget, BatchAlgorithm::Isomorphism, 3);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.matches, b.matches);
+        }
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let (g, idx, _) = setup();
+        let budget = ResourceBudget::from_ratio(&g, 0.01);
+        let out = batch_pattern_queries(&g, &idx, &[], &budget, BatchAlgorithm::Simulation, 8);
+        assert!(out.is_empty());
+    }
+}

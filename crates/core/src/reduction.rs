@@ -1,0 +1,537 @@
+//! The dynamic-reduction procedures `Search` and `Pick` (Fig. 3).
+//!
+//! `Search` performs a controlled traversal of `G` from the personalized
+//! match `v_p`, guided by the query: it pops `(query node, data node)` pairs
+//! off a stack, adds popped data nodes (with their induced edges) to `G_Q`,
+//! and for each query edge incident to the popped query node asks `Pick`
+//! for the best new candidates among the data node's neighbors. `Pick`
+//! filters by the guarded condition and ranks by the weight
+//! `p(v,u)/(c(v,u)+1)`, returning at most `b` candidates — the *selection
+//! bound* that keeps dense regions from monopolizing `G_Q`. When the stack
+//! drains but progress was made, `b` is incremented and the traversal
+//! restarts from `(u_p, v_p)` (Fig. 3, lines 11–12) so every query node
+//! keeps a fair chance of finding matches.
+//!
+//! Termination: `|G_Q|` reaching the budget `α·|G|`, exhausting candidates,
+//! or (when configured) blowing the visit cap.
+
+use crate::budget::{ResourceBudget, VisitAccount};
+use crate::guard::{GuardCtx, Semantics};
+use crate::neighbor_index::NeighborIndex;
+use rbq_graph::{DynamicSubgraph, Graph, GraphView, NodeId};
+use rbq_pattern::{PNode, ResolvedPattern};
+use rustc_hash::FxHashSet;
+
+/// Result of a resource-bounded pattern algorithm (RBSim / RBSub).
+#[derive(Debug, Clone)]
+pub struct PatternAnswer {
+    /// Sorted matches of the output node in `G_Q` — the approximate answer
+    /// `Q(G_Q)`.
+    pub matches: Vec<NodeId>,
+    /// Size `|G_Q|` (nodes + edges) actually fetched.
+    pub gq_size: usize,
+    /// Nodes in `G_Q`.
+    pub gq_nodes: usize,
+    /// Data visited during reduction.
+    pub visits: VisitAccount,
+    /// Whether reduction stopped because the size budget was reached.
+    pub hit_budget: bool,
+    /// Final selection bound `b`.
+    pub final_b: u32,
+    /// Number of traversal rounds (restarts + 1).
+    pub rounds: u32,
+}
+
+/// Outcome of `Search` alone: the reduced graph plus accounting.
+pub struct ReductionOutcome<'g> {
+    /// The reduced graph `G_Q` (induced subgraph grown node by node).
+    pub gq: DynamicSubgraph<'g>,
+    /// Data visited.
+    pub visits: VisitAccount,
+    /// Whether the size budget stopped the search.
+    pub hit_budget: bool,
+    /// Final selection bound `b`.
+    pub final_b: u32,
+    /// Traversal rounds executed.
+    pub rounds: u32,
+}
+
+/// Initial selection bound (Fig. 3 line 1).
+const INITIAL_B: u32 = 2;
+
+/// How `Pick` orders candidates — the paper's weight ranking, plus
+/// degraded policies for the ablation study (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PickPolicy {
+    /// Rank by the estimated weight `p/(c+1)` (§4.1) — the paper's policy.
+    #[default]
+    Weighted,
+    /// First-come order (adjacency order), no scoring.
+    Fifo,
+    /// Deterministic pseudo-random order (hash of node id).
+    Random,
+}
+
+/// Knobs for `Search`, exposing the design choices the ablation benches
+/// vary. [`ReductionConfig::default`] reproduces Fig. 3 exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionConfig {
+    /// Initial selection bound `b` (Fig. 3 line 1: 2).
+    pub initial_b: u32,
+    /// Whether to widen `b` and restart when progress stalls (Fig. 3
+    /// lines 11-12). With `false`, the traversal is single-round.
+    pub adaptive_b: bool,
+    /// Candidate ordering inside `Pick`.
+    pub pick_policy: PickPolicy,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        ReductionConfig {
+            initial_b: INITIAL_B,
+            adaptive_b: true,
+            pick_policy: PickPolicy::Weighted,
+        }
+    }
+}
+
+/// `Search` (Fig. 3): fetch a subgraph `G_Q` with `|G_Q| ≤ budget.max_units`
+/// by guided traversal from `v_p`.
+pub fn search_reduced_graph<'g>(
+    g: &'g Graph,
+    idx: &NeighborIndex,
+    q: &ResolvedPattern,
+    budget: &ResourceBudget,
+    semantics: Semantics,
+) -> ReductionOutcome<'g> {
+    search_reduced_graph_with(g, idx, q, budget, semantics, ReductionConfig::default())
+}
+
+/// [`search_reduced_graph`] with explicit [`ReductionConfig`].
+pub fn search_reduced_graph_with<'g>(
+    g: &'g Graph,
+    idx: &NeighborIndex,
+    q: &ResolvedPattern,
+    budget: &ResourceBudget,
+    semantics: Semantics,
+    config: ReductionConfig,
+) -> ReductionOutcome<'g> {
+    let ctx = GuardCtx::new(g, idx, q, semantics);
+    let mut gq = DynamicSubgraph::new(g);
+    let mut visits = VisitAccount::default();
+    let mut b = config.initial_b;
+    let mut rounds = 0u32;
+    let mut hit_budget = false;
+
+    // (query node, data node) pairs: the traversal stack, its membership
+    // set, and the pairs already expanded this round.
+    let mut stack: Vec<(PNode, NodeId)> = Vec::new();
+    let mut in_stack: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut expanded: FxHashSet<(u32, u32)> = FxHashSet::default();
+
+    if budget.max_units == 0 {
+        return ReductionOutcome {
+            gq,
+            visits,
+            hit_budget: true,
+            final_b: b,
+            rounds,
+        };
+    }
+
+    'rounds: loop {
+        rounds += 1;
+        let mut changed = false;
+        stack.clear();
+        in_stack.clear();
+        expanded.clear();
+        stack.push((q.up(), q.vp()));
+        in_stack.insert((q.up().0, q.vp().0));
+
+        while let Some((u, v)) = stack.pop() {
+            in_stack.remove(&(u.0, v.0));
+
+            // Line 5: add v to G_Q if new, charging its node + induced edges
+            // against the budget.
+            if !gq.contains(v) {
+                let units = peek_add_units(g, &gq, v, &mut visits);
+                if gq.size() + units > budget.max_units {
+                    hit_budget = true;
+                    break 'rounds;
+                }
+                gq.add_node(v);
+                visits.node();
+                changed = true;
+            }
+
+            // Each (u, v) pair expands its query edges once per round
+            // (lines 8–10).
+            if !expanded.insert((u.0, v.0)) {
+                continue;
+            }
+
+            // Children edges (u, u') then parent edges (u', u). Candidates
+            // ranked best-last so the best ends on top of the stack.
+            let p = q.pattern();
+            for &uc in p.out(u) {
+                let sp = pick(
+                    &ctx,
+                    uc,
+                    v,
+                    true,
+                    &gq,
+                    &in_stack,
+                    b,
+                    config.pick_policy,
+                    &mut visits,
+                );
+                for &v2 in sp.iter().rev() {
+                    stack.push((uc, v2));
+                    in_stack.insert((uc.0, v2.0));
+                }
+                // Continue the traversal through neighbors already in G_Q:
+                // they consume no candidate slot and no budget, but their
+                // onward edges must be re-expanded so that beam restarts
+                // (with larger b) can reach deeper unexplored regions.
+                for &v2 in ctx.g.out(v) {
+                    if gq.contains(v2)
+                        && !expanded.contains(&(uc.0, v2.0))
+                        && !in_stack.contains(&(uc.0, v2.0))
+                        && ctx.guard(v2, uc, &mut visits)
+                    {
+                        stack.push((uc, v2));
+                        in_stack.insert((uc.0, v2.0));
+                    }
+                }
+            }
+            for &up_ in p.inn(u) {
+                let sp = pick(
+                    &ctx,
+                    up_,
+                    v,
+                    false,
+                    &gq,
+                    &in_stack,
+                    b,
+                    config.pick_policy,
+                    &mut visits,
+                );
+                for &v2 in sp.iter().rev() {
+                    stack.push((up_, v2));
+                    in_stack.insert((up_.0, v2.0));
+                }
+                for &v2 in ctx.g.inn(v) {
+                    if gq.contains(v2)
+                        && !expanded.contains(&(up_.0, v2.0))
+                        && !in_stack.contains(&(up_.0, v2.0))
+                        && ctx.guard(v2, up_, &mut visits)
+                    {
+                        stack.push((up_, v2));
+                        in_stack.insert((up_.0, v2.0));
+                    }
+                }
+            }
+
+            if visits.over_cap(budget) {
+                break 'rounds;
+            }
+        }
+
+        // Lines 11-13: widen the beam and retry, or terminate.
+        if config.adaptive_b && changed && gq.size() < budget.max_units {
+            b += 1;
+        } else {
+            break;
+        }
+    }
+
+    ReductionOutcome {
+        gq,
+        visits,
+        hit_budget,
+        final_b: b,
+        rounds,
+    }
+}
+
+/// Units `add_node(v)` would consume: 1 for the node plus 1 per induced
+/// edge between `v` and current members (both directions, self-loop once).
+fn peek_add_units(
+    g: &Graph,
+    gq: &DynamicSubgraph<'_>,
+    v: NodeId,
+    visits: &mut VisitAccount,
+) -> usize {
+    let mut units = 1usize;
+    let outs = g.out(v);
+    visits.edges(outs.len());
+    for &w in outs {
+        // A self-loop becomes an induced edge the moment `v` joins, even
+        // though `v` is not a member yet at peek time.
+        if w == v || gq.contains(w) {
+            units += 1;
+        }
+    }
+    let ins = g.inn(v);
+    visits.edges(ins.len());
+    for &w in ins {
+        if w != v && gq.contains(w) {
+            units += 1;
+        }
+    }
+    units
+}
+
+/// `Pick`: the top-`b` new candidates for query node `u2` among the
+/// neighbors of `v` in the given direction (`out = true` follows the query
+/// edge `(u, u2)`, i.e. children of `v`), ranked by weight `p/(c+1)`.
+///
+/// Nodes already in `G_Q` or already on the stack for the same query node
+/// are skipped; candidates failing the guarded condition are filtered.
+/// Returned best-first.
+#[allow(clippy::too_many_arguments)]
+fn pick(
+    ctx: &GuardCtx<'_>,
+    u2: PNode,
+    v: NodeId,
+    out: bool,
+    gq: &DynamicSubgraph<'_>,
+    in_stack: &FxHashSet<(u32, u32)>,
+    b: u32,
+    policy: PickPolicy,
+    visits: &mut VisitAccount,
+) -> Vec<NodeId> {
+    let neighbors = if out { ctx.g.out(v) } else { ctx.g.inn(v) };
+    visits.edges(neighbors.len());
+
+    let mut scored: Vec<(f64, u32, NodeId)> = Vec::new();
+    for &v2 in neighbors {
+        if gq.contains(v2) || in_stack.contains(&(u2.0, v2.0)) {
+            continue;
+        }
+        if !ctx.guard(v2, u2, visits) {
+            continue;
+        }
+        let key = match policy {
+            PickPolicy::Weighted => ctx.weight(v2, u2, gq, visits),
+            PickPolicy::Fifo => 0.0,
+            PickPolicy::Random => {
+                // Deterministic hash-based score; no weight computation.
+                let mut x = (v2.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 31;
+                (x % 1_000_003) as f64
+            }
+        };
+        // Secondary key: degree (descending) — §4.2 favors high-degree
+        // candidates for isomorphism; harmless determinism for simulation.
+        scored.push((key, ctx.idx.degree(v2), v2));
+    }
+    match policy {
+        PickPolicy::Fifo => {} // keep adjacency order
+        _ => {
+            // Max-heap semantics: sort by weight desc, degree desc, id asc.
+            scored.sort_unstable_by(|a, b_| {
+                b_.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b_.1.cmp(&a.1))
+                    .then(a.2.cmp(&b_.2))
+            });
+        }
+    }
+    scored.truncate(b as usize);
+    scored.into_iter().map(|(_, _, v2)| v2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::GraphBuilder;
+    use rbq_pattern::pattern::fig1_pattern;
+
+    /// Fig. 1 graph at the scale of Example 2/4: Michael, m hiking-group
+    /// nodes (only `hgm` connected onward to CLs), cc1..cc3, n cycling
+    /// lovers with only the last two fully connected.
+    fn example_graph(m: usize, n: usize) -> (Graph, NodeId, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let mut hgs = Vec::new();
+        for _ in 0..m {
+            hgs.push(b.add_node("HG"));
+        }
+        let cc1 = b.add_node("CC");
+        let cc2 = b.add_node("CC");
+        let cc3 = b.add_node("CC");
+        let mut cls = Vec::new();
+        for _ in 0..n {
+            cls.push(b.add_node("CL"));
+        }
+        for &h in &hgs {
+            b.add_edge(michael, h);
+        }
+        b.add_edge(michael, cc1);
+        b.add_edge(michael, cc3);
+        let cln_1 = cls[n - 2];
+        let cln = cls[n - 1];
+        b.add_edge(cc2, cls[0]);
+        b.add_edge(cc1, cln_1);
+        b.add_edge(cc1, cln);
+        b.add_edge(cc3, cln);
+        let hgm = hgs[m - 1];
+        b.add_edge(hgm, cln_1);
+        b.add_edge(hgm, cln);
+        (b.build(), michael, vec![cln_1, cln])
+    }
+
+    fn run(
+        g: &Graph,
+        units: usize,
+        semantics: Semantics,
+    ) -> (ReductionOutcome<'_>, ResolvedPattern) {
+        let idx = NeighborIndex::build(g);
+        let q = fig1_pattern().resolve(g).unwrap();
+        let budget = ResourceBudget::from_units(g, units);
+        let out = search_reduced_graph(g, &idx, &q, &budget, semantics);
+        (out, q)
+    }
+
+    #[test]
+    fn example2_finds_ideal_gq_within_16_units() {
+        let (g, michael, answers) = example_graph(10, 20);
+        let (out, _q) = run(&g, 16, Semantics::Simulation);
+        // G_Q must fit the budget.
+        assert!(out.gq.size() <= 16, "|G_Q| = {}", out.gq.size());
+        assert!(out.gq.contains(michael));
+        // The ideal G_Q contains both answers.
+        for a in answers {
+            assert!(out.gq.contains(a), "missing answer node {a:?}");
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let (g, _, _) = example_graph(30, 50);
+        for units in [1usize, 2, 4, 8, 12, 20, 40] {
+            let (out, _) = run(&g, units, Semantics::Simulation);
+            assert!(
+                out.gq.size() <= units,
+                "budget {units} violated: {}",
+                out.gq.size()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_empty() {
+        let (g, _, _) = example_graph(5, 6);
+        let idx = NeighborIndex::build(&g);
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let budget = ResourceBudget::from_units(&g, 0);
+        let out = search_reduced_graph(&g, &idx, &q, &budget, Semantics::Simulation);
+        assert_eq!(out.gq.num_nodes(), 0);
+        assert!(out.hit_budget);
+    }
+
+    #[test]
+    fn guard_filters_decoys_out_of_gq() {
+        let (g, _, _) = example_graph(10, 20);
+        let (out, q) = run(&g, 60, Semantics::Simulation);
+        // cc2 (CC without a Michael parent) must never enter G_Q: its guard
+        // fails. cc2's id: Michael=0, HGs=1..=10, cc1=11, cc2=12, cc3=13.
+        let cc2 = NodeId(12);
+        assert!(!out.gq.contains(cc2));
+        let _ = q;
+    }
+
+    #[test]
+    fn large_budget_reaches_fixpoint_without_hitting_it() {
+        let (g, _, _) = example_graph(5, 8);
+        let (out, _) = run(&g, 1000, Semantics::Simulation);
+        assert!(!out.hit_budget);
+        // Guarded traversal stops well short of the graph: hg decoys and
+        // cl decoys are excluded.
+        assert!(out.gq.size() < g.size());
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn beam_restart_widens_b() {
+        // Many valid CC-like candidates forces multiple rounds when the
+        // budget allows more than 2 per query node.
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let hg = b.add_node("HG");
+        b.add_edge(michael, hg);
+        let mut cls = Vec::new();
+        for _ in 0..6 {
+            let cc = b.add_node("CC");
+            let cl = b.add_node("CL");
+            b.add_edge(michael, cc);
+            b.add_edge(cc, cl);
+            b.add_edge(hg, cl);
+            cls.push(cl);
+        }
+        let g = b.build();
+        let idx = NeighborIndex::build(&g);
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let budget = ResourceBudget::from_units(&g, g.size());
+        let out = search_reduced_graph(&g, &idx, &q, &budget, Semantics::Simulation);
+        assert!(out.final_b > INITIAL_B, "b should have grown");
+        // Eventually all 6 CC branches are explored.
+        for cl in cls {
+            assert!(out.gq.contains(cl));
+        }
+    }
+
+    #[test]
+    fn visit_cap_stops_search() {
+        let (g, _, _) = example_graph(50, 80);
+        let idx = NeighborIndex::build(&g);
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let budget = ResourceBudget::from_units(&g, 200).with_visit_cap(30);
+        let out = search_reduced_graph(&g, &idx, &q, &budget, Semantics::Simulation);
+        // The search must stop shortly after the cap trips; allow the
+        // within-iteration overshoot of the expansion that tripped it.
+        assert!(out.visits.total() <= 30 + g.max_degree() * 8);
+    }
+
+    #[test]
+    fn isomorphism_semantics_also_bounded() {
+        let (g, _, answers) = example_graph(10, 20);
+        let (out, _) = run(&g, 16, Semantics::Isomorphism);
+        assert!(out.gq.size() <= 16);
+        for a in answers {
+            assert!(out.gq.contains(a));
+        }
+    }
+
+    #[test]
+    fn gq_is_subgraph_of_dq_neighborhood() {
+        let (g, michael, _) = example_graph(10, 20);
+        let (out, q) = run(&g, 100, Semantics::Simulation);
+        let ball = rbq_pattern::strongsim::ball_nodes(&g, michael, q.dq());
+        for &v in out.gq.members() {
+            assert!(ball.contains(&v), "{v:?} outside G_dQ(v_p)");
+        }
+    }
+
+    #[test]
+    fn visits_stay_within_degree_bound() {
+        // Theorem 3(a): at most d_G · α|G| nodes and edges visited, where
+        // d_G is the max degree of G_dQ(v_p). Our accounting also includes
+        // the candidate-scoring scans, so allow a small constant factor.
+        let (g, michael, _) = example_graph(20, 40);
+        let idx = NeighborIndex::build(&g);
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let units = 30usize;
+        let budget = ResourceBudget::from_units(&g, units);
+        let out = search_reduced_graph(&g, &idx, &q, &budget, Semantics::Simulation);
+        let ball = rbq_pattern::strongsim::ball_nodes(&g, michael, q.dq());
+        let dg = ball.iter().map(|&v| g.deg(v)).max().unwrap_or(1);
+        let bound = dg * units;
+        assert!(
+            out.visits.total() <= bound * 4,
+            "visits {} vs d_G·α|G| = {bound}",
+            out.visits.total()
+        );
+    }
+}

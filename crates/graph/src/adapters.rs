@@ -1,0 +1,142 @@
+//! View adapters: lightweight wrappers giving alternative [`GraphView`]s
+//! of the same storage.
+//!
+//! * [`Reversed`] — swaps edge directions. Backward traversals, ancestor
+//!   counting, and "who reaches me" queries become forward algorithms on
+//!   the reversed view, with zero copying.
+//! * [`Relabeled`] — overrides node labels through a lookup function,
+//!   e.g. to erase labels for structure-only matching.
+
+use crate::types::{Label, NodeId};
+use crate::view::GraphView;
+
+/// The reverse view of a graph: `u -> v` becomes `v -> u`.
+#[derive(Debug, Clone, Copy)]
+pub struct Reversed<'a, V: GraphView + ?Sized>(pub &'a V);
+
+impl<V: GraphView + ?Sized> GraphView for Reversed<'_, V> {
+    fn contains(&self, v: NodeId) -> bool {
+        self.0.contains(v)
+    }
+
+    fn label(&self, v: NodeId) -> Label {
+        self.0.label(v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.0.in_neighbors(v)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.0.out_neighbors(v)
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.0.node_ids()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.0.has_edge(v, u)
+    }
+}
+
+/// A view with labels overridden by a function (topology untouched).
+pub struct Relabeled<'a, V: GraphView + ?Sized, F: Fn(NodeId, Label) -> Label> {
+    base: &'a V,
+    f: F,
+}
+
+impl<'a, V: GraphView + ?Sized, F: Fn(NodeId, Label) -> Label> Relabeled<'a, V, F> {
+    /// Wrap `base`, mapping each node's label through `f`.
+    pub fn new(base: &'a V, f: F) -> Self {
+        Relabeled { base, f }
+    }
+}
+
+impl<V: GraphView + ?Sized, F: Fn(NodeId, Label) -> Label> GraphView for Relabeled<'_, V, F> {
+    fn contains(&self, v: NodeId) -> bool {
+        self.base.contains(v)
+    }
+
+    fn label(&self, v: NodeId) -> Label {
+        (self.f)(v, self.base.label(v))
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.base.out_neighbors(v)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.base.in_neighbors(v)
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        self.base.node_ids()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.base.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = graph_from_edges(&["A", "B"], &[(0, 1)]);
+        let r = Reversed(&g);
+        assert!(r.has_edge(NodeId(1), NodeId(0)));
+        assert!(!r.has_edge(NodeId(0), NodeId(1)));
+        let outs: Vec<_> = r.out_neighbors(NodeId(1)).collect();
+        assert_eq!(outs, vec![NodeId(0)]);
+        let ins: Vec<_> = r.in_neighbors(NodeId(0)).collect();
+        assert_eq!(ins, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn reversed_preserves_counts_and_labels() {
+        let g = graph_from_edges(&["A", "B", "C"], &[(0, 1), (1, 2)]);
+        let r = Reversed(&g);
+        assert_eq!(r.num_nodes(), 3);
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.size(), g.size());
+        assert_eq!(r.label(NodeId(2)), g.node_label(NodeId(2)));
+    }
+
+    #[test]
+    fn double_reverse_is_identity() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let r = Reversed(&g);
+        let rr = Reversed(&r);
+        for v in g.nodes() {
+            let orig: Vec<_> = g.out(v).to_vec();
+            let twice: Vec<_> = rr.out_neighbors(v).collect();
+            assert_eq!(orig, twice);
+        }
+    }
+
+    #[test]
+    fn relabeled_changes_labels_only() {
+        let g = graph_from_edges(&["A", "B"], &[(0, 1)]);
+        let erased = Relabeled::new(&g, |_, _| Label(0));
+        assert_eq!(erased.label(NodeId(0)), Label(0));
+        assert_eq!(erased.label(NodeId(1)), Label(0));
+        assert!(erased.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(erased.num_edges(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Reachability-preserving DAG condensation.
+//!
+//! Collapses each SCC of `G` into a single node, producing `G_DAG` such that
+//! for all reachability queries `Q`, `Q(G) = Q(G_DAG)` after mapping
+//! endpoints through the SCC partition. This is the first half of the
+//! query-preserving compression the paper applies before building the
+//! hierarchical landmark index (§5 "Preprocessing").
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::scc::{tarjan_scc, SccPartition};
+use crate::types::NodeId;
+
+/// A condensed graph together with the node mapping.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The condensed DAG. Node `c` of `dag` represents SCC `c` of the
+    /// original graph; its label is the label of the SCC's smallest member
+    /// (labels are irrelevant for reachability).
+    pub dag: Graph,
+    /// Mapping `original node -> condensed node`.
+    pub partition: SccPartition,
+}
+
+impl Condensation {
+    /// The condensed node representing original node `v`.
+    #[inline]
+    pub fn map(&self, v: NodeId) -> NodeId {
+        NodeId(self.partition.component_of(v))
+    }
+}
+
+/// Condense `g` into its SCC DAG.
+///
+/// Runs in `O(|V| + |E|)`. The resulting graph is acyclic (asserted in debug
+/// builds by a topological-sort check in tests).
+pub fn condense(g: &Graph) -> Condensation {
+    let partition = tarjan_scc(g);
+    let k = partition.count;
+
+    // Pick a representative label per component (smallest member id wins).
+    let mut rep: Vec<Option<NodeId>> = vec![None; k];
+    for v in g.nodes() {
+        let c = partition.component_of(v) as usize;
+        if rep[c].is_none() {
+            rep[c] = Some(v);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(k, g.edge_count().min(k * 4));
+    for r in rep.iter().take(k) {
+        let r = r.expect("every component has a member");
+        b.add_node(g.node_label_str(r));
+    }
+    for (u, v) in g.edges() {
+        let cu = partition.component_of(u);
+        let cv = partition.component_of(v);
+        if cu != cv {
+            b.add_edge(NodeId(cu), NodeId(cv));
+        }
+    }
+    // GraphBuilder dedups parallel edges between the same SCC pair.
+    Condensation {
+        dag: b.build(),
+        partition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::topo::is_acyclic;
+    use crate::traverse::reaches;
+
+    #[test]
+    fn dag_stays_identical_in_shape() {
+        let g = graph_from_edges(&["A", "B", "C"], &[(0, 1), (1, 2)]);
+        let c = condense(&g);
+        assert_eq!(c.dag.node_count(), 3);
+        assert_eq!(c.dag.edge_count(), 2);
+        assert!(is_acyclic(&c.dag));
+    }
+
+    #[test]
+    fn cycle_collapses_to_point() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = condense(&g);
+        assert_eq!(c.dag.node_count(), 2);
+        assert_eq!(c.dag.edge_count(), 1);
+        assert!(is_acyclic(&c.dag));
+    }
+
+    #[test]
+    fn condensation_preserves_reachability() {
+        // Two cycles bridged, plus an isolated node.
+        let g = graph_from_edges(
+            &["A"; 7],
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (5, 0)],
+        );
+        let c = condense(&g);
+        for s in 0..7u32 {
+            for t in 0..7u32 {
+                let orig = reaches(&g, NodeId(s), NodeId(t)).0;
+                let cond = reaches(&c.dag, c.map(NodeId(s)), c.map(NodeId(t))).0;
+                assert_eq!(orig, cond, "reachability differs for {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scc_edges_deduplicated() {
+        // Both 0->2 and 1->2 connect SCC {0,1} to SCC {2}.
+        let g = graph_from_edges(&["A"; 3], &[(0, 1), (1, 0), (0, 2), (1, 2)]);
+        let c = condense(&g);
+        assert_eq!(c.dag.node_count(), 2);
+        assert_eq!(c.dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn compression_ratio_on_cyclic_graph() {
+        // A graph that is one big cycle compresses to a single node.
+        let n = 100u32;
+        let labels = vec!["A"; n as usize];
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.push((0, 50));
+        let g = graph_from_edges(&labels, &edges);
+        let c = condense(&g);
+        assert_eq!(c.dag.node_count(), 1);
+        assert_eq!(c.dag.edge_count(), 0);
+    }
+}

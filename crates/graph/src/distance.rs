@@ -1,0 +1,185 @@
+//! Shortest-path distances and path reconstruction (unweighted).
+//!
+//! Supports the workload generators (distance-stratified query sampling),
+//! the diameter computations of §2, and debugging utilities (showing *why*
+//! a reachability answer is `true` by exhibiting a path).
+
+use crate::graph::Graph;
+use crate::types::{Direction, NodeId};
+use std::collections::VecDeque;
+
+/// Unreachable marker in distance arrays.
+pub const INF: u32 = u32::MAX;
+
+/// Single-source BFS distances following `dir` edges. `dist[v] == INF`
+/// means unreachable.
+pub fn distances(g: &Graph, source: NodeId, dir: Direction) -> Vec<u32> {
+    distances_multi(g, std::iter::once(source), dir)
+}
+
+/// Multi-source BFS distances (distance to the nearest source).
+pub fn distances_multi(
+    g: &Graph,
+    sources: impl IntoIterator<Item = NodeId>,
+    dir: Direction,
+) -> Vec<u32> {
+    let mut dist = vec![INF; g.node_count()];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if dist[s.index()] == INF {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in g.adj(v, dir) {
+            if dist[w.index()] == INF {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A shortest directed path from `s` to `t` (inclusive), or `None` if
+/// unreachable. `O(|V| + |E|)`.
+pub fn shortest_path(g: &Graph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    if s == t {
+        return Some(vec![s]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    seen[s.index()] = true;
+    let mut queue = VecDeque::from([s]);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.out(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                parent[w.index()] = Some(v);
+                if w == t {
+                    let mut path = vec![t];
+                    let mut cur = t;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Eccentricity of `v`: the greatest finite BFS distance from `v`
+/// following out-edges (0 if `v` reaches nothing).
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    distances(g, v, Direction::Out)
+        .into_iter()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Histogram of finite distances from `source` (index = distance).
+pub fn distance_histogram(g: &Graph, source: NodeId, dir: Direction) -> Vec<usize> {
+    let dist = distances(g, source, dir);
+    let max = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max as usize + 1];
+    for d in dist.into_iter().filter(|&d| d != INF) {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn sample() -> Graph {
+        // 0 -> 1 -> 2 -> 3, 0 -> 2 (shortcut), 4 isolated
+        graph_from_edges(&["A"; 5], &[(0, 1), (1, 2), (2, 3), (0, 2)])
+    }
+
+    #[test]
+    fn distances_shortest() {
+        let g = sample();
+        let d = distances(&g, NodeId(0), Direction::Out);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 1); // via shortcut
+        assert_eq!(d[3], 2);
+        assert_eq!(d[4], INF);
+    }
+
+    #[test]
+    fn distances_backward() {
+        let g = sample();
+        let d = distances(&g, NodeId(3), Direction::In);
+        assert_eq!(d[3], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[0], 2);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = graph_from_edges(&["A"; 5], &[(0, 1), (1, 2), (4, 3), (3, 2)]);
+        let d = distances_multi(&g, [NodeId(0), NodeId(4)], Direction::Out);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[1], 1);
+    }
+
+    #[test]
+    fn shortest_path_found_and_minimal() {
+        let g = sample();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(3)));
+        assert_eq!(p.len(), 3); // 0 -> 2 -> 3
+        for w in p.windows(2) {
+            assert!(g.edge(w[0], w[1]), "non-edge in path");
+        }
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let g = sample();
+        assert!(shortest_path(&g, NodeId(3), NodeId(0)).is_none());
+        assert!(shortest_path(&g, NodeId(0), NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn shortest_path_self() {
+        let g = sample();
+        assert_eq!(
+            shortest_path(&g, NodeId(2), NodeId(2)),
+            Some(vec![NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = sample();
+        assert_eq!(eccentricity(&g, NodeId(0)), 2);
+        assert_eq!(eccentricity(&g, NodeId(3)), 0);
+        assert_eq!(eccentricity(&g, NodeId(4)), 0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let g = sample();
+        let h = distance_histogram(&g, NodeId(0), Direction::Out);
+        assert_eq!(h, vec![1, 2, 1]); // self; {1,2}; {3}
+    }
+}

@@ -1,0 +1,291 @@
+//! Immutable CSR graph storage.
+//!
+//! [`Graph`] stores a node-labeled directed graph in compressed sparse row
+//! form, with *both* out-adjacency and in-adjacency materialized: pattern
+//! matching by (strong) simulation must preserve both child and parent
+//! relationships (§2, conditions (a)/(b)), so reverse edges are consulted as
+//! often as forward ones.
+
+use crate::labels::LabelInterner;
+use crate::types::{Direction, Label, NodeId};
+use crate::view::GraphView;
+
+/// An immutable node-labeled directed graph in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`]. Adjacency lists are sorted by
+/// target id and deduplicated, enabling `O(log d)` edge tests via binary
+/// search and cache-friendly sequential scans.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    labels: LabelInterner,
+    node_labels: Vec<Label>,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<NodeId>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        labels: LabelInterner,
+        node_labels: Vec<Label>,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_targets: Vec<NodeId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), node_labels.len() + 1);
+        debug_assert_eq!(in_offsets.len(), node_labels.len() + 1);
+        debug_assert_eq!(out_targets.len(), in_targets.len());
+        Graph {
+            labels,
+            node_labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// The label interner (string ↔ id mapping).
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Children of `v` as a slice (sorted, deduplicated).
+    #[inline]
+    pub fn out(&self, v: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[v.index()]..self.out_offsets[v.index() + 1]]
+    }
+
+    /// Parents of `v` as a slice (sorted, deduplicated).
+    #[inline]
+    pub fn inn(&self, v: NodeId) -> &[NodeId] {
+        &self.in_targets[self.in_offsets[v.index()]..self.in_offsets[v.index() + 1]]
+    }
+
+    /// Neighbors of `v` in direction `dir` as a slice.
+    #[inline]
+    pub fn adj(&self, v: NodeId, dir: Direction) -> &[NodeId] {
+        match dir {
+            Direction::Out => self.out(v),
+            Direction::In => self.inn(v),
+        }
+    }
+
+    /// The label of node `v`.
+    #[inline]
+    pub fn node_label(&self, v: NodeId) -> Label {
+        self.node_labels[v.index()]
+    }
+
+    /// The label string of node `v`.
+    pub fn node_label_str(&self, v: NodeId) -> &str {
+        self.labels.name(self.node_labels[v.index()])
+    }
+
+    /// Out-degree of `v` (constant time, unlike the trait default).
+    #[inline]
+    pub fn deg_out(&self, v: NodeId) -> usize {
+        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+    }
+
+    /// In-degree of `v` (constant time).
+    #[inline]
+    pub fn deg_in(&self, v: NodeId) -> usize {
+        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+    }
+
+    /// Total degree `d(v) = deg_out(v) + deg_in(v)`.
+    #[inline]
+    pub fn deg(&self, v: NodeId) -> usize {
+        self.deg_out(v) + self.deg_in(v)
+    }
+
+    /// Edge test `u -> v` in `O(log deg_out(u))`.
+    #[inline]
+    pub fn edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate all node ids `0..|V|`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterate all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.out(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Nodes carrying label `l`.
+    pub fn nodes_with_label(&self, l: Label) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.node_label(v) == l)
+    }
+
+    /// Maximum total degree over all nodes (the paper's `d_G` when applied to
+    /// a neighborhood subgraph; see Theorem 3).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.deg(v)).max().unwrap_or(0)
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    #[inline]
+    fn label(&self, v: NodeId) -> Label {
+        self.node_label(v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.out(v).iter().copied())
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.inn(v).iter().copied())
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.nodes())
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.node_count()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.edge_count()
+    }
+
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.deg_out(v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.deg_in(v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut b = GraphBuilder::new();
+        let na = b.add_node("A");
+        let nb = b.add_node("B");
+        let nc = b.add_node("C");
+        let nd = b.add_node("D");
+        b.add_edge(na, nb);
+        b.add_edge(na, nc);
+        b.add_edge(nb, nd);
+        b.add_edge(nc, nd);
+        (b.build(), [na, nb, nc, nd])
+    }
+
+    #[test]
+    fn counts() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.size(), 8);
+    }
+
+    #[test]
+    fn adjacency_out_and_in() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.out(a), &[b, c]);
+        assert_eq!(g.inn(d), &[b, c]);
+        assert_eq!(g.out(d), &[]);
+        assert_eq!(g.inn(a), &[]);
+        assert_eq!(g.adj(a, Direction::Out), &[b, c]);
+        assert_eq!(g.adj(d, Direction::In), &[b, c]);
+    }
+
+    #[test]
+    fn degrees() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert_eq!(g.deg_out(a), 2);
+        assert_eq!(g.deg_in(a), 0);
+        assert_eq!(g.deg(a), 2);
+        assert_eq!(g.deg(b), 2);
+        assert_eq!(g.deg_in(d), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edge_test_binary_search() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(g.edge(a, b));
+        assert!(g.edge(c, d));
+        assert!(!g.edge(b, a));
+        assert!(!g.edge(a, d));
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.node_label_str(a), "A");
+        assert_eq!(g.node_label_str(d), "D");
+        let la = g.labels().get("A").unwrap();
+        assert_eq!(g.node_label(a), la);
+        let with_a: Vec<_> = g.nodes_with_label(la).collect();
+        assert_eq!(with_a, vec![a]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let (g, [a, b, c, d]) = diamond();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(a, b), (a, c), (b, d), (c, d)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn graph_view_trait_consistency() {
+        let (g, [a, _, _, d]) = diamond();
+        assert!(g.contains(a));
+        assert!(!g.contains(NodeId(99)));
+        let outs: Vec<_> = g.out_neighbors(a).collect();
+        assert_eq!(outs.len(), 2);
+        let ins: Vec<_> = g.in_neighbors(d).collect();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(g.node_ids().count(), 4);
+    }
+}

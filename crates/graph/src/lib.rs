@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # rbq-graph — graph substrate for resource-bounded querying
+//!
+//! This crate provides the data-graph substrate used by the `rbq` family of
+//! crates, which together reproduce *"Querying Big Graphs within Bounded
+//! Resources"* (Fan, Wang & Wu, SIGMOD 2014).
+//!
+//! A data graph is a **node-labeled directed graph** `G = (V, E, L)`
+//! (paper §2). This crate supplies:
+//!
+//! * [`Graph`] — an immutable CSR (compressed sparse row) representation with
+//!   both out- and in-adjacency, built via [`GraphBuilder`];
+//! * [`LabelInterner`] — string labels interned to dense `u32` ids;
+//! * [`GraphView`] — the read-only abstraction all matching algorithms are
+//!   generic over, so they run unchanged on a full graph, an induced
+//!   subgraph, or a dynamically grown `G_Q`;
+//! * traversals ([`traverse`]) — BFS / DFS / bounded and bidirectional BFS
+//!   with visit accounting;
+//! * neighborhoods ([`neighborhood`]) — `N_r(v)` node sets and `G_r(v)`
+//!   balls (the `r`-neighborhood subgraphs of §2);
+//! * [`scc`] — Tarjan strongly connected components, and [`condense`] —
+//!   reachability-preserving DAG condensation (the first half of the
+//!   query-preserving compression of §5);
+//! * [`topo`] — topological ranks `v.r` on DAGs (auxiliary info of §5.1);
+//! * [`subgraph`] — induced subgraphs and the incrementally grown
+//!   [`subgraph::DynamicSubgraph`] used for `G_Q`;
+//! * [`stats`] — degree and label statistics (`d_G`, `l`, `f` of Theorem 3);
+//! * [`io`] — a plain-text edge-list interchange format.
+
+pub mod adapters;
+pub mod builder;
+pub mod condense;
+pub mod distance;
+pub mod graph;
+pub mod io;
+pub mod labels;
+pub mod neighborhood;
+pub mod scc;
+pub mod stats;
+pub mod subgraph;
+pub mod topo;
+pub mod traverse;
+pub mod types;
+pub mod view;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use labels::LabelInterner;
+pub use subgraph::{DynamicSubgraph, InducedSubgraph};
+pub use types::{Label, NodeId};
+pub use view::GraphView;

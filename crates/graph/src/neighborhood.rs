@@ -1,0 +1,170 @@
+//! `r`-hop neighborhoods and balls (paper §2).
+//!
+//! A node `v'` is *within `r` hops* of `v` if there is a path of at most `r`
+//! edges from `v` to `v'` **or** from `v'` to `v` — i.e. hops are counted on
+//! the underlying undirected graph. `N_r(v)` is the set of such nodes and
+//! the *`r`-neighborhood* `G_r(v)` is the subgraph induced by `N_r(v)`.
+//!
+//! Strong-simulation matching is defined on `d_Q`-neighborhood balls, and
+//! the locality argument for pattern queries (they can be answered inside
+//! `G_dQ(v_p)`) rests on these definitions.
+
+use crate::graph::Graph;
+use crate::subgraph::InducedSubgraph;
+use crate::traverse::VisitStats;
+use crate::types::NodeId;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// The node set `N_r(v)`: all nodes within `r` hops of `v`, following edges
+/// in either direction, including `v` itself.
+///
+/// Returns nodes with their hop distance, in BFS order, plus visit stats.
+pub fn n_r(g: &Graph, v: NodeId, r: usize) -> (FxHashMap<NodeId, usize>, VisitStats) {
+    let mut dist: FxHashMap<NodeId, usize> = FxHashMap::default();
+    let mut queue = VecDeque::new();
+    let mut stats = VisitStats::default();
+    dist.insert(v, 0);
+    queue.push_back((v, 0usize));
+    while let Some((u, d)) = queue.pop_front() {
+        stats.nodes += 1;
+        if d == r {
+            continue;
+        }
+        for &w in g.out(u).iter().chain(g.inn(u)) {
+            stats.edges += 1;
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
+                queue.push_back((w, d + 1));
+            }
+        }
+    }
+    (dist, stats)
+}
+
+/// The `r`-neighborhood *ball* `G_r(v)`: the subgraph induced by `N_r(v)`.
+pub fn ball<'g>(g: &'g Graph, v: NodeId, r: usize) -> (InducedSubgraph<'g>, VisitStats) {
+    let (dist, stats) = n_r(g, v, r);
+    (InducedSubgraph::new(g, dist.into_keys()), stats)
+}
+
+/// Size `|G_r(v)| = |N_r(v)| + |E(G_r(v))|` without retaining the subgraph.
+/// Used by the experiment harness to report the Table-2 ratios
+/// `α|G| / |G_dQ(v_p)|`.
+pub fn ball_size(g: &Graph, v: NodeId, r: usize) -> usize {
+    use crate::view::GraphView;
+    let (b, _) = ball(g, v, r);
+    b.size()
+}
+
+/// The diameter of `g` viewed as an *undirected* graph: the longest shortest
+/// path between any connected pair (unreachable pairs are ignored).
+///
+/// Exact all-pairs BFS — `O(|V|·(|V|+|E|))`. Patterns are tiny (≤ ~8 nodes,
+/// §6), for which this is instantaneous; avoid calling it on big data graphs.
+pub fn undirected_diameter(g: &Graph) -> usize {
+    let mut best = 0usize;
+    for s in g.nodes() {
+        let (dist, _) = n_r(g, s, usize::MAX);
+        for (_, d) in dist {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+/// The diameter of `g` respecting edge direction (longest finite directed
+/// shortest path). Used for directed-diameter assertions in tests.
+pub fn directed_diameter(g: &Graph) -> usize {
+    use crate::types::Direction;
+    let mut best = 0usize;
+    for s in g.nodes() {
+        let (order, _) = crate::traverse::bfs_bounded(g, s, Direction::Out, usize::MAX);
+        for (_, d) in order {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::view::GraphView;
+
+    fn chain() -> Graph {
+        // 0 -> 1 -> 2 -> 3 -> 4
+        graph_from_edges(&["A"; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn n_r_counts_both_directions() {
+        let g = chain();
+        let (dist, _) = n_r(&g, NodeId(2), 1);
+        let mut nodes: Vec<_> = dist.keys().copied().collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(dist[&NodeId(2)], 0);
+        assert_eq!(dist[&NodeId(1)], 1);
+    }
+
+    #[test]
+    fn n_r_radius_two() {
+        let g = chain();
+        let (dist, _) = n_r(&g, NodeId(2), 2);
+        assert_eq!(dist.len(), 5);
+        assert_eq!(dist[&NodeId(0)], 2);
+        assert_eq!(dist[&NodeId(4)], 2);
+    }
+
+    #[test]
+    fn ball_is_induced() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let (b, _) = ball(&g, NodeId(0), 1);
+        // N_1(0) = {0,1,2}; induced edges: 0->1, 1->2, 0->2.
+        assert_eq!(b.num_nodes(), 3);
+        assert_eq!(b.num_edges(), 3);
+    }
+
+    #[test]
+    fn ball_size_matches_ball() {
+        let g = chain();
+        let (b, _) = ball(&g, NodeId(1), 2);
+        assert_eq!(ball_size(&g, NodeId(1), 2), b.size());
+    }
+
+    #[test]
+    fn zero_radius_ball_is_single_node() {
+        let g = chain();
+        let (b, _) = ball(&g, NodeId(3), 0);
+        assert_eq!(b.num_nodes(), 1);
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    fn undirected_diameter_of_chain() {
+        let g = chain();
+        assert_eq!(undirected_diameter(&g), 4);
+    }
+
+    #[test]
+    fn directed_diameter_of_chain() {
+        let g = chain();
+        assert_eq!(directed_diameter(&g), 4);
+    }
+
+    #[test]
+    fn undirected_diameter_sees_through_direction() {
+        // 0 -> 1 <- 2 : directed diameter 1, undirected 2.
+        let g = graph_from_edges(&["A"; 3], &[(0, 1), (2, 1)]);
+        assert_eq!(directed_diameter(&g), 1);
+        assert_eq!(undirected_diameter(&g), 2);
+    }
+
+    #[test]
+    fn diameter_of_single_node() {
+        let g = graph_from_edges(&["A"], &[]);
+        assert_eq!(undirected_diameter(&g), 0);
+    }
+}

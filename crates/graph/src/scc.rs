@@ -1,0 +1,194 @@
+//! Strongly connected components (Tarjan, iterative).
+//!
+//! SCC condensation is the first step of the query-preserving compression
+//! used before reachability indexing (§5 "Preprocessing", citing Fan et al.
+//! SIGMOD 2012): collapsing each SCC to a single node preserves the answer
+//! to every reachability query.
+
+use crate::graph::Graph;
+use crate::types::NodeId;
+
+/// The SCC partition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccPartition {
+    /// `comp[v] = id` of the component containing node `v`.
+    pub comp: Vec<u32>,
+    /// Number of components. Component ids are `0..count` and are a
+    /// **reverse topological** numbering: if SCC `a` has an edge to SCC `b`
+    /// (a ≠ b), then `comp id of a > comp id of b`.
+    pub count: usize,
+}
+
+impl SccPartition {
+    /// Component id of `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.comp[v.index()]
+    }
+
+    /// Group nodes by component: `groups[c]` lists the members of SCC `c`.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (i, &c) in self.comp.iter().enumerate() {
+            groups[c as usize].push(NodeId::new(i));
+        }
+        groups
+    }
+
+    /// Whether `u` and `v` are in the same SCC (mutually reachable).
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.comp[u.index()] == self.comp[v.index()]
+    }
+}
+
+/// Tarjan's SCC algorithm, fully iterative (safe for million-node graphs).
+pub fn tarjan_scc(g: &Graph) -> SccPartition {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new(); // Tarjan stack
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Work stack frames: (node, next-child cursor).
+    let mut work: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        work.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            let adj = g.out(NodeId(v));
+            if *cursor < adj.len() {
+                let w = adj[*cursor].0;
+                *cursor += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    work.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is an SCC root; pop its component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccPartition {
+        comp,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 4);
+        let mut ids: Vec<_> = p.comp.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let g = graph_from_edges(&["A"; 3], &[(0, 1), (1, 2), (2, 0)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 1);
+        assert!(p.same(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // {0,1} cycle -> {2,3} cycle
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 2);
+        assert!(p.same(NodeId(0), NodeId(1)));
+        assert!(p.same(NodeId(2), NodeId(3)));
+        assert!(!p.same(NodeId(0), NodeId(2)));
+        // Reverse topological numbering: source SCC gets the larger id.
+        assert!(p.component_of(NodeId(0)) > p.component_of(NodeId(2)));
+    }
+
+    #[test]
+    fn reverse_topological_numbering_on_chain() {
+        let g = graph_from_edges(&["A"; 3], &[(0, 1), (1, 2)]);
+        let p = tarjan_scc(&g);
+        assert!(p.component_of(NodeId(0)) > p.component_of(NodeId(1)));
+        assert!(p.component_of(NodeId(1)) > p.component_of(NodeId(2)));
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let g = graph_from_edges(&["A"; 2], &[(0, 0), (0, 1)]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 2);
+        assert!(!p.same(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn groups_partition_all_nodes() {
+        let g = graph_from_edges(&["A"; 5], &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]);
+        let p = tarjan_scc(&g);
+        let groups = p.groups();
+        let total: usize = groups.iter().map(|grp| grp.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(p.count, 2);
+        assert!(groups.iter().any(|grp| grp.len() == 2));
+        assert!(groups.iter().any(|grp| grp.len() == 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(&[], &[]);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, 0);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100k-node chain would overflow a recursive Tarjan.
+        let n = 100_000u32;
+        let labels = vec!["A"; n as usize];
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(&labels, &edges);
+        let p = tarjan_scc(&g);
+        assert_eq!(p.count, n as usize);
+    }
+}

@@ -1,0 +1,237 @@
+//! Graph statistics used by the accuracy bound of Theorem 3.
+//!
+//! Theorem 3(b) guarantees 100% accuracy when
+//! `α ≥ 2((l·f)^d − 1) / ((l·f − 1)·|G|)`, where over the neighborhood
+//! `G_dQ(v_p)`:
+//! * `l` — number of distinct labels in the *query*,
+//! * `f` — max number of nodes sharing the same label **and** a common
+//!   parent or child,
+//! * `d` — diameter of the query as an undirected graph,
+//! * `d_G` — max node degree (the visiting coefficient `c`).
+
+use crate::graph::Graph;
+use crate::types::Label;
+use crate::view::GraphView;
+use rustc_hash::FxHashMap;
+
+/// Summary degree statistics of a graph or subgraph view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum total degree `d_G`.
+    pub max_degree: usize,
+    /// Average total degree.
+    pub avg_degree: f64,
+    /// Number of nodes considered.
+    pub nodes: usize,
+}
+
+/// Compute degree statistics over any view.
+pub fn degree_stats<V: GraphView + ?Sized>(g: &V) -> DegreeStats {
+    let mut max_degree = 0usize;
+    let mut sum = 0usize;
+    let mut nodes = 0usize;
+    for v in g.node_ids() {
+        let d = g.degree(v);
+        max_degree = max_degree.max(d);
+        sum += d;
+        nodes += 1;
+    }
+    DegreeStats {
+        max_degree,
+        avg_degree: if nodes == 0 {
+            0.0
+        } else {
+            sum as f64 / nodes as f64
+        },
+        nodes,
+    }
+}
+
+/// The paper's `f` over a view: the maximum, over all nodes `v` and labels
+/// `ℓ`, of the number of neighbors of `v` (parents and children pooled)
+/// carrying label `ℓ`.
+pub fn max_label_fanout<V: GraphView + ?Sized>(g: &V) -> usize {
+    let mut best = 0usize;
+    let mut counts: FxHashMap<Label, usize> = FxHashMap::default();
+    for v in g.node_ids() {
+        counts.clear();
+        for w in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+            *counts.entry(g.label(w)).or_insert(0) += 1;
+        }
+        for &c in counts.values() {
+            best = best.max(c);
+        }
+    }
+    best
+}
+
+/// Histogram of node labels over a view: `label -> node count`.
+pub fn label_histogram<V: GraphView + ?Sized>(g: &V) -> FxHashMap<Label, usize> {
+    let mut h = FxHashMap::default();
+    for v in g.node_ids() {
+        *h.entry(g.label(v)).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Number of distinct node labels in a view.
+pub fn distinct_labels<V: GraphView + ?Sized>(g: &V) -> usize {
+    label_histogram(g).len()
+}
+
+/// The per-node neighbor-label summary `S_l` of §4.1: for node `v`, pairs
+/// `(ℓ, g)` where `g` counts occurrences of label `ℓ` among `N(v)` (parents
+/// and children pooled), plus the degree `d(v)`.
+///
+/// This is the once-for-all offline structure Example 3 computes; it backs
+/// the guarded-condition checks of the dynamic reduction.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborLabelSummary {
+    /// `(label, occurrence count)` pairs, sorted by label id.
+    pub label_counts: Vec<(Label, u32)>,
+    /// Total degree `d(v) = |N(v)|` counting multiplicity.
+    pub degree: u32,
+}
+
+impl NeighborLabelSummary {
+    /// Occurrences of `l` among the node's neighbors.
+    pub fn count(&self, l: Label) -> u32 {
+        match self.label_counts.binary_search_by_key(&l, |&(x, _)| x) {
+            Ok(i) => self.label_counts[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether any neighbor carries label `l`.
+    pub fn has(&self, l: Label) -> bool {
+        self.count(l) > 0
+    }
+}
+
+/// Compute [`NeighborLabelSummary`] for every node of `g` in one pass.
+pub fn neighbor_label_summaries(g: &Graph) -> Vec<NeighborLabelSummary> {
+    let mut out = Vec::with_capacity(g.node_count());
+    let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+    for v in g.nodes() {
+        counts.clear();
+        for &w in g.out(v).iter().chain(g.inn(v)) {
+            *counts.entry(g.node_label(w)).or_insert(0) += 1;
+        }
+        let mut label_counts: Vec<(Label, u32)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
+        label_counts.sort_unstable_by_key(|&(l, _)| l);
+        out.push(NeighborLabelSummary {
+            label_counts,
+            degree: (g.deg(v)) as u32,
+        });
+    }
+    out
+}
+
+/// Theorem 3(b)'s minimum exact-answer ratio
+/// `α_min = 2((l·f)^d − 1) / ((l·f − 1)·|G|)`, computed with saturating
+/// arithmetic in `f64` (the bound explodes quickly; callers compare it to a
+/// candidate `α` and cap at 1.0).
+pub fn theorem3_alpha_bound(l: usize, f: usize, d: usize, graph_size: usize) -> f64 {
+    if graph_size == 0 {
+        return 1.0;
+    }
+    let lf = (l.max(1) * f.max(1)) as f64;
+    if lf <= 1.0 {
+        // Degenerate single-chain case: the bound reduces to 2d/|G|.
+        return ((2 * d) as f64 / graph_size as f64).min(1.0);
+    }
+    let numer = 2.0 * (lf.powi(d as i32) - 1.0);
+    let denom = (lf - 1.0) * graph_size as f64;
+    (numer / denom).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::types::NodeId;
+
+    fn sample() -> Graph {
+        // 0(A) -> 1(B), 0 -> 2(B), 0 -> 3(C), 3 -> 0
+        graph_from_edges(&["A", "B", "B", "C"], &[(0, 1), (0, 2), (0, 3), (3, 0)])
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = sample();
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 4); // node 0: out 3 + in 1
+        assert_eq!(s.nodes, 4);
+        assert!((s.avg_degree - 2.0).abs() < 1e-9); // 8 endpoints / 4 nodes
+    }
+
+    #[test]
+    fn label_fanout_counts_same_label_neighbors() {
+        let g = sample();
+        // Node 0 has two B-children -> f = 2.
+        assert_eq!(max_label_fanout(&g), 2);
+    }
+
+    #[test]
+    fn histogram_and_distinct() {
+        let g = sample();
+        let h = label_histogram(&g);
+        let b = g.labels().get("B").unwrap();
+        assert_eq!(h[&b], 2);
+        assert_eq!(distinct_labels(&g), 3);
+    }
+
+    #[test]
+    fn neighbor_summaries_match_example3_shape() {
+        let g = sample();
+        let sums = neighbor_label_summaries(&g);
+        let s0 = &sums[0];
+        assert_eq!(s0.degree, 4);
+        let b = g.labels().get("B").unwrap();
+        let c = g.labels().get("C").unwrap();
+        let a = g.labels().get("A").unwrap();
+        assert_eq!(s0.count(b), 2);
+        // Node 3 appears twice in N(0): as child and as parent.
+        assert_eq!(s0.count(c), 2);
+        assert!(!s0.has(a));
+        assert!(s0.has(c));
+    }
+
+    #[test]
+    fn summary_count_missing_label_is_zero() {
+        let g = sample();
+        let sums = neighbor_label_summaries(&g);
+        assert_eq!(sums[1].count(Label(999)), 0);
+    }
+
+    #[test]
+    fn theorem3_bound_monotone_in_depth() {
+        let a1 = theorem3_alpha_bound(2, 3, 1, 10_000);
+        let a2 = theorem3_alpha_bound(2, 3, 2, 10_000);
+        let a3 = theorem3_alpha_bound(2, 3, 3, 10_000);
+        assert!(a1 < a2 && a2 < a3);
+    }
+
+    #[test]
+    fn theorem3_bound_capped_at_one() {
+        assert_eq!(theorem3_alpha_bound(10, 10, 10, 10), 1.0);
+        assert_eq!(theorem3_alpha_bound(2, 2, 2, 0), 1.0);
+    }
+
+    #[test]
+    fn theorem3_bound_degenerate_lf_one() {
+        // l = f = 1: path-shaped neighborhoods.
+        let a = theorem3_alpha_bound(1, 1, 3, 100);
+        assert!((a - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_stats_on_induced_view() {
+        use crate::subgraph::InducedSubgraph;
+        let g = sample();
+        let s = InducedSubgraph::new(&g, [NodeId(0), NodeId(1)]);
+        let st = degree_stats(&s);
+        assert_eq!(st.nodes, 2);
+        assert_eq!(st.max_degree, 1);
+    }
+}

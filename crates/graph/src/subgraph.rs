@@ -1,0 +1,408 @@
+//! Subgraph views over a base [`Graph`].
+//!
+//! Two flavors, both sharing the base graph's node-id space:
+//!
+//! * [`InducedSubgraph`] — the subgraph *induced* by a node set `V_s`
+//!   (paper §2): all edges of `G` with both endpoints in `V_s`.
+//! * [`DynamicSubgraph`] — an incrementally grown subgraph used as the
+//!   reduced graph `G_Q` by the dynamic-reduction procedures (§3): nodes and
+//!   induced edges are added one node at a time while the resource budget is
+//!   charged for each addition.
+
+use crate::graph::Graph;
+use crate::types::{Label, NodeId};
+use crate::view::GraphView;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The subgraph of a base graph induced by a node set (§2).
+///
+/// Edges are not materialized: adjacency queries filter the base graph's
+/// lists through the membership set, so construction is `O(|V_s|)`.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph<'g> {
+    base: &'g Graph,
+    members: FxHashSet<NodeId>,
+    nodes: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl<'g> InducedSubgraph<'g> {
+    /// Build the subgraph of `base` induced by `nodes`.
+    ///
+    /// Duplicate ids are ignored. Edge counting costs one adjacency scan per
+    /// member node.
+    pub fn new(base: &'g Graph, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut members = FxHashSet::default();
+        let mut sorted: Vec<NodeId> = Vec::new();
+        for v in nodes {
+            debug_assert!(v.index() < base.node_count(), "node outside base graph");
+            if members.insert(v) {
+                sorted.push(v);
+            }
+        }
+        sorted.sort_unstable();
+        let num_edges = sorted
+            .iter()
+            .map(|&u| base.out(u).iter().filter(|v| members.contains(v)).count())
+            .sum();
+        InducedSubgraph {
+            base,
+            members,
+            nodes: sorted,
+            num_edges,
+        }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Member nodes in ascending id order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Copy into a standalone [`Graph`] with remapped dense ids.
+    ///
+    /// Returns the new graph and the mapping `new id -> old id`.
+    pub fn materialize(&self) -> (Graph, Vec<NodeId>) {
+        materialize(self.base, &self.nodes, &self.members)
+    }
+}
+
+impl GraphView for InducedSubgraph<'_> {
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.members.contains(&v)
+    }
+
+    #[inline]
+    fn label(&self, v: NodeId) -> Label {
+        self.base.node_label(v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(
+            self.base
+                .out(v)
+                .iter()
+                .copied()
+                .filter(move |w| self.members.contains(w)),
+        )
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(
+            self.base
+                .inn(v)
+                .iter()
+                .copied()
+                .filter(move |w| self.members.contains(w)),
+        )
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.nodes.iter().copied())
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.members.contains(&u) && self.members.contains(&v) && self.base.edge(u, v)
+    }
+}
+
+/// An incrementally grown subgraph of a base graph — the reduced graph `G_Q`.
+///
+/// Invariant maintained by [`DynamicSubgraph::add_node`]: the edge set is
+/// exactly the base graph's edges induced by the current node set, so
+/// [`GraphView::size`] is the `|G_Q|` the resource bound `α|G|` constrains
+/// (§3, and Example 2's "14 nodes and edges").
+#[derive(Debug, Clone)]
+pub struct DynamicSubgraph<'g> {
+    base: &'g Graph,
+    members: FxHashSet<NodeId>,
+    nodes: Vec<NodeId>,
+    out_adj: FxHashMap<NodeId, Vec<NodeId>>,
+    in_adj: FxHashMap<NodeId, Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl<'g> DynamicSubgraph<'g> {
+    /// Create an empty subgraph of `base`.
+    pub fn new(base: &'g Graph) -> Self {
+        DynamicSubgraph {
+            base,
+            members: FxHashSet::default(),
+            nodes: Vec::new(),
+            out_adj: FxHashMap::default(),
+            in_adj: FxHashMap::default(),
+            num_edges: 0,
+        }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Add `v` and all base-graph edges between `v` and current members.
+    ///
+    /// Returns the number of size units added (1 for the node plus 1 per
+    /// induced edge), or 0 if `v` was already present. The caller charges
+    /// this against the resource budget.
+    pub fn add_node(&mut self, v: NodeId) -> usize {
+        debug_assert!(v.index() < self.base.node_count(), "node outside base");
+        if !self.members.insert(v) {
+            return 0;
+        }
+        self.nodes.push(v);
+        let mut added = 1usize;
+        // Induced edges v -> w and w -> v for members w (v itself included,
+        // covering self-loops exactly once).
+        let mut out_list: Vec<NodeId> = Vec::new();
+        for &w in self.base.out(v) {
+            if self.members.contains(&w) {
+                out_list.push(w);
+                self.in_adj.entry(w).or_default().push(v);
+                added += 1;
+                self.num_edges += 1;
+            }
+        }
+        let mut in_list: Vec<NodeId> = Vec::new();
+        for &w in self.base.inn(v) {
+            if w == v {
+                // Self-loop fully handled by the out scan (both adjacency
+                // directions were registered there).
+                continue;
+            }
+            if self.members.contains(&w) {
+                in_list.push(w);
+                self.out_adj.entry(w).or_default().push(v);
+                added += 1;
+                self.num_edges += 1;
+            }
+        }
+        self.out_adj.entry(v).or_default().extend(out_list);
+        self.in_adj.entry(v).or_default().extend(in_list);
+        added
+    }
+
+    /// Member nodes in insertion order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Copy into a standalone [`Graph`] with remapped dense ids.
+    ///
+    /// Returns the new graph and the mapping `new id -> old id`.
+    pub fn materialize(&self) -> (Graph, Vec<NodeId>) {
+        let mut sorted = self.nodes.clone();
+        sorted.sort_unstable();
+        materialize(self.base, &sorted, &self.members)
+    }
+}
+
+impl GraphView for DynamicSubgraph<'_> {
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.members.contains(&v)
+    }
+
+    #[inline]
+    fn label(&self, v: NodeId) -> Label {
+        self.base.node_label(v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match self.out_adj.get(&v) {
+            Some(list) => Box::new(list.iter().copied()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match self.in_adj.get(&v) {
+            Some(list) => Box::new(list.iter().copied()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        let mut ids = self.nodes.clone();
+        ids.sort_unstable();
+        Box::new(ids.into_iter())
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+/// Shared materialization: copy the subgraph induced by `sorted_nodes` (with
+/// membership set `members`) of `base` into a fresh graph.
+fn materialize(
+    base: &Graph,
+    sorted_nodes: &[NodeId],
+    members: &FxHashSet<NodeId>,
+) -> (Graph, Vec<NodeId>) {
+    let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    remap.reserve(sorted_nodes.len());
+    for (i, &v) in sorted_nodes.iter().enumerate() {
+        remap.insert(v, NodeId::new(i));
+    }
+    let mut b = crate::builder::GraphBuilder::with_capacity(sorted_nodes.len(), 0);
+    for &v in sorted_nodes {
+        b.add_node(base.node_label_str(v));
+    }
+    for &v in sorted_nodes {
+        let nv = remap[&v];
+        for &w in base.out(v) {
+            if members.contains(&w) {
+                b.add_edge(nv, remap[&w]);
+            }
+        }
+    }
+    (b.build(), sorted_nodes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn path5() -> Graph {
+        graph_from_edges(
+            &["A", "B", "C", "D", "E"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        )
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_inner_edges_only() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, [NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 1); // only 1 -> 2
+        assert!(s.has_edge(NodeId(1), NodeId(2)));
+        assert!(!s.has_edge(NodeId(2), NodeId(3)));
+        assert!(!s.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, [NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_neighbors_filtered() {
+        let g = graph_from_edges(&["A", "B", "C"], &[(0, 1), (0, 2)]);
+        let s = InducedSubgraph::new(&g, [NodeId(0), NodeId(2)]);
+        let outs: Vec<_> = s.out_neighbors(NodeId(0)).collect();
+        assert_eq!(outs, vec![NodeId(2)]);
+        let ins: Vec<_> = s.in_neighbors(NodeId(2)).collect();
+        assert_eq!(ins, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn dynamic_subgraph_grows_induced() {
+        let g = path5();
+        let mut d = DynamicSubgraph::new(&g);
+        assert_eq!(d.add_node(NodeId(1)), 1); // node only
+        assert_eq!(d.add_node(NodeId(2)), 2); // node + edge 1->2
+        assert_eq!(d.add_node(NodeId(2)), 0); // duplicate
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(d.size(), 3);
+        let outs: Vec<_> = d.out_neighbors(NodeId(1)).collect();
+        assert_eq!(outs, vec![NodeId(2)]);
+        let ins: Vec<_> = d.in_neighbors(NodeId(2)).collect();
+        assert_eq!(ins, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn dynamic_subgraph_matches_induced_semantics() {
+        // Whatever order nodes are added, the edge set must equal the
+        // induced edge set.
+        let g = graph_from_edges(
+            &["A", "B", "C", "D"],
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (0, 3)],
+        );
+        let picks = [NodeId(3), NodeId(0), NodeId(1)];
+        let mut d = DynamicSubgraph::new(&g);
+        for &v in &picks {
+            d.add_node(v);
+        }
+        let ind = InducedSubgraph::new(&g, picks);
+        assert_eq!(d.num_edges(), ind.num_edges());
+        for &u in &picks {
+            let mut a: Vec<_> = d.out_neighbors(u).collect();
+            let mut b: Vec<_> = ind.out_neighbors(u).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "out lists differ at {u:?}");
+            let mut a: Vec<_> = d.in_neighbors(u).collect();
+            let mut b: Vec<_> = ind.in_neighbors(u).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "in lists differ at {u:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_subgraph_self_loop_counted_once() {
+        let g = graph_from_edges(&["A"], &[(0, 0)]);
+        let mut d = DynamicSubgraph::new(&g);
+        let added = d.add_node(NodeId(0));
+        assert_eq!(added, 2); // node + self loop
+        assert_eq!(d.num_edges(), 1);
+        let outs: Vec<_> = d.out_neighbors(NodeId(0)).collect();
+        assert_eq!(outs, vec![NodeId(0)]);
+        let ins: Vec<_> = d.in_neighbors(NodeId(0)).collect();
+        assert_eq!(ins, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, [NodeId(2), NodeId(3), NodeId(4)]);
+        let (m, back) = s.materialize();
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.edge_count(), 2);
+        assert_eq!(back, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(m.node_label_str(NodeId(0)), "C");
+        assert!(m.edge(NodeId(0), NodeId(1)));
+        assert!(m.edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn dynamic_materialize_matches() {
+        let g = path5();
+        let mut d = DynamicSubgraph::new(&g);
+        d.add_node(NodeId(4));
+        d.add_node(NodeId(3));
+        let (m, back) = d.materialize();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(back, vec![NodeId(3), NodeId(4)]);
+        assert!(m.edge(NodeId(0), NodeId(1)));
+    }
+}

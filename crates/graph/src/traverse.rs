@@ -1,0 +1,321 @@
+//! Graph traversals with visit accounting.
+//!
+//! Resource-bounded algorithms are judged by *how much data they visit*
+//! (§3: at most `α·c·|G|`), so every traversal here reports the number of
+//! nodes and edges it touched via [`VisitStats`].
+
+use crate::graph::Graph;
+use crate::types::{Direction, NodeId};
+use rustc_hash::FxHashSet;
+use std::collections::VecDeque;
+
+/// Accounting for how much of the graph a procedure touched.
+///
+/// "Visiting" a node means dequeuing/expanding it; "visiting" an edge means
+/// scanning one adjacency entry. `total()` is comparable against the paper's
+/// `α·c·|G|` budget, since `|G| = |V| + |E|`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VisitStats {
+    /// Nodes expanded.
+    pub nodes: usize,
+    /// Adjacency entries scanned.
+    pub edges: usize,
+}
+
+impl VisitStats {
+    /// Total data units visited (`nodes + edges`).
+    pub fn total(&self) -> usize {
+        self.nodes + self.edges
+    }
+
+    /// Merge two accounts.
+    pub fn add(&mut self, other: VisitStats) {
+        self.nodes += other.nodes;
+        self.edges += other.edges;
+    }
+}
+
+/// Breadth-first traversal from `start` following `dir` edges.
+///
+/// Returns all reached nodes (including `start`) and visit accounting.
+pub fn bfs(g: &Graph, start: NodeId, dir: Direction) -> (Vec<NodeId>, VisitStats) {
+    bfs_multi(g, std::iter::once(start), dir)
+}
+
+/// BFS from multiple sources.
+pub fn bfs_multi(
+    g: &Graph,
+    starts: impl IntoIterator<Item = NodeId>,
+    dir: Direction,
+) -> (Vec<NodeId>, VisitStats) {
+    let mut seen = FxHashSet::default();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut stats = VisitStats::default();
+    for s in starts {
+        if seen.insert(s) {
+            order.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        stats.nodes += 1;
+        for &w in g.adj(v, dir) {
+            stats.edges += 1;
+            if seen.insert(w) {
+                order.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    (order, stats)
+}
+
+/// BFS limited to `max_hops` following `dir` edges; returns `(node, depth)`
+/// pairs in visit order.
+pub fn bfs_bounded(
+    g: &Graph,
+    start: NodeId,
+    dir: Direction,
+    max_hops: usize,
+) -> (Vec<(NodeId, usize)>, VisitStats) {
+    let mut seen = FxHashSet::default();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut stats = VisitStats::default();
+    seen.insert(start);
+    order.push((start, 0));
+    queue.push_back((start, 0usize));
+    while let Some((v, d)) = queue.pop_front() {
+        stats.nodes += 1;
+        if d == max_hops {
+            continue;
+        }
+        for &w in g.adj(v, dir) {
+            stats.edges += 1;
+            if seen.insert(w) {
+                order.push((w, d + 1));
+                queue.push_back((w, d + 1));
+            }
+        }
+    }
+    (order, stats)
+}
+
+/// Does `s` reach `t` (directed)? Plain forward BFS — the paper's `BFS`
+/// baseline for reachability queries (§6 Exp-2).
+pub fn reaches(g: &Graph, s: NodeId, t: NodeId) -> (bool, VisitStats) {
+    let mut stats = VisitStats::default();
+    if s == t {
+        return (true, stats);
+    }
+    let mut seen = FxHashSet::default();
+    let mut queue = VecDeque::new();
+    seen.insert(s);
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        stats.nodes += 1;
+        for &w in g.out(v) {
+            stats.edges += 1;
+            if w == t {
+                return (true, stats);
+            }
+            if seen.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    (false, stats)
+}
+
+/// Does `s` reach `t`, by bidirectional BFS (alternating frontier expansion
+/// from `s` forwards and `t` backwards)? Often far fewer visits than
+/// [`reaches`]; used as an optimized baseline.
+pub fn reaches_bidirectional(g: &Graph, s: NodeId, t: NodeId) -> (bool, VisitStats) {
+    let mut stats = VisitStats::default();
+    if s == t {
+        return (true, stats);
+    }
+    let mut fwd_seen = FxHashSet::default();
+    let mut bwd_seen = FxHashSet::default();
+    let mut fwd_frontier = vec![s];
+    let mut bwd_frontier = vec![t];
+    fwd_seen.insert(s);
+    bwd_seen.insert(t);
+
+    while !fwd_frontier.is_empty() && !bwd_frontier.is_empty() {
+        // Expand the smaller frontier.
+        let forward = fwd_frontier.len() <= bwd_frontier.len();
+        let (frontier, seen, other_seen, dir) = if forward {
+            (&mut fwd_frontier, &mut fwd_seen, &bwd_seen, Direction::Out)
+        } else {
+            (&mut bwd_frontier, &mut bwd_seen, &fwd_seen, Direction::In)
+        };
+        let mut next = Vec::new();
+        for &v in frontier.iter() {
+            stats.nodes += 1;
+            for &w in g.adj(v, dir) {
+                stats.edges += 1;
+                if other_seen.contains(&w) {
+                    return (true, stats);
+                }
+                if seen.insert(w) {
+                    next.push(w);
+                }
+            }
+        }
+        *frontier = next;
+    }
+    (false, stats)
+}
+
+/// Depth-first post-order of the whole graph following out-edges.
+///
+/// Iterative (explicit stack) so million-node graphs don't overflow the call
+/// stack. Roots are taken in ascending node-id order.
+pub fn dfs_postorder(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Stack entries: (node, next child index to explore).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for root in g.nodes() {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let adj = g.out(v);
+            if *i < adj.len() {
+                let w = adj[*i];
+                *i += 1;
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+    }
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn chain() -> Graph {
+        graph_from_edges(&["A"; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_forward_reaches_downstream() {
+        let g = chain();
+        let (order, stats) = bfs(&g, NodeId(1), Direction::Out);
+        assert_eq!(order, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(stats.nodes, 4);
+        assert_eq!(stats.edges, 3);
+    }
+
+    #[test]
+    fn bfs_backward_reaches_upstream() {
+        let g = chain();
+        let (order, _) = bfs(&g, NodeId(2), Direction::In);
+        assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn bfs_bounded_respects_hops() {
+        let g = chain();
+        let (order, _) = bfs_bounded(&g, NodeId(0), Direction::Out, 2);
+        let nodes: Vec<_> = order.iter().map(|&(v, _)| v).collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(order[2].1, 2);
+    }
+
+    #[test]
+    fn bfs_bounded_zero_hops_is_self() {
+        let g = chain();
+        let (order, _) = bfs_bounded(&g, NodeId(3), Direction::Out, 0);
+        assert_eq!(order, vec![(NodeId(3), 0)]);
+    }
+
+    #[test]
+    fn bfs_multi_merges_sources() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (2, 3)]);
+        let (order, _) = bfs_multi(&g, [NodeId(0), NodeId(2)], Direction::Out);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn reaches_positive_and_negative() {
+        let g = chain();
+        assert!(reaches(&g, NodeId(0), NodeId(4)).0);
+        assert!(!reaches(&g, NodeId(4), NodeId(0)).0);
+        assert!(reaches(&g, NodeId(2), NodeId(2)).0);
+    }
+
+    #[test]
+    fn reaches_counts_visits() {
+        let g = chain();
+        let (ok, stats) = reaches(&g, NodeId(0), NodeId(4));
+        assert!(ok);
+        assert!(stats.total() > 0);
+        // Early exit: finding 4 requires scanning edge 3->4 but not expanding 4.
+        assert!(stats.nodes <= 4);
+    }
+
+    #[test]
+    fn bidirectional_agrees_with_bfs_on_cycle() {
+        let g = graph_from_edges(&["A"; 6], &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]);
+        for s in 0..6u32 {
+            for t in 0..6u32 {
+                let plain = reaches(&g, NodeId(s), NodeId(t)).0;
+                let bidi = reaches_bidirectional(&g, NodeId(s), NodeId(t)).0;
+                assert_eq!(plain, bidi, "disagree on {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_visits_fewer_on_long_chain() {
+        let n = 200u32;
+        let labels = vec!["A"; n as usize];
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(&labels, &edges);
+        let (_, plain) = reaches(&g, NodeId(0), NodeId(n - 1));
+        let (ok, bidi) = reaches_bidirectional(&g, NodeId(0), NodeId(n - 1));
+        assert!(ok);
+        // On a chain both end up linear, but bidi must not be worse than ~2x.
+        assert!(bidi.total() <= plain.total() * 2 + 4);
+    }
+
+    #[test]
+    fn dfs_postorder_parents_after_children() {
+        let g = chain();
+        let post = dfs_postorder(&g);
+        let pos = |v: u32| post.iter().position(|&x| x == NodeId(v)).unwrap();
+        assert!(pos(4) < pos(3));
+        assert!(pos(3) < pos(2));
+        assert_eq!(post.len(), 5);
+    }
+
+    #[test]
+    fn dfs_postorder_covers_disconnected() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (2, 3)]);
+        let post = dfs_postorder(&g);
+        assert_eq!(post.len(), 4);
+    }
+
+    #[test]
+    fn visit_stats_add() {
+        let mut a = VisitStats { nodes: 1, edges: 2 };
+        a.add(VisitStats { nodes: 3, edges: 4 });
+        assert_eq!(a, VisitStats { nodes: 4, edges: 6 });
+        assert_eq!(a.total(), 10);
+    }
+}

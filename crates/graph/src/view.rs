@@ -1,0 +1,98 @@
+//! The [`GraphView`] abstraction.
+//!
+//! Resource-bounded query answering evaluates the *same* matching algorithms
+//! on the full graph `G` (baselines) and on the dynamically reduced `G_Q`
+//! (paper Fig. 2). Making the matchers generic over a read-only view lets
+//! one implementation serve both, without copying `G_Q` into a fresh graph.
+
+use crate::types::{Direction, Label, NodeId};
+
+/// A read-only view of a node-labeled directed graph.
+///
+/// Node ids are those of the *underlying* base graph; a view over a subgraph
+/// simply exposes fewer of them. Implementations must be consistent:
+/// `out_neighbors`/`in_neighbors` only yield nodes for which
+/// [`GraphView::contains`] is true, and every edge yielded by
+/// `out_neighbors(u)` appears as `u` in `in_neighbors(v)`.
+pub trait GraphView {
+    /// Whether node `v` is present in this view.
+    fn contains(&self, v: NodeId) -> bool;
+
+    /// The label of `v`. May panic if `!self.contains(v)`.
+    fn label(&self, v: NodeId) -> Label;
+
+    /// Children of `v`: targets of edges `v -> w` present in the view.
+    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// Parents of `v`: sources of edges `w -> v` present in the view.
+    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// All node ids present in the view, in ascending order.
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// Number of nodes in the view.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of edges in the view.
+    fn num_edges(&self) -> usize;
+
+    /// Neighbors in the given direction.
+    fn neighbors(&self, v: NodeId, dir: Direction) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match dir {
+            Direction::Out => self.out_neighbors(v),
+            Direction::In => self.in_neighbors(v),
+        }
+    }
+
+    /// Graph size `|G| = |V| + |E|` — the unit in which the resource ratio
+    /// `α` is expressed throughout the paper (§2).
+    fn size(&self) -> usize {
+        self.num_nodes() + self.num_edges()
+    }
+
+    /// Out-degree of `v` within the view.
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).count()
+    }
+
+    /// In-degree of `v` within the view.
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).count()
+    }
+
+    /// Total degree (in + out) of `v` within the view — the `d(v)` used by
+    /// the dynamic-reduction weights (§4.1).
+    fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Whether the view has an edge `u -> v`.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).any(|w| w == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn default_methods_consistent_with_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let c = b.add_node("B");
+        let d = b.add_node("A");
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.add_edge(a, d);
+        let g = b.build();
+
+        assert_eq!(g.size(), 3 + 3);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.degree(c), 2);
+        assert!(g.has_edge(a, c));
+        assert!(!g.has_edge(c, a));
+    }
+}

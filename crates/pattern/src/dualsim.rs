@@ -1,0 +1,326 @@
+//! Dual simulation — the fixpoint both strong simulation and the dynamic
+//! reduction's accuracy arguments build on.
+//!
+//! A binary relation `R ⊆ V_p × V` is a *dual simulation* if for every
+//! `(u, v) ∈ R`: labels agree, and (a) every query child `u'` of `u` has a
+//! match `v'` among `v`'s children with `(u', v') ∈ R`, and (b) every query
+//! parent `u''` of `u` has a match among `v`'s parents (paper §2,
+//! conditions (a)/(b)). There is a unique **maximum** dual simulation, which
+//! this module computes by iterated pruning, seeded with the personalized
+//! pair `(u_p, v_p)`.
+
+use crate::pattern::{PNode, ResolvedPattern};
+use rbq_graph::{GraphView, NodeId};
+use rustc_hash::FxHashSet;
+
+/// The maximum dual-simulation relation, as per-query-node match sets.
+#[derive(Debug, Clone)]
+pub struct DualSim {
+    sim: Vec<FxHashSet<NodeId>>,
+}
+
+impl DualSim {
+    /// Matches of query node `u`.
+    pub fn matches(&self, u: PNode) -> &FxHashSet<NodeId> {
+        &self.sim[u.index()]
+    }
+
+    /// Matches of `u` as a sorted vector (deterministic order).
+    pub fn matches_sorted(&self, u: PNode) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.sim[u.index()].iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All data nodes participating in the relation (the match-graph nodes).
+    pub fn all_matched(&self) -> FxHashSet<NodeId> {
+        let mut s = FxHashSet::default();
+        for m in &self.sim {
+            s.extend(m.iter().copied());
+        }
+        s
+    }
+
+    /// Whether `(u, v)` is in the relation.
+    pub fn contains(&self, u: PNode, v: NodeId) -> bool {
+        self.sim[u.index()].contains(&v)
+    }
+}
+
+/// Compute the maximum dual simulation of `q` in `g`, optionally restricted
+/// to a node `universe`, seeded with `(u_p, v_p)`.
+///
+/// Returns `None` if no total relation exists (some query node has no match,
+/// or `v_p` is pruned). The `universe`, when given, must be a subset of the
+/// view's nodes; only those nodes may appear in the relation — this is how
+/// ball-restricted relations `R_{v0}` are computed without copying balls.
+pub fn dual_simulation<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    universe: Option<&FxHashSet<NodeId>>,
+) -> Option<DualSim> {
+    let p = q.pattern();
+    let n = p.node_count();
+    let in_universe = |v: NodeId| universe.is_none_or(|u| u.contains(&v));
+
+    // Personalized seed must be present and well-labeled.
+    if !g.contains(q.vp()) || !in_universe(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
+        return None;
+    }
+
+    // Initialize candidate sets by label.
+    let mut sim: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); n];
+    for u in p.nodes() {
+        if u == q.up() {
+            sim[u.index()].insert(q.vp());
+            continue;
+        }
+        let lu = q.label(u);
+        match universe {
+            Some(uni) => {
+                for &v in uni {
+                    if g.contains(v) && g.label(v) == lu {
+                        sim[u.index()].insert(v);
+                    }
+                }
+            }
+            None => {
+                for v in g.node_ids() {
+                    if g.label(v) == lu {
+                        sim[u.index()].insert(v);
+                    }
+                }
+            }
+        }
+        if sim[u.index()].is_empty() {
+            return None;
+        }
+    }
+
+    // Iterated pruning to the greatest fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in p.nodes() {
+            let ui = u.index();
+            // Collect removals first to avoid aliasing sim[u] while probing
+            // sim[u'] (u' may equal u on self-loop query edges).
+            let mut remove: Vec<NodeId> = Vec::new();
+            'cand: for &v in &sim[ui] {
+                for &uc in p.out(u) {
+                    let target = &sim[uc.index()];
+                    let ok = g.out_neighbors(v).any(|w| target.contains(&w));
+                    if !ok {
+                        remove.push(v);
+                        continue 'cand;
+                    }
+                }
+                for &up_ in p.inn(u) {
+                    let source = &sim[up_.index()];
+                    let ok = g.in_neighbors(v).any(|w| source.contains(&w));
+                    if !ok {
+                        remove.push(v);
+                        continue 'cand;
+                    }
+                }
+            }
+            if !remove.is_empty() {
+                changed = true;
+                for v in remove {
+                    sim[ui].remove(&v);
+                }
+                if sim[ui].is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // The personalized pair must have survived.
+    if !sim[q.up().index()].contains(&q.vp()) {
+        return None;
+    }
+    Some(DualSim { sim })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{fig1_pattern, PatternBuilder};
+    use rbq_graph::Graph;
+    use rbq_graph::GraphBuilder;
+
+    /// The Fig. 1 graph: Michael, hiking group members hg1..hgm, cycling
+    /// club cc1..cc3, cycling lovers cl1..cln. Michael -> HG*, Michael ->
+    /// cc1/cc3 (cc2 not adjacent to Michael in our reduced copy), cc1/cc3 ->
+    /// cl_{n-1}, cl_n; hgm -> cl_{n-1}, cl_n; other CLs dangling.
+    fn fig1_graph() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let hg1 = b.add_node("HG");
+        let hgm = b.add_node("HG");
+        let cc1 = b.add_node("CC");
+        let cc2 = b.add_node("CC");
+        let cc3 = b.add_node("CC");
+        let cl1 = b.add_node("CL");
+        let cln_1 = b.add_node("CL");
+        let cln = b.add_node("CL");
+        b.add_edge(michael, hg1);
+        b.add_edge(michael, hgm);
+        b.add_edge(michael, cc1);
+        b.add_edge(michael, cc3);
+        b.add_edge(cc2, cl1); // cc2 has a CL child but no Michael parent
+        b.add_edge(cc1, cln_1);
+        b.add_edge(cc1, cln);
+        b.add_edge(cc3, cln);
+        b.add_edge(hgm, cln_1);
+        b.add_edge(hgm, cln);
+        let g = b.build();
+        (g, vec![michael, hg1, hgm, cc1, cc2, cc3, cl1, cln_1, cln])
+    }
+
+    #[test]
+    fn fig1_dual_sim_finds_cln_matches() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        let uo = q.uo();
+        let matches = d.matches_sorted(uo);
+        // cl_{n-1} and cl_n both have CC and HG parents reachable from
+        // Michael; cl1's only parent cc2 is pruned (no Michael parent).
+        assert_eq!(matches, vec![ids[7], ids[8]]);
+    }
+
+    #[test]
+    fn seed_is_fixed_to_vp() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        assert_eq!(d.matches_sorted(q.up()), vec![ids[0]]);
+    }
+
+    #[test]
+    fn cc2_pruned_for_missing_parent() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        let cc_q = PNode(1);
+        assert!(!d.contains(cc_q, ids[4]), "cc2 must be pruned");
+        assert!(d.contains(cc_q, ids[3]));
+        assert!(d.contains(cc_q, ids[5]));
+    }
+
+    #[test]
+    fn hg_without_cl_child_pruned() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        let hg_q = PNode(2);
+        assert!(!d.contains(hg_q, ids[1]), "hg1 has no CL child");
+        assert!(d.contains(hg_q, ids[2]));
+    }
+
+    #[test]
+    fn no_match_when_label_missing_everywhere() {
+        let (g, _) = fig1_graph();
+        let mut pb = PatternBuilder::new();
+        let m = pb.add_node("Michael");
+        let cc = pb.add_node("CC");
+        let cl = pb.add_node("CL");
+        pb.add_edge(m, cc).add_edge(cc, cl).add_edge(cl, m); // CL -> Michael edge exists nowhere
+        pb.personalized(m).output(cl);
+        let q = pb.build().resolve(&g).unwrap();
+        assert!(dual_simulation(&q, &g, None).is_none());
+    }
+
+    #[test]
+    fn universe_restriction_prunes() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        // Universe excludes cc1 and cc3 -> no CC candidate with a Michael
+        // parent -> no relation.
+        let uni: FxHashSet<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&v| v != ids[3] && v != ids[5])
+            .collect();
+        assert!(dual_simulation(&q, &g, Some(&uni)).is_none());
+    }
+
+    #[test]
+    fn universe_missing_vp_fails() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let uni: FxHashSet<NodeId> = ids[1..].iter().copied().collect();
+        assert!(dual_simulation(&q, &g, Some(&uni)).is_none());
+    }
+
+    #[test]
+    fn single_node_pattern_matches_vp_only() {
+        let (g, ids) = fig1_graph();
+        let mut pb = PatternBuilder::new();
+        let m = pb.add_node("Michael");
+        pb.personalized(m).output(m);
+        let q = pb.build().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        assert_eq!(d.matches_sorted(m), vec![ids[0]]);
+        assert_eq!(d.all_matched().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_query_edge() {
+        // Query: P -> A with a self loop A -> A. Data: x(P) -> y(A), y -> y.
+        // y satisfies all three conditions (P parent, A parent via the self
+        // loop, A child via the self loop). A decoy z(A) without a self loop
+        // is pruned: it lacks an A parent in the relation.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("P");
+        let y = b.add_node("A");
+        let z = b.add_node("A");
+        b.add_edge(x, y);
+        b.add_edge(y, y);
+        b.add_edge(x, z);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let p = pb.add_node("P");
+        let a = pb.add_node("A");
+        pb.add_edge(p, a).add_edge(a, a);
+        pb.personalized(p).output(a);
+        let q = pb.build().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        assert_eq!(d.matches_sorted(a), vec![y]);
+        let _ = (x, z);
+    }
+
+    #[test]
+    fn cascading_prune_empties_relation() {
+        // Chain query a->b->c; data has labels a, b, c but the c node hangs
+        // off the wrong parent, so pruning cascades b -> a and the relation
+        // collapses.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("a");
+        let y = b.add_node("b");
+        let w = b.add_node("b"); // second b, parent of the only c
+        let z = b.add_node("c");
+        b.add_edge(x, y); // a -> b (this b has no c child)
+        b.add_edge(w, z); // orphan b -> c (this b has no a parent)
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let pa = pb.add_node("a");
+        let pb2 = pb.add_node("b");
+        let pc = pb.add_node("c");
+        pb.add_edge(pa, pb2).add_edge(pb2, pc);
+        pb.personalized(pa).output(pc);
+        let q = pb.build().resolve(&g).unwrap();
+        assert!(dual_simulation(&q, &g, None).is_none());
+    }
+
+    #[test]
+    fn all_matched_collects_union() {
+        let (g, _) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        // Michael + hgm + cc1 + cc3 + cln-1 + cln = 6
+        assert_eq!(d.all_matched().len(), 6);
+    }
+}

@@ -1,0 +1,293 @@
+//! Strong simulation matching (Ma et al., PVLDB 2011 [20]) with the
+//! personalized-pattern semantics of §2.
+//!
+//! `G` matches `Q` at ball center `v0` if the `d_Q`-neighborhood ball
+//! `G_dQ(v0)` admits a total dual simulation `R_{v0}` containing the
+//! personalized pair `(u_p, v_p)`. The global match relation is the union of
+//! all `R_{v0}`, and the answer `Q(G)` is the match set of the output node.
+//!
+//! Because every valid ball must contain `v_p`, candidate centers are
+//! exactly the nodes of `N_dQ(v_p)` — the paper's `MatchOpt` ("only checks
+//! subgraphs within `d_Q` hops of `v_p`") is therefore the natural baseline
+//! and [`match_opt`] implements it directly. [`strong_simulation`] /
+//! [`strong_simulation_on_view`] add a shared dual-simulation prefilter that
+//! preserves the answer set (any ball-restricted relation is contained in
+//! the prefilter relation) while skipping doomed balls early; the reduced
+//! graph `G_Q` is evaluated with the same code.
+
+use crate::dualsim::dual_simulation;
+use crate::pattern::ResolvedPattern;
+use rbq_graph::{Graph, GraphView, NodeId};
+use rustc_hash::FxHashSet;
+use std::collections::VecDeque;
+
+/// Node set of the ball `G_r(center)` within an arbitrary view: nodes within
+/// `r` hops following edges in either direction.
+pub fn ball_nodes<V: GraphView + ?Sized>(g: &V, center: NodeId, r: usize) -> FxHashSet<NodeId> {
+    let mut seen = FxHashSet::default();
+    if !g.contains(center) {
+        return seen;
+    }
+    let mut q = VecDeque::new();
+    seen.insert(center);
+    q.push_back((center, 0usize));
+    while let Some((v, d)) = q.pop_front() {
+        if d == r {
+            continue;
+        }
+        for w in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+            if seen.insert(w) {
+                q.push_back((w, d + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// The paper's `MatchOpt` baseline: strong simulation evaluated per ball,
+/// for every candidate center in `N_dQ(v_p)`, without cross-ball sharing.
+///
+/// Returns the sorted matches of the output node.
+pub fn match_opt(q: &ResolvedPattern, g: &Graph) -> Vec<NodeId> {
+    strong_sim_impl(q, g, false)
+}
+
+/// Optimized strong simulation on a full graph: identical answers to
+/// [`match_opt`], with a shared prefilter.
+pub fn strong_simulation(q: &ResolvedPattern, g: &Graph) -> Vec<NodeId> {
+    strong_sim_impl(q, g, true)
+}
+
+/// Strong simulation over any [`GraphView`] — used to evaluate `Q(G_Q)` on
+/// the reduced graph produced by dynamic reduction.
+pub fn strong_simulation_on_view<V: GraphView + ?Sized>(q: &ResolvedPattern, g: &V) -> Vec<NodeId> {
+    strong_sim_impl(q, g, true)
+}
+
+/// Strong simulation for a pattern **without** a personalized node (the
+/// paper's §7 future work): the answer is the union over every candidate
+/// anchor assignment of the anchored answer. Exact but expensive — the
+/// baseline `RBSimAny` is measured against.
+pub fn strong_simulation_anonymous(pattern: &crate::pattern::Pattern, g: &Graph) -> Vec<NodeId> {
+    let Some(anchor_label) = g.labels().get(pattern.label_str(pattern.personalized())) else {
+        return Vec::new();
+    };
+    let mut out: FxHashSet<NodeId> = FxHashSet::default();
+    for v in g.nodes_with_label(anchor_label) {
+        if let Ok(q) = pattern.resolve_with_anchor(g, v) {
+            out.extend(strong_simulation(&q, g));
+        }
+    }
+    let mut res: Vec<NodeId> = out.into_iter().collect();
+    res.sort_unstable();
+    res
+}
+
+fn strong_sim_impl<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    prefilter: bool,
+) -> Vec<NodeId> {
+    let vp = q.vp();
+    if !g.contains(vp) || g.label(vp) != q.label(q.up()) {
+        return Vec::new();
+    }
+    let dq = q.dq();
+
+    // Candidate centers: balls must contain v_p, i.e. centers within d_Q
+    // undirected hops of v_p.
+    let mut centers: Vec<NodeId> = ball_nodes(g, vp, dq).into_iter().collect();
+    centers.sort_unstable();
+
+    // Optional shared prefilter: the maximum dual simulation on
+    // G_{2dQ}(v_p) contains every ball-restricted relation (balls around
+    // centers in N_dQ(v_p) lie inside N_{2dQ}(v_p)), so non-members can
+    // never match and balls disjoint from it can be skipped.
+    let matched_filter: Option<FxHashSet<NodeId>> = if prefilter {
+        let uni = ball_nodes(g, vp, 2 * dq);
+        match dual_simulation(q, g, Some(&uni)) {
+            Some(d) => Some(d.all_matched()),
+            None => return Vec::new(),
+        }
+    } else {
+        None
+    };
+
+    let mut out: FxHashSet<NodeId> = FxHashSet::default();
+    for v0 in centers {
+        let ball = ball_nodes(g, v0, dq);
+        let universe: FxHashSet<NodeId> = match &matched_filter {
+            Some(m) => {
+                let mut u: FxHashSet<NodeId> =
+                    ball.iter().copied().filter(|v| m.contains(v)).collect();
+                if !u.contains(&vp) {
+                    continue;
+                }
+                // Keep the center in the universe even if unmatched: it is
+                // harmless (it will simply not join the relation).
+                u.insert(v0);
+                u
+            }
+            None => ball,
+        };
+        if let Some(rel) = dual_simulation(q, g, Some(&universe)) {
+            out.extend(rel.matches(q.uo()).iter().copied());
+        }
+    }
+    let mut res: Vec<NodeId> = out.into_iter().collect();
+    res.sort_unstable();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{fig1_pattern, PatternBuilder};
+    use rbq_graph::{GraphBuilder, InducedSubgraph};
+
+    fn fig1_graph() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let hg1 = b.add_node("HG");
+        let hgm = b.add_node("HG");
+        let cc1 = b.add_node("CC");
+        let cc2 = b.add_node("CC");
+        let cc3 = b.add_node("CC");
+        let cl1 = b.add_node("CL");
+        let cln_1 = b.add_node("CL");
+        let cln = b.add_node("CL");
+        b.add_edge(michael, hg1);
+        b.add_edge(michael, hgm);
+        b.add_edge(michael, cc1);
+        b.add_edge(michael, cc3);
+        b.add_edge(cc2, cl1);
+        b.add_edge(cc1, cln_1);
+        b.add_edge(cc1, cln);
+        b.add_edge(cc3, cln);
+        b.add_edge(hgm, cln_1);
+        b.add_edge(hgm, cln);
+        let g = b.build();
+        (g, vec![michael, hg1, hgm, cc1, cc2, cc3, cl1, cln_1, cln])
+    }
+
+    #[test]
+    fn fig1_answer_is_cln_pair() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let ans = match_opt(&q, &g);
+        assert_eq!(ans, vec![ids[7], ids[8]]);
+    }
+
+    #[test]
+    fn optimized_agrees_with_baseline_on_fig1() {
+        let (g, _) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        assert_eq!(match_opt(&q, &g), strong_simulation(&q, &g));
+    }
+
+    #[test]
+    fn no_match_when_vp_absent_from_view() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let view = InducedSubgraph::new(&g, ids[1..].iter().copied());
+        assert!(strong_simulation_on_view(&q, &view).is_empty());
+    }
+
+    #[test]
+    fn works_on_induced_subgraph_view() {
+        let (g, ids) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        // Keep exactly the ideal G_Q of Example 2: Michael, cc1, cc3, hgm,
+        // cl_{n-1}, cl_n.
+        let keep = [ids[0], ids[3], ids[5], ids[2], ids[7], ids[8]];
+        let view = InducedSubgraph::new(&g, keep);
+        let ans = strong_simulation_on_view(&q, &view);
+        assert_eq!(ans, vec![ids[7], ids[8]]);
+    }
+
+    #[test]
+    fn ball_nodes_radius_semantics() {
+        let (g, ids) = fig1_graph();
+        let b0 = ball_nodes(&g, ids[0], 0);
+        assert_eq!(b0.len(), 1);
+        let b1 = ball_nodes(&g, ids[0], 1);
+        // Michael + hg1 + hgm + cc1 + cc3
+        assert_eq!(b1.len(), 5);
+        let b2 = ball_nodes(&g, ids[0], 2);
+        // + cln-1, cln ; not cc2/cl1 (3 hops away)
+        assert_eq!(b2.len(), 7);
+    }
+
+    #[test]
+    fn ball_nodes_missing_center_is_empty() {
+        let (g, ids) = fig1_graph();
+        let view = InducedSubgraph::new(&g, [ids[0]]);
+        assert!(ball_nodes(&view, ids[1], 3).is_empty());
+    }
+
+    #[test]
+    fn chain_pattern_on_chain_graph() {
+        // Pattern: p -> a -> b; graph: P -> A -> B and a decoy A without B.
+        let mut gb = GraphBuilder::new();
+        let p = gb.add_node("P");
+        let a1 = gb.add_node("A");
+        let b1 = gb.add_node("B");
+        let a2 = gb.add_node("A");
+        gb.add_edge(p, a1);
+        gb.add_edge(a1, b1);
+        gb.add_edge(p, a2); // a2 has no B child
+        let g = gb.build();
+        let mut pb = PatternBuilder::new();
+        let qp = pb.add_node("P");
+        let qa = pb.add_node("A");
+        let qb = pb.add_node("B");
+        pb.add_edge(qp, qa).add_edge(qa, qb);
+        pb.personalized(qp).output(qb);
+        let q = pb.build().resolve(&g).unwrap();
+        assert_eq!(match_opt(&q, &g), vec![b1]);
+        assert_eq!(strong_simulation(&q, &g), vec![b1]);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let (g, ids) = fig1_graph();
+        let mut pb = PatternBuilder::new();
+        let m = pb.add_node("Michael");
+        pb.personalized(m).output(m);
+        let q = pb.build().resolve(&g).unwrap();
+        assert_eq!(match_opt(&q, &g), vec![ids[0]]);
+    }
+
+    #[test]
+    fn strong_sim_subset_of_dual_sim() {
+        let (g, _) = fig1_graph();
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let d = dual_simulation(&q, &g, None).unwrap();
+        let strong = match_opt(&q, &g);
+        for v in &strong {
+            assert!(d.contains(q.uo(), *v));
+        }
+    }
+
+    #[test]
+    fn cycle_pattern_matches_cycle() {
+        // Pattern p -> a, a -> p (2-cycle); graph has a matching 2-cycle and
+        // a dead-end A.
+        let mut gb = GraphBuilder::new();
+        let p = gb.add_node("P");
+        let a1 = gb.add_node("A");
+        let a2 = gb.add_node("A");
+        gb.add_edge(p, a1);
+        gb.add_edge(a1, p);
+        gb.add_edge(p, a2); // no back-edge
+        let g = gb.build();
+        let mut pb = PatternBuilder::new();
+        let qp = pb.add_node("P");
+        let qa = pb.add_node("A");
+        pb.add_edge(qp, qa).add_edge(qa, qp);
+        pb.personalized(qp).output(qa);
+        let q = pb.build().resolve(&g).unwrap();
+        assert_eq!(match_opt(&q, &g), vec![a1]);
+        assert_eq!(strong_simulation(&q, &g), vec![a1]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reachability baselines: `BFS` and `BFSOPT` (§6 Exp-2).
+//!
+//! * `BFS` — plain breadth-first search on `G` (exact, unbounded visits);
+//! * `BFSOPT` — compress `G` once (query-preserving, [12]) and run BFS on
+//!   the compressed DAG for each query (exact, fewer visits).
+
+use crate::compress::{compress_for_reachability, CompressedGraph};
+use rbq_graph::traverse::{reaches, VisitStats};
+use rbq_graph::{Graph, NodeId};
+
+/// Plain BFS reachability: the paper's `BFS` baseline.
+pub fn bfs_query(g: &Graph, s: NodeId, t: NodeId) -> (bool, VisitStats) {
+    reaches(g, s, t)
+}
+
+/// The once-for-all compressed index behind `BFSOPT`.
+#[derive(Debug, Clone)]
+pub struct BfsOptIndex {
+    /// The compressed graph.
+    pub compressed: CompressedGraph,
+}
+
+impl BfsOptIndex {
+    /// Build by compressing `g` (offline, once for all queries).
+    pub fn build(g: &Graph) -> Self {
+        BfsOptIndex {
+            compressed: compress_for_reachability(g),
+        }
+    }
+
+    /// Answer a query with BFS over the compressed DAG. Exact.
+    pub fn query(&self, s: NodeId, t: NodeId) -> bool {
+        self.compressed.query(s, t)
+    }
+}
+
+/// One-shot `BFSOPT`: compress then query. Prefer building [`BfsOptIndex`]
+/// once when answering many queries.
+pub fn bfs_opt_query(g: &Graph, s: NodeId, t: NodeId) -> bool {
+    BfsOptIndex::build(g).query(s, t)
+}
+
+/// Budget-limited bidirectional BFS **without any index** — the strawman
+/// Theorem 2 rules out: it visits at most `budget` data units and answers
+/// `false` when the budget runs out before meeting. Sound (true ⇒ truly
+/// reachable) but its recall collapses on long paths, which is exactly why
+/// the paper builds the hierarchical index instead. Used as an extra
+/// ablation baseline against `RBReach` at equal budgets.
+pub fn bounded_reach(g: &Graph, s: NodeId, t: NodeId, budget: usize) -> (bool, VisitStats) {
+    use rbq_graph::types::Direction;
+    use rustc_hash::FxHashSet;
+    let mut stats = VisitStats::default();
+    if s == t {
+        return (true, stats);
+    }
+    let mut fwd_seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut bwd_seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut fwd = vec![s];
+    let mut bwd = vec![t];
+    fwd_seen.insert(s);
+    bwd_seen.insert(t);
+    while !fwd.is_empty() && !bwd.is_empty() {
+        let forward = fwd.len() <= bwd.len();
+        let (frontier, seen, other, dir) = if forward {
+            (&mut fwd, &mut fwd_seen, &bwd_seen, Direction::Out)
+        } else {
+            (&mut bwd, &mut bwd_seen, &fwd_seen, Direction::In)
+        };
+        let mut next = Vec::new();
+        for &v in frontier.iter() {
+            stats.nodes += 1;
+            for &w in g.adj(v, dir) {
+                stats.edges += 1;
+                if other.contains(&w) {
+                    return (true, stats);
+                }
+                if seen.insert(w) {
+                    next.push(w);
+                }
+                if stats.total() >= budget {
+                    return (false, stats);
+                }
+            }
+        }
+        *frontier = next;
+    }
+    (false, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::builder::graph_from_edges;
+
+    #[test]
+    fn bfs_and_bfsopt_agree() {
+        let g = graph_from_edges(
+            &["A"; 8],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (5, 6),
+                (6, 5),
+                (4, 7),
+            ],
+        );
+        let idx = BfsOptIndex::build(&g);
+        for s in 0..8u32 {
+            for t in 0..8u32 {
+                let exact = bfs_query(&g, NodeId(s), NodeId(t)).0;
+                assert_eq!(idx.query(NodeId(s), NodeId(t)), exact, "{s}->{t}");
+                assert_eq!(bfs_opt_query(&g, NodeId(s), NodeId(t)), exact);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_reach_sound_and_budgeted() {
+        let n = 60u32;
+        let labels = vec!["A"; n as usize];
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(&labels, &edges);
+        // Big budget: finds the far pair.
+        let (ok, stats) = bounded_reach(&g, NodeId(0), NodeId(n - 1), 10_000);
+        assert!(ok);
+        assert!(stats.total() <= 10_000);
+        // Tiny budget: must give up (false negative), never a false
+        // positive, and must respect the budget.
+        let (ok, stats) = bounded_reach(&g, NodeId(0), NodeId(n - 1), 10);
+        assert!(!ok);
+        assert!(
+            stats.total() <= 11,
+            "visits {} exceed budget",
+            stats.total()
+        );
+        // Unreachable stays false at any budget.
+        assert!(!bounded_reach(&g, NodeId(n - 1), NodeId(0), 10_000).0);
+        // Trivial cases.
+        assert!(bounded_reach(&g, NodeId(5), NodeId(5), 1).0);
+    }
+
+    #[test]
+    fn bfsopt_visits_smaller_graph() {
+        // A long cycle compresses to one node.
+        let n = 50u32;
+        let labels = vec!["A"; n as usize];
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = graph_from_edges(&labels, &edges);
+        let idx = BfsOptIndex::build(&g);
+        assert_eq!(idx.compressed.dag.node_count(), 1);
+        assert!(idx.query(NodeId(3), NodeId(42)));
+    }
+}

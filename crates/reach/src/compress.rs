@@ -1,0 +1,280 @@
+//! Query-preserving compression for reachability (§5 "Preprocessing",
+//! after Fan et al. SIGMOD 2012 [12]).
+//!
+//! Two reachability-preserving reductions, applied in sequence:
+//!
+//! 1. **SCC condensation** — mutually reachable nodes collapse to one
+//!    (delegated to [`rbq_graph::condense`]);
+//! 2. **Equivalence merge** — distinct DAG nodes with *identical* parent
+//!    sets and *identical* child sets are merged. Identical neighborhoods
+//!    imply reachability-equivalence w.r.t. all other nodes, and in a DAG
+//!    two such nodes can never reach each other (a connecting path through a
+//!    shared child set would close a cycle), so queries remain answerable:
+//!    `s → t` holds iff their representatives are distinct and connected,
+//!    or `s, t` share an SCC.
+//!
+//! The merge runs to a fixpoint: merging can make previously distinct
+//! neighborhoods identical, so passes repeat until no change.
+
+use rbq_graph::condense::condense;
+use rbq_graph::traverse::reaches;
+use rbq_graph::{Graph, GraphBuilder, GraphView, NodeId};
+use rustc_hash::FxHashMap;
+
+/// A reachability-preserving compressed form of a graph.
+#[derive(Debug, Clone)]
+pub struct CompressedGraph {
+    /// The compressed DAG.
+    pub dag: Graph,
+    /// `scc[v]` — SCC id of original node `v` (ids are reverse-topological).
+    scc: Vec<u32>,
+    /// `rep[c]` — compressed-DAG node representing SCC `c`.
+    rep: Vec<u32>,
+}
+
+impl CompressedGraph {
+    /// The compressed node representing original node `v`.
+    #[inline]
+    pub fn map(&self, v: NodeId) -> NodeId {
+        NodeId(self.rep[self.scc[v.index()] as usize])
+    }
+
+    /// Whether two original nodes share an SCC (mutually reachable).
+    #[inline]
+    pub fn same_scc(&self, u: NodeId, v: NodeId) -> bool {
+        self.scc[u.index()] == self.scc[v.index()]
+    }
+
+    /// Answer `s → t` on the original graph via the compressed DAG.
+    ///
+    /// Exact: the compression is query-preserving. Cost is a BFS on the
+    /// (smaller) DAG.
+    pub fn query(&self, s: NodeId, t: NodeId) -> bool {
+        if s == t || self.same_scc(s, t) {
+            return true;
+        }
+        let cs = self.map(s);
+        let ct = self.map(t);
+        if cs == ct {
+            // Same representative but different SCCs: merged by the
+            // equivalence step, which only merges mutually *unreachable*
+            // DAG nodes.
+            return false;
+        }
+        reaches(&self.dag, cs, ct).0
+    }
+
+    /// Compression ratio `|dag| / |original|` in nodes+edges units.
+    pub fn ratio(&self, original: &Graph) -> f64 {
+        self.dag.size() as f64 / original.size().max(1) as f64
+    }
+}
+
+/// SCC condensation only, without the equivalence merge — the ablation
+/// baseline for the merge step (and the cheaper preprocessing variant).
+pub fn condense_only(g: &Graph) -> CompressedGraph {
+    let cond = condense(g);
+    let scc: Vec<u32> = (0..g.node_count())
+        .map(|i| cond.partition.component_of(NodeId::new(i)))
+        .collect();
+    let rep: Vec<u32> = (0..cond.dag.node_count() as u32).collect();
+    CompressedGraph {
+        dag: cond.dag,
+        scc,
+        rep,
+    }
+}
+
+/// Compress `g` for reachability: condense SCCs, then merge
+/// neighborhood-identical DAG nodes to a fixpoint.
+pub fn compress_for_reachability(g: &Graph) -> CompressedGraph {
+    let cond = condense(g);
+    let scc: Vec<u32> = (0..g.node_count())
+        .map(|i| cond.partition.component_of(NodeId::new(i)))
+        .collect();
+
+    // Iterative equivalence merge on the condensed DAG.
+    let mut dag = cond.dag;
+    // rep chain: representative of each SCC in the *current* dag.
+    let mut rep: Vec<u32> = (0..dag.node_count() as u32).collect();
+
+    loop {
+        let n = dag.node_count();
+        // Signature: (sorted out list, sorted in list). CSR lists are
+        // already sorted. Group by signature.
+        let mut groups: FxHashMap<(Vec<NodeId>, Vec<NodeId>), Vec<NodeId>> = FxHashMap::default();
+        for v in dag.nodes() {
+            let key = (dag.out(v).to_vec(), dag.inn(v).to_vec());
+            groups.entry(key).or_default().push(v);
+        }
+        if groups.len() == n {
+            break; // no two nodes share a signature
+        }
+        // Build merged graph: leader = smallest member of each group.
+        let mut leader: Vec<u32> = (0..n as u32).collect();
+        for members in groups.values() {
+            let lead = members[0]; // members pushed in ascending id order
+            for &m in members {
+                leader[m.index()] = lead.0;
+            }
+        }
+        // Re-number leaders densely.
+        let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut b = GraphBuilder::with_capacity(groups.len(), dag.edge_count());
+        for v in dag.nodes() {
+            if leader[v.index()] == v.0 {
+                let new_id = b.add_node(dag.node_label_str(v));
+                dense.insert(v.0, new_id.0);
+            }
+        }
+        for (u, v) in dag.edges() {
+            let lu = dense[&leader[u.index()]];
+            let lv = dense[&leader[v.index()]];
+            if lu != lv {
+                b.add_edge(NodeId(lu), NodeId(lv));
+            }
+        }
+        let new_dag = b.build();
+        // Compose the representative mapping.
+        for r in rep.iter_mut() {
+            *r = dense[&leader[*r as usize]];
+        }
+        dag = new_dag;
+    }
+
+    CompressedGraph { dag, scc, rep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::builder::graph_from_edges;
+
+    #[test]
+    fn scc_collapse_preserved() {
+        // cycle {0,1,2} -> 3
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = compress_for_reachability(&g);
+        assert!(c.query(NodeId(0), NodeId(2))); // same SCC
+        assert!(c.query(NodeId(1), NodeId(3)));
+        assert!(!c.query(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn sibling_merge_does_not_fake_reachability() {
+        // 0 -> {1, 2} -> 3: nodes 1 and 2 have identical in/out sets and
+        // merge, but 1 must not "reach" 2.
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let c = compress_for_reachability(&g);
+        assert!(c.dag.node_count() < 4, "siblings should merge");
+        assert!(!c.query(NodeId(1), NodeId(2)));
+        assert!(!c.query(NodeId(2), NodeId(1)));
+        assert!(c.query(NodeId(0), NodeId(3)));
+        assert!(c.query(NodeId(1), NodeId(3)));
+        assert!(c.query(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn compression_is_exact_on_random_like_graph() {
+        // Exhaustively verify query preservation on a structured graph.
+        let g = graph_from_edges(
+            &["A"; 10],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0), // cycle
+                (2, 3),
+                (3, 4),
+                (3, 5), // fan
+                (4, 6),
+                (5, 6), // merge
+                (7, 8), // detached chain
+                (8, 7), // detached cycle
+                (6, 9),
+            ],
+        );
+        let c = compress_for_reachability(&g);
+        for s in 0..10u32 {
+            for t in 0..10u32 {
+                let exact = reaches(&g, NodeId(s), NodeId(t)).0;
+                assert_eq!(c.query(NodeId(s), NodeId(t)), exact, "mismatch on {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_is_smaller_or_equal() {
+        let g = graph_from_edges(
+            &["A"; 6],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 4), (4, 3), (3, 5)],
+        );
+        let c = compress_for_reachability(&g);
+        assert!(c.dag.size() <= g.size());
+        assert!(c.ratio(&g) <= 1.0);
+    }
+
+    #[test]
+    fn multi_pass_merge_converges() {
+        // Two parallel chains 0->1->3, 0->2->3: after merging 1,2 the merged
+        // node's neighborhoods stay distinct from others; fixpoint reached.
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let c = compress_for_reachability(&g);
+        // 4 nodes -> 3 (0, {1,2}, 3).
+        assert_eq!(c.dag.node_count(), 3);
+        for s in 0..4u32 {
+            for t in 0..4u32 {
+                assert_eq!(
+                    c.query(NodeId(s), NodeId(t)),
+                    reaches(&g, NodeId(s), NodeId(t)).0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascading_merge() {
+        // Diamond-of-diamonds: merging inner siblings can enable a second
+        // merge round. 0->{1,2}->3->{4,5}->6.
+        let g = graph_from_edges(
+            &["A"; 7],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        );
+        let c = compress_for_reachability(&g);
+        assert_eq!(c.dag.node_count(), 5);
+        for s in 0..7u32 {
+            for t in 0..7u32 {
+                assert_eq!(
+                    c.query(NodeId(s), NodeId(t)),
+                    reaches(&g, NodeId(s), NodeId(t)).0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_merge_safely() {
+        let g = graph_from_edges(&["A"; 3], &[]);
+        let c = compress_for_reachability(&g);
+        // All three isolated nodes share (empty, empty) signatures.
+        assert_eq!(c.dag.node_count(), 1);
+        assert!(!c.query(NodeId(0), NodeId(1)));
+        assert!(c.query(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn self_query_always_true() {
+        let g = graph_from_edges(&["A"; 2], &[(0, 1)]);
+        let c = compress_for_reachability(&g);
+        assert!(c.query(NodeId(0), NodeId(0)));
+        assert!(c.query(NodeId(1), NodeId(1)));
+    }
+}

@@ -1,0 +1,825 @@
+//! `RBIndex` (Fig. 6): constructing the hierarchical landmark index.
+
+use super::{Landmark, LmId};
+use crate::compress::{compress_for_reachability, CompressedGraph};
+use rbq_graph::topo::topological_ranks;
+use rbq_graph::{Graph, GraphView, NodeId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// How level-1 landmarks are chosen — the paper's greedy heuristic plus
+/// alternatives for the ablation study (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// The paper's `v.d × v.r` greedy (§5.1) — degree times topological
+    /// rank, with neighbor removal for spread.
+    DegreeRank,
+    /// Cover-size greedy: `anc(v) × desc(v)` estimates — the quantity the
+    /// paper's heuristic approximates, computed directly.
+    Coverage,
+    /// Degree only (no rank term).
+    DegreeOnly,
+    /// Uniform random (seeded) — the ablation floor.
+    Random(u64),
+}
+
+/// Tunables for index construction.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexParams {
+    /// Resource ratio `α ∈ (0, 1)`: the index holds `⌊α|G|/2⌋` landmarks
+    /// and queries visit at most `⌊α|G|⌋` data.
+    pub alpha: f64,
+    /// Cap on per-node label set `|v.E|` (the paper bounds it by
+    /// `α|G|/2`; a practical cap keeps degenerate DAGs in check).
+    pub max_labels_per_node: usize,
+    /// Hard cap on forest levels (the analytic bound is
+    /// `⌊log_a |G|⌋ + 1`, `a = ⌊2/α⌋`).
+    pub max_levels: u32,
+    /// Landmark selection strategy (default: the paper's [`SelectionStrategy::DegreeRank`]).
+    pub selection: SelectionStrategy,
+    /// Whether preprocessing runs the reachability-equivalence merge after
+    /// SCC condensation (on by default; off = the `ablation_compress`
+    /// baseline).
+    pub merge_equivalence: bool,
+}
+
+impl IndexParams {
+    /// Defaults for a given `α`.
+    pub fn new(alpha: f64) -> Self {
+        IndexParams {
+            alpha,
+            max_labels_per_node: 512,
+            max_levels: 48,
+            selection: SelectionStrategy::DegreeRank,
+            merge_equivalence: true,
+        }
+    }
+
+    /// Override the landmark selection strategy.
+    pub fn with_selection(mut self, s: SelectionStrategy) -> Self {
+        self.selection = s;
+        self
+    }
+
+    /// Toggle the equivalence-merge preprocessing step.
+    pub fn with_equivalence_merge(mut self, on: bool) -> Self {
+        self.merge_equivalence = on;
+        self
+    }
+}
+
+/// The hierarchical landmark index of §5.1, bound to a compressed graph.
+#[derive(Debug, Clone)]
+pub struct HierarchicalIndex {
+    /// The query-preserving compression of the indexed graph.
+    pub compressed: CompressedGraph,
+    pub(crate) landmarks: Vec<Landmark>,
+    pub(crate) lm_of_node: FxHashMap<NodeId, LmId>,
+    /// Per DAG node: first-hit landmarks reachable from it (`v.E`, flag 1).
+    pub(crate) fwd_labels: Vec<Vec<LmId>>,
+    /// Per DAG node: first-hit landmarks reaching it (`v.E`, flag 0).
+    pub(crate) bwd_labels: Vec<Vec<LmId>>,
+    /// Topological rank of each DAG node.
+    pub(crate) ranks: Vec<u32>,
+    /// The resource ratio the index was built for.
+    pub alpha: f64,
+    /// Query visit cap `⌊α|G|⌋` (in units of the *original* graph).
+    pub(crate) visit_cap: usize,
+    /// Forest roots.
+    pub(crate) roots: Vec<LmId>,
+}
+
+impl HierarchicalIndex {
+    /// Build with defaults for `alpha`.
+    pub fn build(g: &Graph, alpha: f64) -> Self {
+        Self::build_with(g, IndexParams::new(alpha))
+    }
+
+    /// Build with explicit parameters (Fig. 6's `RBIndex`).
+    pub fn build_with(g: &Graph, params: IndexParams) -> Self {
+        assert!(
+            params.alpha.is_finite() && params.alpha > 0.0 && params.alpha < 1.0,
+            "alpha must lie in (0, 1)"
+        );
+        let compressed = if params.merge_equivalence {
+            compress_for_reachability(g)
+        } else {
+            crate::compress::condense_only(g)
+        };
+        let dag = &compressed.dag;
+        let n = dag.node_count();
+        let ranks = if n > 0 {
+            topological_ranks(dag)
+        } else {
+            Vec::new()
+        };
+
+        let g_size = g.size();
+        let visit_cap = (params.alpha * g_size as f64).floor() as usize;
+        let k1 = ((params.alpha * g_size as f64) / 2.0).floor() as usize;
+        let k1 = k1.min(n);
+        // Spreading parameter: the paper's `a = ⌊2/α⌋` makes the k1
+        // selections sweep exactly |G| nodes; compression can leave the DAG
+        // far smaller than |G|, so rescale to sweep the DAG instead
+        // (`k1 · a ≈ |V_dag|`) — same intent, no degenerate single-landmark
+        // indexes on heavily compressed graphs.
+        let a = n.checked_div(k1).unwrap_or(1).max(1);
+
+        // ---- Cover-size estimates (§5.1 `v.cs`), also usable as a
+        // selection key. ----
+        let (desc_est, anc_est) = coverage_estimates(dag);
+
+        // ---- Level-1 landmark selection. ----
+        let lm_nodes = greedy_select(dag, &ranks, k1, a, params.selection, &desc_est, &anc_est);
+        let k1 = lm_nodes.len();
+        let mut lm_of_node: FxHashMap<NodeId, LmId> = FxHashMap::default();
+        for (i, &v) in lm_nodes.iter().enumerate() {
+            lm_of_node.insert(v, i as LmId);
+        }
+
+        // ---- Landmark reachability bitsets via one reverse-topo DP. ----
+        let words = k1.div_ceil(64);
+        let lm_reach = landmark_reach_bitsets(dag, &lm_nodes, &lm_of_node, words);
+
+        // ---- First-hit label sets (`v.E`) in both directions. ----
+        let fwd_labels = first_hit_labels(dag, &lm_of_node, params.max_labels_per_node, true);
+        let bwd_labels = first_hit_labels(dag, &lm_of_node, params.max_labels_per_node, false);
+
+        // ---- Initialize landmark records. ----
+        let mut landmarks: Vec<Landmark> = lm_nodes
+            .iter()
+            .map(|&v| Landmark {
+                node: v,
+                level: 1,
+                parent: None,
+                parent_reaches_child: false,
+                children: Vec::new(),
+                cs: desc_est[v.index()].saturating_mul(anc_est[v.index()]),
+                rank: ranks[v.index()],
+                range: (0, 0),
+                subtree_size: 1,
+                hop_fwd: fwd_labels[v.index()].clone(),
+                hop_bwd: bwd_labels[v.index()].clone(),
+            })
+            .collect();
+
+        // ---- Multi-level promotion (Fig. 6 lines 5-9). ----
+        let mut unparented: Vec<LmId> = Vec::new();
+        let mut cur: Vec<LmId> = (0..k1 as LmId).collect();
+        let mut level = 2u32;
+        while cur.len() > 1 && level <= params.max_levels {
+            // |G_{l-1}|: landmark-graph size (nodes + reachability edges).
+            let cur_set: FxHashSet<LmId> = cur.iter().copied().collect();
+            let mut edge_cnt = 0usize;
+            for &i in &cur {
+                edge_cnt += cur
+                    .iter()
+                    .filter(|&&j| j != i && bit(&lm_reach, words, i, j))
+                    .count();
+            }
+            let lm_graph_size = cur.len() + edge_cnt;
+            let k = ((params.alpha * lm_graph_size as f64) / 2.0).floor() as usize;
+            let k = k.min(cur.len() - 1);
+            if k == 0 {
+                break;
+            }
+
+            // Rank and degree within the landmark graph.
+            let (l_ranks, l_degs) = landmark_graph_stats(&cur, &lm_reach, words);
+
+            // Greedy selection on the landmark graph, spreading across it.
+            let a_l = (cur.len() / k).max(1);
+            let selected = greedy_select_landmarks(&cur, &l_ranks, &l_degs, k, a_l, |i, j| {
+                bit(&lm_reach, words, i, j) || bit(&lm_reach, words, j, i)
+            });
+            let selected_set: FxHashSet<LmId> = selected.iter().copied().collect();
+
+            // Assign parents: every unselected current landmark attaches to
+            // a connected selected landmark (first in selection order).
+            for &w in &cur {
+                if selected_set.contains(&w) {
+                    continue;
+                }
+                let mut attached = false;
+                for &v in &selected {
+                    if bit(&lm_reach, words, v, w) {
+                        landmarks[w as usize].parent = Some(v);
+                        landmarks[w as usize].parent_reaches_child = true;
+                        landmarks[v as usize].children.push(w);
+                        attached = true;
+                        break;
+                    }
+                    if bit(&lm_reach, words, w, v) {
+                        landmarks[w as usize].parent = Some(v);
+                        landmarks[w as usize].parent_reaches_child = false;
+                        landmarks[v as usize].children.push(w);
+                        attached = true;
+                        break;
+                    }
+                }
+                if !attached {
+                    unparented.push(w);
+                }
+            }
+            for &v in &selected {
+                landmarks[v as usize].level = level;
+            }
+            let _ = cur_set;
+            cur = selected;
+            level += 1;
+        }
+
+        let mut roots: Vec<LmId> = cur;
+        roots.extend(unparented);
+        roots.sort_unstable();
+        roots.dedup();
+
+        // ---- Subtree sizes and topological ranges (DFS from roots). ----
+        compute_subtrees(&mut landmarks, &roots);
+
+        HierarchicalIndex {
+            compressed,
+            landmarks,
+            lm_of_node,
+            fwd_labels,
+            bwd_labels,
+            ranks,
+            alpha: params.alpha,
+            visit_cap,
+            roots,
+        }
+    }
+
+    /// Number of landmarks in the index.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Number of forest levels.
+    pub fn levels(&self) -> u32 {
+        self.landmarks.iter().map(|l| l.level).max().unwrap_or(0)
+    }
+
+    /// Index size in nodes+edges units: landmarks plus tree edges. The
+    /// paper's Theorem 4 bound (`≤ α|G|`).
+    pub fn index_size(&self) -> usize {
+        let edges = self.landmarks.iter().filter(|l| l.parent.is_some()).count();
+        self.landmarks.len() + edges
+    }
+
+    /// Total label entries (`Σ|v.E|` plus hop labels) — auxiliary storage
+    /// reported alongside the forest size.
+    pub fn label_entries(&self) -> usize {
+        let per_node: usize = self
+            .fwd_labels
+            .iter()
+            .chain(self.bwd_labels.iter())
+            .map(Vec::len)
+            .sum();
+        let hops: usize = self
+            .landmarks
+            .iter()
+            .map(|l| l.hop_fwd.len() + l.hop_bwd.len())
+            .sum();
+        per_node + hops
+    }
+
+    /// The query-time visit cap `⌊α|G|⌋`.
+    pub fn visit_cap(&self) -> usize {
+        self.visit_cap
+    }
+
+    /// The DAG nodes serving as landmarks, in landmark-id order.
+    pub fn landmark_nodes(&self) -> Vec<NodeId> {
+        self.landmarks.iter().map(|l| l.node).collect()
+    }
+
+    /// The forest roots (landmark ids), for diagnostics.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Structural report of the index, for experiment logs and diagnostics.
+    pub fn stats(&self) -> IndexStats {
+        let levels = self.levels();
+        let mut per_level = vec![0usize; levels as usize];
+        for lm in &self.landmarks {
+            per_level[(lm.level - 1) as usize] += 1;
+        }
+        IndexStats {
+            landmarks: self.landmarks.len(),
+            levels,
+            landmarks_per_level: per_level,
+            roots: self.roots.len(),
+            tree_edges: self.landmarks.iter().filter(|l| l.parent.is_some()).count(),
+            label_entries: self.label_entries(),
+            dag_nodes: self.compressed.dag.node_count(),
+            dag_edges: self.compressed.dag.edge_count(),
+            visit_cap: self.visit_cap,
+        }
+    }
+}
+
+/// Structural summary of a [`HierarchicalIndex`] (see
+/// [`HierarchicalIndex::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total landmarks.
+    pub landmarks: usize,
+    /// Forest levels.
+    pub levels: u32,
+    /// Landmarks at each level (index 0 = level 1).
+    pub landmarks_per_level: Vec<usize>,
+    /// Forest roots.
+    pub roots: usize,
+    /// Parent edges in the forest.
+    pub tree_edges: usize,
+    /// Total label entries (`Σ|v.E|` + hop lists).
+    pub label_entries: usize,
+    /// Compressed DAG node count.
+    pub dag_nodes: usize,
+    /// Compressed DAG edge count.
+    pub dag_edges: usize,
+    /// Query-time visit cap `⌊α|G|⌋`.
+    pub visit_cap: usize,
+}
+
+/// Greedy landmark selection over the DAG: order nodes by the selection
+/// key descending; when a node is picked, it and up to `a` of its
+/// (undirected) neighbors leave the candidate pool, spreading landmarks
+/// across the graph (§5.1 "Landmark selection").
+fn greedy_select(
+    dag: &Graph,
+    ranks: &[u32],
+    k: usize,
+    a: usize,
+    strategy: SelectionStrategy,
+    desc_est: &[u64],
+    anc_est: &[u64],
+) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    match strategy {
+        SelectionStrategy::DegreeRank => order.sort_unstable_by_key(|&v| {
+            std::cmp::Reverse((dag.deg(v) as u64) * (ranks[v.index()] as u64 + 1))
+        }),
+        SelectionStrategy::Coverage => order.sort_unstable_by_key(|&v| {
+            std::cmp::Reverse(desc_est[v.index()].saturating_mul(anc_est[v.index()]))
+        }),
+        SelectionStrategy::DegreeOnly => {
+            order.sort_unstable_by_key(|&v| std::cmp::Reverse(dag.deg(v)))
+        }
+        SelectionStrategy::Random(seed) => {
+            // Deterministic pseudo-shuffle without an RNG dependency here:
+            // sort by a splitmix-style hash of (seed, node id).
+            order.sort_unstable_by_key(|&v| {
+                let mut x = seed ^ (v.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x
+            })
+        }
+    }
+    let mut removed = vec![false; dag.node_count()];
+    let mut picked = Vec::with_capacity(k);
+    for v in order {
+        if picked.len() >= k {
+            break;
+        }
+        if removed[v.index()] {
+            continue;
+        }
+        picked.push(v);
+        removed[v.index()] = true;
+        let mut quota = a;
+        for &w in dag.out(v).iter().chain(dag.inn(v)) {
+            if quota == 0 {
+                break;
+            }
+            if !removed[w.index()] {
+                removed[w.index()] = true;
+                quota -= 1;
+            }
+        }
+    }
+    picked
+}
+
+/// Greedy selection over a landmark graph given rank/degree maps.
+fn greedy_select_landmarks(
+    cur: &[LmId],
+    l_ranks: &FxHashMap<LmId, u32>,
+    l_degs: &FxHashMap<LmId, u32>,
+    k: usize,
+    a: usize,
+    adjacent: impl Fn(LmId, LmId) -> bool,
+) -> Vec<LmId> {
+    let mut order: Vec<LmId> = cur.to_vec();
+    order.sort_unstable_by_key(|&i| {
+        std::cmp::Reverse((l_degs[&i] as u64) * (l_ranks[&i] as u64 + 1))
+    });
+    let mut removed: FxHashSet<LmId> = FxHashSet::default();
+    let mut picked = Vec::with_capacity(k);
+    for i in order {
+        if picked.len() >= k {
+            break;
+        }
+        if removed.contains(&i) {
+            continue;
+        }
+        picked.push(i);
+        removed.insert(i);
+        let mut quota = a;
+        for &j in cur {
+            if quota == 0 {
+                break;
+            }
+            if j != i && !removed.contains(&j) && adjacent(i, j) {
+                removed.insert(j);
+                quota -= 1;
+            }
+        }
+    }
+    picked
+}
+
+/// Rank and degree of each current landmark *within the landmark graph*
+/// (nodes = `cur`, edges = reachability).
+fn landmark_graph_stats(
+    cur: &[LmId],
+    lm_reach: &[u64],
+    words: usize,
+) -> (FxHashMap<LmId, u32>, FxHashMap<LmId, u32>) {
+    // Degree = adjacency count either direction; rank = longest out-path.
+    let mut degs: FxHashMap<LmId, u32> = FxHashMap::default();
+    for &i in cur {
+        let d = cur
+            .iter()
+            .filter(|&&j| j != i && (bit(lm_reach, words, i, j) || bit(lm_reach, words, j, i)))
+            .count() as u32;
+        degs.insert(i, d);
+    }
+    // The landmark graph is transitively closed, so the longest path from i
+    // equals the number of landmarks i reaches... not quite (it is the
+    // longest chain). Chain length in a transitive DAG = longest path; we
+    // approximate rank by out-reach count, which orders identically for
+    // chains and is monotone for the greedy heuristic.
+    let mut ranks: FxHashMap<LmId, u32> = FxHashMap::default();
+    for &i in cur {
+        let r = cur
+            .iter()
+            .filter(|&&j| j != i && bit(lm_reach, words, i, j))
+            .count() as u32;
+        ranks.insert(i, r);
+    }
+    (ranks, degs)
+}
+
+/// `lm_reach[i]` bit `j` set ⟺ landmark `i` reaches landmark `j` in the
+/// DAG (i ≠ j). Reverse-topological DP over per-node bitsets, chunked by
+/// 512 landmarks so big graphs need `O(|V| · 64B)` scratch instead of
+/// `O(|V| · k/8)` bytes.
+fn landmark_reach_bitsets(
+    dag: &Graph,
+    lm_nodes: &[NodeId],
+    lm_of_node: &FxHashMap<NodeId, LmId>,
+    words: usize,
+) -> Vec<u64> {
+    const CHUNK_BITS: usize = 512;
+    const CHUNK_WORDS: usize = CHUNK_BITS / 64;
+    let n = dag.node_count();
+    let k = lm_nodes.len();
+    if words == 0 || k == 0 {
+        return Vec::new();
+    }
+    let order = rbq_graph::topo::topological_order(dag).expect("compressed graph is a DAG");
+    let mut lm_reach = vec![0u64; k * words];
+    let mut node_reach = Vec::new();
+    let mut row = [0u64; CHUNK_WORDS];
+
+    for chunk_start in (0..k).step_by(CHUNK_BITS) {
+        let chunk_end = (chunk_start + CHUNK_BITS).min(k);
+        let cw = (chunk_end - chunk_start).div_ceil(64);
+        node_reach.clear();
+        node_reach.resize(n * cw, 0u64);
+        for &v in order.iter().rev() {
+            row[..cw].fill(0);
+            for &c in dag.out(v) {
+                let base = c.index() * cw;
+                for (w, r) in row[..cw].iter_mut().enumerate() {
+                    *r |= node_reach[base + w];
+                }
+                if let Some(&j) = lm_of_node.get(&c) {
+                    let j = j as usize;
+                    if (chunk_start..chunk_end).contains(&j) {
+                        let off = j - chunk_start;
+                        row[off / 64] |= 1u64 << (off % 64);
+                    }
+                }
+            }
+            node_reach[v.index() * cw..(v.index() + 1) * cw].copy_from_slice(&row[..cw]);
+        }
+        // Scatter this chunk into the landmark-indexed matrix.
+        let word_base = chunk_start / 64;
+        for (i, &v) in lm_nodes.iter().enumerate() {
+            for w in 0..cw {
+                lm_reach[i * words + word_base + w] = node_reach[v.index() * cw + w];
+            }
+        }
+    }
+    lm_reach
+}
+
+#[inline]
+fn bit(lm_reach: &[u64], words: usize, i: LmId, j: LmId) -> bool {
+    lm_reach[i as usize * words + (j / 64) as usize] >> (j % 64) & 1 == 1
+}
+
+/// Saturating descendant/ancestor count estimates (the paper leaves the
+/// cover-size computation unspecified; exact counting costs a BFS per
+/// landmark, so we use the standard DAG DP overestimate, which only steers
+/// the search heuristic).
+fn coverage_estimates(dag: &Graph) -> (Vec<u64>, Vec<u64>) {
+    let n = dag.node_count();
+    let mut desc = vec![1u64; n];
+    let mut anc = vec![1u64; n];
+    if n == 0 {
+        return (desc, anc);
+    }
+    let order = rbq_graph::topo::topological_order(dag).expect("DAG");
+    for &v in order.iter().rev() {
+        let mut d = 1u64;
+        for &c in dag.out(v) {
+            d = d.saturating_add(desc[c.index()]);
+        }
+        desc[v.index()] = d;
+    }
+    for &v in &order {
+        let mut x = 1u64;
+        for &p in dag.inn(v) {
+            x = x.saturating_add(anc[p.index()]);
+        }
+        anc[v.index()] = x;
+    }
+    (desc, anc)
+}
+
+/// First-hit landmark labels: for each node `v`, the landmarks reachable
+/// from `v` (forward) or reaching `v` (backward) along paths containing no
+/// intermediate landmark — the paper's `v.E` triples, with the refinement
+/// that landmarks of any level count (strictly more recall, still sound).
+fn first_hit_labels(
+    dag: &Graph,
+    lm_of_node: &FxHashMap<NodeId, LmId>,
+    cap: usize,
+    forward: bool,
+) -> Vec<Vec<LmId>> {
+    let n = dag.node_count();
+    let mut labels: Vec<Vec<LmId>> = vec![Vec::new(); n];
+    if n == 0 {
+        return labels;
+    }
+    let order = rbq_graph::topo::topological_order(dag).expect("DAG");
+    let iter: Box<dyn Iterator<Item = &NodeId>> = if forward {
+        Box::new(order.iter().rev())
+    } else {
+        Box::new(order.iter())
+    };
+    for &v in iter {
+        let mut acc: Vec<LmId> = Vec::new();
+        let neigh = if forward { dag.out(v) } else { dag.inn(v) };
+        for &c in neigh {
+            if let Some(&j) = lm_of_node.get(&c) {
+                acc.push(j);
+            } else {
+                acc.extend_from_slice(&labels[c.index()]);
+            }
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        acc.truncate(cap);
+        labels[v.index()] = acc;
+    }
+    labels
+}
+
+/// Fill `subtree_size` and topological `range` by an iterative post-order
+/// walk from the forest roots.
+fn compute_subtrees(landmarks: &mut [Landmark], roots: &[LmId]) {
+    for &root in roots {
+        // Iterative post-order.
+        let mut stack: Vec<(LmId, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let children = landmarks[v as usize].children.clone();
+            if *i < children.len() {
+                let c = children[*i];
+                *i += 1;
+                stack.push((c, 0));
+            } else {
+                let mut size = 1u32;
+                let mut lo = landmarks[v as usize].rank;
+                let mut hi = landmarks[v as usize].rank;
+                for &c in &children {
+                    size += landmarks[c as usize].subtree_size;
+                    lo = lo.min(landmarks[c as usize].range.0);
+                    hi = hi.max(landmarks[c as usize].range.1);
+                }
+                landmarks[v as usize].subtree_size = size;
+                landmarks[v as usize].range = (lo, hi);
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::builder::graph_from_edges;
+
+    fn layered_dag(layers: usize, width: usize) -> Graph {
+        // Fully connected consecutive layers.
+        let n = layers * width;
+        let labels = vec!["A"; n];
+        let mut edges = Vec::new();
+        for l in 0..layers - 1 {
+            for i in 0..width {
+                for j in 0..width {
+                    edges.push(((l * width + i) as u32, ((l + 1) * width + j) as u32));
+                }
+            }
+        }
+        graph_from_edges(&labels, &edges)
+    }
+
+    #[test]
+    fn index_size_within_alpha_bound() {
+        let g = layered_dag(6, 8);
+        for alpha in [0.05, 0.1, 0.25] {
+            let idx = HierarchicalIndex::build(&g, alpha);
+            let bound = (alpha * g.size() as f64) as usize;
+            assert!(
+                idx.index_size() <= bound.max(1),
+                "alpha={alpha}: size {} > bound {bound}",
+                idx.index_size()
+            );
+            assert!(idx.num_landmarks() <= bound / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn landmarks_have_valid_tree_structure() {
+        let g = layered_dag(5, 6);
+        let idx = HierarchicalIndex::build(&g, 0.3);
+        // Every non-root has a parent; parents list them as children.
+        let root_set: FxHashSet<LmId> = idx.roots.iter().copied().collect();
+        for (i, lm) in idx.landmarks.iter().enumerate() {
+            match lm.parent {
+                Some(p) => {
+                    assert!(idx.landmarks[p as usize].children.contains(&(i as LmId)));
+                    assert!(
+                        idx.landmarks[p as usize].level > lm.level,
+                        "parent level must exceed child level"
+                    );
+                }
+                None => assert!(root_set.contains(&(i as LmId)), "orphan {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edge_directions_reflect_reachability() {
+        let g = layered_dag(5, 6);
+        let idx = HierarchicalIndex::build(&g, 0.3);
+        for lm in &idx.landmarks {
+            if let Some(p) = lm.parent {
+                let pn = idx.landmarks[p as usize].node;
+                let reachable = rbq_graph::traverse::reaches(&idx.compressed.dag, pn, lm.node).0;
+                let reverse = rbq_graph::traverse::reaches(&idx.compressed.dag, lm.node, pn).0;
+                if lm.parent_reaches_child {
+                    assert!(reachable, "flag says parent reaches child");
+                } else {
+                    assert!(reverse, "flag says child reaches parent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_consistent() {
+        let g = layered_dag(4, 8);
+        let idx = HierarchicalIndex::build(&g, 0.4);
+        let total_in_roots: u32 = idx
+            .roots
+            .iter()
+            .map(|&r| idx.landmarks[r as usize].subtree_size)
+            .sum();
+        assert_eq!(total_in_roots as usize, idx.num_landmarks());
+        for lm in &idx.landmarks {
+            let child_sum: u32 = lm
+                .children
+                .iter()
+                .map(|&c| idx.landmarks[c as usize].subtree_size)
+                .sum();
+            assert_eq!(lm.subtree_size, child_sum + 1);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_subtree_ranks() {
+        let g = layered_dag(5, 4);
+        let idx = HierarchicalIndex::build(&g, 0.4);
+        for lm in &idx.landmarks {
+            assert!(lm.range.0 <= lm.rank && lm.rank <= lm.range.1);
+            for &c in &lm.children {
+                let cr = &idx.landmarks[c as usize];
+                assert!(lm.range.0 <= cr.range.0);
+                assert!(lm.range.1 >= cr.range.1);
+            }
+        }
+    }
+
+    #[test]
+    fn first_hit_labels_are_sound() {
+        let g = layered_dag(4, 4);
+        let idx = HierarchicalIndex::build(&g, 0.3);
+        // Every forward label of node v must be reachable from v.
+        for v in idx.compressed.dag.nodes() {
+            for &j in &idx.fwd_labels[v.index()] {
+                let lm_node = idx.landmarks[j as usize].node;
+                assert!(
+                    rbq_graph::traverse::reaches(&idx.compressed.dag, v, lm_node).0,
+                    "label {j} not reachable from {v:?}"
+                );
+            }
+            for &j in &idx.bwd_labels[v.index()] {
+                let lm_node = idx.landmarks[j as usize].node;
+                assert!(rbq_graph::traverse::reaches(&idx.compressed.dag, lm_node, v).0);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_labels_are_sound() {
+        let g = layered_dag(5, 4);
+        let idx = HierarchicalIndex::build(&g, 0.4);
+        for (i, lm) in idx.landmarks.iter().enumerate() {
+            for &j in &lm.hop_fwd {
+                assert_ne!(i as LmId, j);
+                let to = idx.landmarks[j as usize].node;
+                assert!(rbq_graph::traverse::reaches(&idx.compressed.dag, lm.node, to).0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds_empty_index() {
+        let g = graph_from_edges(&[], &[]);
+        let idx = HierarchicalIndex::build(&g, 0.5);
+        assert_eq!(idx.num_landmarks(), 0);
+        assert_eq!(idx.levels(), 0);
+    }
+
+    #[test]
+    fn tiny_alpha_yields_no_landmarks() {
+        let g = graph_from_edges(&["A"; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let idx = HierarchicalIndex::build(&g, 0.05); // α|G|/2 < 1
+        assert_eq!(idx.num_landmarks(), 0);
+    }
+
+    #[test]
+    fn multi_level_promotion_happens_with_large_alpha() {
+        let g = layered_dag(8, 8);
+        let idx = HierarchicalIndex::build(&g, 0.5);
+        assert!(
+            idx.levels() >= 2,
+            "expected promotion, got {} levels over {} landmarks",
+            idx.levels(),
+            idx.num_landmarks()
+        );
+    }
+
+    #[test]
+    fn stats_report_consistent() {
+        let g = layered_dag(6, 8);
+        let idx = HierarchicalIndex::build(&g, 0.3);
+        let st = idx.stats();
+        assert_eq!(st.landmarks, idx.num_landmarks());
+        assert_eq!(st.levels, idx.levels());
+        assert_eq!(st.landmarks_per_level.iter().sum::<usize>(), st.landmarks);
+        assert_eq!(st.landmarks, st.tree_edges + st.roots);
+        assert_eq!(st.dag_nodes, idx.compressed.dag.node_count());
+        assert_eq!(st.visit_cap, idx.visit_cap());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let g = layered_dag(5, 5);
+        let a = HierarchicalIndex::build(&g, 0.3);
+        let b = HierarchicalIndex::build(&g, 0.3);
+        assert_eq!(a.num_landmarks(), b.num_landmarks());
+        for (x, y) in a.landmarks.iter().zip(&b.landmarks) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.parent, y.parent);
+        }
+    }
+}

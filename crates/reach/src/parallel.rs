@@ -1,0 +1,98 @@
+//! Parallel batch evaluation of reachability query sets.
+//!
+//! The paper notes its techniques "can be readily adapted to the
+//! distributed settings" (§1, Related work); the simplest instantiation is
+//! shared-memory parallelism: the index is immutable after construction,
+//! so a query batch partitions across threads with no synchronization
+//! beyond the scoped join.
+
+use crate::hierarchy::HierarchicalIndex;
+use rbq_graph::NodeId;
+
+/// Answer a batch of queries with `threads` worker threads.
+///
+/// Answers are returned in input order and are identical to sequential
+/// evaluation (the index is read-only). `threads == 0` or `1` runs
+/// sequentially.
+pub fn batch_query(
+    idx: &HierarchicalIndex,
+    queries: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<bool> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 || queries.len() < 2 {
+        return queries
+            .iter()
+            .map(|&(s, t)| idx.query(s, t).reachable)
+            .collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<Vec<bool>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| {
+                scope.spawn(move |_| {
+                    qs.iter()
+                        .map(|&(s, t)| idx.query(s, t).reachable)
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("query worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::builder::graph_from_edges;
+
+    fn setup() -> (HierarchicalIndex, Vec<(NodeId, NodeId)>) {
+        let n = 200u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n / 2).map(|i| (i, i + n / 2)));
+        let g = graph_from_edges(&vec!["A"; n as usize], &edges);
+        let idx = HierarchicalIndex::build(&g, 0.2);
+        let queries: Vec<(NodeId, NodeId)> = (0..n)
+            .map(|i| (NodeId(i), NodeId((i * 7 + 13) % n)))
+            .collect();
+        (idx, queries)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (idx, queries) = setup();
+        let seq = batch_query(&idx, &queries, 1);
+        for threads in [2usize, 4, 7] {
+            let par = batch_query(&idx, &queries, threads);
+            assert_eq!(seq, par, "answers diverge at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (idx, _) = setup();
+        assert!(batch_query(&idx, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn single_query_batch() {
+        let (idx, queries) = setup();
+        let one = &queries[..1];
+        assert_eq!(batch_query(&idx, one, 8).len(), 1);
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let (idx, queries) = setup();
+        let few = &queries[..3];
+        let seq = batch_query(&idx, few, 1);
+        let par = batch_query(&idx, few, 64);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,380 @@
+//! Query generators (§6 "Query generator").
+//!
+//! * **Patterns** controlled by `(|V_p|, |E_p|)`, labels drawn from the
+//!   data graph, personalized node = the graph's unique `"ME"` node,
+//!   random output node. Patterns are *extracted* from the data graph
+//!   around the personalized node, so subgraph-isomorphism queries are
+//!   satisfiable by construction (the paper draws labels "from those
+//!   datasets"; planting additionally pins a witness).
+//! * **Reachability query sets**: ordered node pairs sampled from the
+//!   graph, optionally balanced between reachable and unreachable pairs so
+//!   accuracy numbers are informative.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rbq_graph::traverse::bfs;
+use rbq_graph::types::Direction;
+use rbq_graph::{Graph, NodeId};
+use rbq_pattern::{Pattern, PatternBuilder};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Size specification `(|V_p|, |E_p|)` for generated patterns — the paper
+/// sweeps (4,8) to (8,16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternSpec {
+    /// Number of query nodes.
+    pub nodes: usize,
+    /// Number of query edges.
+    pub edges: usize,
+}
+
+impl PatternSpec {
+    /// The paper's notation `|Q| = (nodes, edges)`.
+    pub fn new(nodes: usize, edges: usize) -> Self {
+        assert!(nodes >= 1);
+        PatternSpec { nodes, edges }
+    }
+}
+
+/// Extract a connected pattern of roughly `spec` size around the graph's
+/// personalized node (node 0, labeled `"ME"`).
+///
+/// Strategy: a random undirected exploration from node 0 picks
+/// `spec.nodes` distinct data nodes (always including node 0); the pattern
+/// copies their labels and the data edges among them (up to `spec.edges`,
+/// preferring a connected skeleton). The output node is the picked node
+/// farthest from node 0. Returns `None` when the neighborhood is too small
+/// to supply `spec.nodes` nodes.
+pub fn extract_pattern(g: &Graph, spec: PatternSpec, seed: u64) -> Option<Pattern> {
+    let me = crate::generate::me_node(g)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Random connected exploration.
+    let mut picked: Vec<NodeId> = vec![me];
+    let mut picked_set: FxHashSet<NodeId> = FxHashSet::default();
+    picked_set.insert(me);
+    let mut frontier: Vec<NodeId> = neighbors_undirected(g, me)
+        .filter(|v| !picked_set.contains(v))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+    while picked.len() < spec.nodes {
+        if frontier.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..frontier.len());
+        let v = frontier.swap_remove(i);
+        if !picked_set.insert(v) {
+            continue;
+        }
+        picked.push(v);
+        for w in neighbors_undirected(g, v) {
+            if !picked_set.contains(&w) {
+                frontier.push(w);
+            }
+        }
+    }
+
+    // Distances from node 0 within the picked set, for the output choice.
+    let depth = bfs_depths_within(g, me, &picked_set);
+
+    // Collect data edges among picked nodes.
+    let mut inner_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for &u in &picked {
+        for &w in g.out(u) {
+            if picked_set.contains(&w) {
+                inner_edges.push((u, w));
+            }
+        }
+    }
+    if inner_edges.is_empty() && spec.nodes > 1 {
+        return None;
+    }
+
+    // Keep a connected skeleton first (undirected spanning structure via
+    // union-find), then fill with random extra edges up to spec.edges.
+    let index_of: FxHashMap<NodeId, usize> =
+        picked.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut uf: Vec<usize> = (0..picked.len()).collect();
+    fn find(uf: &mut Vec<usize>, x: usize) -> usize {
+        if uf[x] != x {
+            let r = find(uf, uf[x]);
+            uf[x] = r;
+        }
+        uf[x]
+    }
+    inner_edges.shuffle(&mut rng);
+    let mut chosen: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut extra: Vec<(NodeId, NodeId)> = Vec::new();
+    for &(u, w) in &inner_edges {
+        let (a, b) = (index_of[&u], index_of[&w]);
+        let (ra, rb) = (find(&mut uf, a), find(&mut uf, b));
+        if ra != rb {
+            uf[ra] = rb;
+            chosen.push((u, w));
+        } else {
+            extra.push((u, w));
+        }
+    }
+    for e in extra {
+        if chosen.len() >= spec.edges {
+            break;
+        }
+        chosen.push(e);
+    }
+
+    // If the picked nodes aren't connected by directed-data edges (possible
+    // when exploration used reverse edges), the skeleton has several
+    // components; patterns must be weakly connected to be useful.
+    // Verify connectivity over the chosen edges.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); picked.len()];
+    for &(u, w) in &chosen {
+        let (a, b) = (index_of[&u], index_of[&w]);
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; picked.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut cnt = 1;
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                cnt += 1;
+                stack.push(y);
+            }
+        }
+    }
+    if cnt != picked.len() {
+        return None;
+    }
+
+    // Build the pattern.
+    let mut pb = PatternBuilder::new();
+    let mut pnode = Vec::with_capacity(picked.len());
+    for &v in &picked {
+        pnode.push(pb.add_node(g.node_label_str(v)));
+    }
+    for &(u, w) in &chosen {
+        pb.add_edge(pnode[index_of[&u]], pnode[index_of[&w]]);
+    }
+    let output_data_node = *picked
+        .iter()
+        .max_by_key(|v| depth.get(v).copied().unwrap_or(0))
+        .expect("picked nonempty");
+    pb.personalized(pnode[0]);
+    pb.output(pnode[index_of[&output_data_node]]);
+    Some(pb.build())
+}
+
+fn neighbors_undirected<'a>(g: &'a Graph, v: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+    g.out(v).iter().chain(g.inn(v)).copied()
+}
+
+fn bfs_depths_within(
+    g: &Graph,
+    start: NodeId,
+    within: &FxHashSet<NodeId>,
+) -> FxHashMap<NodeId, usize> {
+    let mut depth: FxHashMap<NodeId, usize> = FxHashMap::default();
+    depth.insert(start, 0);
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[&v];
+        for w in neighbors_undirected(g, v) {
+            if within.contains(&w) && !depth.contains_key(&w) {
+                depth.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    depth
+}
+
+/// Sample `count` ordered reachability query pairs. `positive_fraction`
+/// (in `[0, 1]`) of them are guaranteed reachable (sampled along BFS
+/// trees); the rest are uniform random pairs (usually unreachable in
+/// sparse graphs).
+pub fn sample_reachability_queries(
+    g: &Graph,
+    count: usize,
+    positive_fraction: f64,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    assert!((0.0..=1.0).contains(&positive_fraction));
+    let n = g.node_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    if n == 0 {
+        return queries;
+    }
+    let want_pos = (count as f64 * positive_fraction).round() as usize;
+    let mut attempts = 0usize;
+    while queries.len() < want_pos && attempts < count * 20 {
+        attempts += 1;
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let (reached, _) = bfs(g, s, Direction::Out);
+        if reached.len() < 2 {
+            continue;
+        }
+        let t = reached[rng.gen_range(1..reached.len())];
+        queries.push((s, t));
+    }
+    while queries.len() < count {
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let t = NodeId(rng.gen_range(0..n as u32));
+        queries.push((s, t));
+    }
+    queries.shuffle(&mut rng);
+    queries
+}
+
+/// Sample `count` *hard* reachability queries: positive pairs must span
+/// distinct SCCs (so the answer cannot be read off the compression alone)
+/// and, when possible, lie several hops apart. Negatives are uniform
+/// random unreachable-leaning pairs. This is the workload that separates
+/// bounded algorithms by accuracy — same-SCC positives are answered by
+/// every compression-based method for free.
+pub fn sample_hard_reachability_queries(
+    g: &Graph,
+    count: usize,
+    positive_fraction: f64,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    assert!((0.0..=1.0).contains(&positive_fraction));
+    let n = g.node_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed + 0x5eed);
+    let mut queries = Vec::with_capacity(count);
+    if n == 0 {
+        return queries;
+    }
+    let scc = rbq_graph::scc::tarjan_scc(g);
+    let want_pos = (count as f64 * positive_fraction).round() as usize;
+    let mut attempts = 0usize;
+    while queries.len() < want_pos && attempts < count * 50 {
+        attempts += 1;
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let (reached, _) = bfs(g, s, Direction::Out);
+        // Prefer far-away, cross-SCC targets: scan from the back of the
+        // BFS order (deepest first).
+        let target = reached.iter().rev().find(|&&t| t != s && !scc.same(s, t));
+        if let Some(&t) = target {
+            queries.push((s, t));
+        }
+    }
+    while queries.len() < count {
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let t = NodeId(rng.gen_range(0..n as u32));
+        if !scc.same(s, t) || n <= 2 {
+            queries.push((s, t));
+        }
+    }
+    queries.shuffle(&mut rng);
+    queries
+}
+
+/// Exact boolean answers for a reachability query set (BFS per query) —
+/// the ground truth against which bounded algorithms are scored.
+pub fn reachability_ground_truth(g: &Graph, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
+    queries
+        .iter()
+        .map(|&(s, t)| rbq_graph::traverse::reaches(g, s, t).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{social_groups, uniform_random, youtube_like};
+    use rbq_pattern::Vf2Config;
+
+    #[test]
+    fn extracted_pattern_has_requested_nodes() {
+        let g = youtube_like(2000, 3);
+        let q = extract_pattern(&g, PatternSpec::new(4, 8), 1).expect("pattern");
+        assert_eq!(q.node_count(), 4);
+        assert!(q.edge_count() >= 3, "at least a skeleton");
+        assert!(q.edge_count() <= 8);
+        assert!(q.is_connected());
+        assert_eq!(q.label_str(q.personalized()), "ME");
+    }
+
+    #[test]
+    fn extracted_pattern_resolves_and_matches() {
+        let g = youtube_like(2000, 3);
+        for seed in 0..5u64 {
+            let Some(q) = extract_pattern(&g, PatternSpec::new(4, 6), seed) else {
+                continue;
+            };
+            let r = q.resolve(&g).expect("resolves");
+            assert_eq!(Some(r.vp()), crate::generate::me_node(&g));
+            // Planted: subgraph isomorphism must find at least one match.
+            let out = rbq_pattern::vf2_all_output_matches(&r, &g, Vf2Config::default());
+            assert!(
+                !out.output_matches.is_empty(),
+                "planted pattern has no match (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_on_social_groups() {
+        let g = social_groups(5, 12, 40, 2);
+        let q = extract_pattern(&g, PatternSpec::new(5, 10), 3);
+        if let Some(q) = q {
+            assert!(q.is_connected());
+            assert!(q.resolve(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn too_large_spec_returns_none() {
+        let g = uniform_random(3, 2, 5, 1);
+        assert!(extract_pattern(&g, PatternSpec::new(10, 20), 0).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = youtube_like(1000, 5);
+        let a = extract_pattern(&g, PatternSpec::new(5, 10), 9);
+        let b = extract_pattern(&g, PatternSpec::new(5, 10), 9);
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.node_count(), y.node_count());
+                assert_eq!(x.edges(), y.edges());
+            }
+            (None, None) => {}
+            _ => panic!("nondeterministic extraction"),
+        }
+    }
+
+    #[test]
+    fn reachability_queries_have_positive_mix() {
+        let g = youtube_like(1000, 4);
+        let qs = sample_reachability_queries(&g, 60, 0.5, 11);
+        assert_eq!(qs.len(), 60);
+        let truth = reachability_ground_truth(&g, &qs);
+        let pos = truth.iter().filter(|&&b| b).count();
+        assert!(pos >= 20, "expected ~30 positives, got {pos}");
+    }
+
+    #[test]
+    fn zero_positive_fraction_is_all_random() {
+        let g = uniform_random(500, 400, 15, 13);
+        let qs = sample_reachability_queries(&g, 40, 0.0, 13);
+        assert_eq!(qs.len(), 40);
+    }
+
+    #[test]
+    fn ground_truth_matches_bfs() {
+        let g = uniform_random(200, 400, 15, 17);
+        let qs = sample_reachability_queries(&g, 20, 0.5, 17);
+        let truth = reachability_ground_truth(&g, &qs);
+        for ((s, t), expect) in qs.iter().zip(&truth) {
+            assert_eq!(rbq_graph::traverse::reaches(&g, *s, *t).0, *expect);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Query-preserving compression in isolation: how much do SCC condensation
+//! and the reachability-equivalence merge shrink different graph shapes?
+//!
+//! The paper's §5 preprocessing relies on this step (after Fan et al.
+//! SIGMOD'12, which reports compression to ~5% for reachability); this
+//! example reports ratios for the synthetic families used in the
+//! evaluation, plus correctness spot-checks.
+//!
+//! Run: `cargo run --release --example compression`
+
+use rbq::rbq_graph::{Graph, GraphView};
+use rbq::rbq_reach::compress_for_reachability;
+use rbq::rbq_workload::{
+    layered_dag, reachability_ground_truth, sample_reachability_queries, uniform_random,
+    yahoo_like, youtube_like,
+};
+
+fn report(name: &str, g: &Graph) {
+    let c = compress_for_reachability(g);
+    println!(
+        "{name:<16} |G| = {:>8} -> |G_c| = {:>8}  ({:.1}%)",
+        g.size(),
+        c.dag.size(),
+        c.ratio(g) * 100.0
+    );
+    // Spot-check exactness on a sampled query set.
+    let queries = sample_reachability_queries(g, 50, 0.5, 5);
+    let truth = reachability_ground_truth(g, &queries);
+    for (&(s, t), &expect) in queries.iter().zip(&truth) {
+        assert_eq!(c.query(s, t), expect, "{name}: compression broke {s}->{t}");
+    }
+}
+
+fn main() {
+    println!("graph            original     compressed   ratio");
+    report("uniform(2|V|)", &uniform_random(20_000, 40_000, 15, 1));
+    report("youtube-like", &youtube_like(20_000, 1));
+    report("yahoo-like", &yahoo_like(20_000, 1));
+    report("layered-dag", &layered_dag(40, 500, 0.004, 15, 1));
+    println!("\nall sampled queries answered identically on G and G_c");
+}

@@ -1,0 +1,55 @@
+//! The resource/accuracy trade-off curve — the paper's second open topic
+//! (§7): what accuracy ratio `η` does a given `α` buy?
+//!
+//! Sweeps α over a grid on a Yahoo-like graph and prints the empirical η
+//! profile (min / p10 / mean accuracy and the fraction of exactly answered
+//! queries), then inverts it: the smallest α reaching η = 0.9 and 1.0.
+//!
+//! Run: `cargo run --release --example eta_curve`
+
+use rbq::rbq_core::{eta_profile, min_alpha_for_eta, NeighborIndex, ProfiledAlgorithm};
+use rbq::rbq_graph::GraphView;
+use rbq::rbq_workload::{extract_pattern, yahoo_like, PatternSpec};
+
+fn main() {
+    let g = yahoo_like(15_000, 21);
+    println!(
+        "yahoo-like G: {} nodes, {} edges (|G| = {})",
+        g.node_count(),
+        g.edge_count(),
+        g.size()
+    );
+    let idx = NeighborIndex::build(&g);
+    let queries: Vec<_> = (0..500u64)
+        .filter_map(|s| extract_pattern(&g, PatternSpec::new(4, 8), s))
+        .filter_map(|p| p.resolve(&g).ok())
+        .take(8)
+        .collect();
+    println!("workload: {} pattern queries (4,8)", queries.len());
+
+    let alphas: Vec<f64> = [1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1].to_vec();
+    let profile = eta_profile(&g, &idx, &queries, &alphas, ProfiledAlgorithm::RbSim);
+
+    println!(
+        "\n{:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "alpha", "budget", "eta_min", "p10", "mean", "exact%"
+    );
+    for p in &profile {
+        println!(
+            "{:>9.5} {:>8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.0}%",
+            p.alpha,
+            p.budget_units,
+            p.eta_min * 100.0,
+            p.p10 * 100.0,
+            p.mean * 100.0,
+            p.exact_fraction * 100.0
+        );
+    }
+
+    for eta in [0.9, 1.0] {
+        match min_alpha_for_eta(&profile, eta) {
+            Some(a) => println!("smallest alpha with eta >= {eta}: {a}"),
+            None => println!("eta >= {eta} not reached on this grid"),
+        }
+    }
+}

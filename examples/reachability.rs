@@ -1,0 +1,102 @@
+//! Non-localized queries: resource-bounded reachability vs BFS / BFSOPT /
+//! LM on a Yahoo-like web graph — one column of the paper's Fig. 8(k)-(n).
+//!
+//! Run: `cargo run --release --example reachability`
+
+use rbq::rbq_core::reachability_accuracy;
+use rbq::rbq_graph::GraphView;
+use rbq::rbq_reach::{BfsOptIndex, HierarchicalIndex, LandmarkVectors};
+use rbq::rbq_workload::{reachability_ground_truth, sample_reachability_queries, yahoo_like};
+use std::time::Instant;
+
+fn main() {
+    let g = yahoo_like(30_000, 7);
+    println!(
+        "yahoo-like G: {} nodes, {} edges (|G| = {})",
+        g.node_count(),
+        g.edge_count(),
+        g.size()
+    );
+
+    // 100 queries as in §6 Exp-2, half guaranteed reachable.
+    let queries = sample_reachability_queries(&g, 100, 0.5, 99);
+    let truth = reachability_ground_truth(&g, &queries);
+
+    // ---- Offline structures. ----
+    let t = Instant::now();
+    let alpha = 0.01; // α|G| a few thousand units
+    let hier = HierarchicalIndex::build(&g, alpha);
+    println!(
+        "RBIndex built in {:?}: {} landmarks, {} levels, index size {} (bound {})",
+        t.elapsed(),
+        hier.num_landmarks(),
+        hier.levels(),
+        hier.index_size(),
+        hier.visit_cap()
+    );
+
+    let t = Instant::now();
+    let bfsopt = BfsOptIndex::build(&g);
+    println!(
+        "BFSOPT compression in {:?}: {} -> {} nodes ({:.1}% of |G|)",
+        t.elapsed(),
+        g.node_count(),
+        bfsopt.compressed.dag.node_count(),
+        bfsopt.compressed.ratio(&g) * 100.0
+    );
+
+    let t = Instant::now();
+    let lm = LandmarkVectors::build(&g, 7);
+    println!(
+        "LM vectors built in {:?}: {} landmarks",
+        t.elapsed(),
+        lm.landmarks.len()
+    );
+
+    // ---- Per-algorithm query runs. ----
+    let t = Instant::now();
+    let bfs_ans: Vec<bool> = queries
+        .iter()
+        .map(|&(s, t)| rbq::rbq_reach::bfs_query(&g, s, t).0)
+        .collect();
+    let t_bfs = t.elapsed();
+
+    let t = Instant::now();
+    let opt_ans: Vec<bool> = queries.iter().map(|&(s, t)| bfsopt.query(s, t)).collect();
+    let t_opt = t.elapsed();
+
+    let t = Instant::now();
+    let lm_ans: Vec<bool> = queries.iter().map(|&(s, t)| lm.query(s, t)).collect();
+    let t_lm = t.elapsed();
+
+    let t = Instant::now();
+    let mut max_visits = 0usize;
+    let rb_ans: Vec<bool> = queries
+        .iter()
+        .map(|&(s, t)| {
+            let a = hier.query(s, t);
+            max_visits = max_visits.max(a.visits);
+            a.reachable
+        })
+        .collect();
+    let t_rb = t.elapsed();
+
+    println!("\nalgorithm  total-time   accuracy");
+    for (name, ans, tt) in [
+        ("BFS", &bfs_ans, t_bfs),
+        ("BFSOPT", &opt_ans, t_opt),
+        ("LM", &lm_ans, t_lm),
+        ("RBReach", &rb_ans, t_rb),
+    ] {
+        let acc = reachability_accuracy(&truth, ans);
+        println!("{name:<9} {tt:>10.2?}   {:.1}%", acc.f1 * 100.0);
+    }
+    println!(
+        "\nRBReach max visits per query: {max_visits} (cap {}); no false positives by construction",
+        hier.visit_cap()
+    );
+    // Sanity: Theorem 4(c).
+    for (i, (&got, &exact)) in rb_ans.iter().zip(&truth).enumerate() {
+        assert!(!got || exact, "false positive at query {i}");
+    }
+}

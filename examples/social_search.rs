@@ -1,0 +1,92 @@
+//! Personalized social search at scale: RBSim / RBSub vs the unbounded
+//! baselines on a Youtube-like graph.
+//!
+//! Generates a power-law graph, extracts a (4,8) pattern around the
+//! personalized user, and answers it four ways — `MatchOpt`, `RBSim`,
+//! `VF2OPT`, `RBSub` — reporting wall time, data visited, and accuracy,
+//! i.e. one cell of the paper's Fig. 8(a)/8(c).
+//!
+//! Run: `cargo run --release --example social_search`
+
+use rbq::rbq_core::{pattern_accuracy, rbsim, rbsub, NeighborIndex, ResourceBudget};
+use rbq::rbq_graph::GraphView;
+use rbq::rbq_pattern::{match_opt, vf2_opt, Vf2Config};
+use rbq::rbq_workload::{extract_pattern, youtube_like, PatternSpec};
+use std::time::Instant;
+
+fn main() {
+    let nodes = 20_000;
+    let g = youtube_like(nodes, 42);
+    println!(
+        "youtube-like G: {} nodes, {} edges (|G| = {})",
+        g.node_count(),
+        g.edge_count(),
+        g.size()
+    );
+
+    // A (4,8) pattern around the personalized user, as in §6.
+    let q = (0..100)
+        .find_map(|seed| extract_pattern(&g, PatternSpec::new(4, 8), seed))
+        .expect("some seed yields a pattern")
+        .resolve(&g)
+        .expect("extracted patterns resolve");
+    println!(
+        "pattern |Q| = (4, {}), d_Q = {}",
+        q.pattern().edge_count(),
+        q.dq()
+    );
+
+    // Offline preprocessing (excluded from per-query budgets).
+    let t = Instant::now();
+    let idx = NeighborIndex::build(&g);
+    println!("offline neighbor index built in {:?}", t.elapsed());
+
+    // Baselines.
+    let t = Instant::now();
+    let exact_sim = match_opt(&q, &g);
+    let t_matchopt = t.elapsed();
+    println!("MatchOpt: {} matches in {t_matchopt:?}", exact_sim.len());
+
+    let t = Instant::now();
+    let exact_iso = vf2_opt(&q, &g, Vf2Config::default());
+    let t_vf2 = t.elapsed();
+    println!(
+        "VF2OPT:   {} matches in {t_vf2:?}",
+        exact_iso.output_matches.len()
+    );
+
+    // Resource-bounded, α chosen so α|G| is a few hundred units.
+    let alpha = 400.0 / g.size() as f64;
+    let budget = ResourceBudget::from_ratio(&g, alpha);
+    println!(
+        "α = {:.6}% -> budget {} units",
+        alpha * 100.0,
+        budget.max_units
+    );
+
+    let t = Instant::now();
+    let sim_ans = rbsim(&g, &idx, &q, &budget);
+    let t_rbsim = t.elapsed();
+    let sim_acc = pattern_accuracy(&exact_sim, &sim_ans.matches);
+    println!(
+        "RBSim:  {} matches in {t_rbsim:?} (|G_Q| = {}, visited {}), accuracy {:.1}%  [{}x faster]",
+        sim_ans.matches.len(),
+        sim_ans.gq_size,
+        sim_ans.visits.total(),
+        sim_acc.f1 * 100.0,
+        (t_matchopt.as_secs_f64() / t_rbsim.as_secs_f64().max(1e-9)).round()
+    );
+
+    let t = Instant::now();
+    let sub_ans = rbsub(&g, &idx, &q, &budget);
+    let t_rbsub = t.elapsed();
+    let sub_acc = pattern_accuracy(&exact_iso.output_matches, &sub_ans.matches);
+    println!(
+        "RBSub:  {} matches in {t_rbsub:?} (|G_Q| = {}, visited {}), accuracy {:.1}%  [{}x faster]",
+        sub_ans.matches.len(),
+        sub_ans.gq_size,
+        sub_ans.visits.total(),
+        sub_acc.f1 * 100.0,
+        (t_vf2.as_secs_f64() / t_rbsub.as_secs_f64().max(1e-9)).round()
+    );
+}

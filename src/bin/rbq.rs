@@ -1,0 +1,319 @@
+//! `rbq` — command-line front end for resource-bounded graph querying.
+//!
+//! ```text
+//! rbq generate --kind youtube --nodes 20000 --seed 42 -o g.txt
+//! rbq stats g.txt
+//! rbq compress g.txt
+//! rbq reach g.txt 17 4242 --alpha 0.01
+//! rbq pattern g.txt --spec 4,8 --alpha 0.001 --seed 7
+//! ```
+//!
+//! Graphs use the plain-text format of `rbq_graph::io` (`n <id> <label>` /
+//! `e <src> <dst>` lines).
+
+use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
+use rbq::rbq_graph::{io as gio, Graph, GraphView, NodeId};
+use rbq::rbq_pattern::{bisimulation_compress, match_opt};
+use rbq::rbq_reach::{compress_for_reachability, HierarchicalIndex};
+use rbq::rbq_workload::{extract_pattern, PatternSpec};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: rbq <generate|stats|compress|reach|pattern> [args]\n\
+                 see module docs for details"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "compress" => cmd_compress(rest),
+        "reach" => cmd_reach(rest),
+        "pattern" => cmd_pattern(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Extract `--flag value` from an argument list. Returns remaining
+/// positional arguments.
+fn parse_flags<'a>(
+    args: &'a [String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<&'a str>, String> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    'outer: while i < args.len() {
+        for (name, slot) in flags.iter_mut() {
+            if args[i] == format!("--{name}") || args[i] == format!("-{}", &name[..1]) {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                **slot = Some(v.clone());
+                i += 1;
+                continue 'outer;
+            }
+        }
+        if args[i].starts_with('-') {
+            return Err(format!("unknown flag {:?}", args[i]));
+        }
+        positional.push(args[i].as_str());
+        i += 1;
+    }
+    Ok(positional)
+}
+
+fn parse_spec(s: &str) -> Result<PatternSpec, String> {
+    let (a, b) = s
+        .split_once(',')
+        .ok_or_else(|| format!("bad --spec {s:?}, expected N,M"))?;
+    let nodes: usize = a
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad node count {a:?}"))?;
+    let edges: usize = b
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad edge count {b:?}"))?;
+    if nodes == 0 {
+        return Err("pattern needs at least one node".into());
+    }
+    Ok(PatternSpec::new(nodes, edges))
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    gio::read_graph(BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (mut kind, mut nodes, mut seed, mut out) = (None, None, None, None);
+    let _ = parse_flags(
+        args,
+        &mut [
+            ("kind", &mut kind),
+            ("nodes", &mut nodes),
+            ("seed", &mut seed),
+            ("out", &mut out),
+        ],
+    )?;
+    let kind = kind.unwrap_or_else(|| "youtube".into());
+    let nodes: usize = nodes
+        .unwrap_or_else(|| "10000".into())
+        .parse()
+        .map_err(|_| "bad --nodes")?;
+    let seed: u64 = seed
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let out = out.ok_or("missing --out FILE")?;
+    let g = match kind.as_str() {
+        "youtube" => rbq::rbq_workload::youtube_like(nodes, seed),
+        "yahoo" => rbq::rbq_workload::yahoo_like(nodes, seed),
+        "uniform" => rbq::rbq_workload::uniform_random(nodes, 2 * nodes, 15, seed),
+        "social" => rbq::rbq_workload::social_groups(8, nodes / 8, nodes / 4, seed),
+        other => {
+            return Err(format!(
+                "unknown kind {other:?} (youtube|yahoo|uniform|social)"
+            ))
+        }
+    };
+    let f = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    gio::write_graph(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} nodes, {} edges to {out}",
+        g.node_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = parse_flags(args, &mut [])?;
+    let path = pos.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let ds = rbq::rbq_graph::stats::degree_stats(&g);
+    println!("nodes      {}", g.node_count());
+    println!("edges      {}", g.edge_count());
+    println!("size |G|   {}", g.size());
+    println!("labels     {}", g.labels().len());
+    println!("max degree {}", ds.max_degree);
+    println!("avg degree {:.2}", ds.avg_degree);
+    println!(
+        "label fanout f = {}",
+        rbq::rbq_graph::stats::max_label_fanout(&g)
+    );
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let pos = parse_flags(args, &mut [])?;
+    let path = pos.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let reach = compress_for_reachability(&g);
+    println!(
+        "reachability compression: {} -> {} units ({:.1}%)",
+        g.size(),
+        reach.dag.size(),
+        reach.ratio(&g) * 100.0
+    );
+    let sim = bisimulation_compress(&g);
+    println!(
+        "simulation compression:   {} -> {} units ({:.1}%)",
+        g.size(),
+        sim.quotient.size(),
+        sim.ratio(&g) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_reach(args: &[String]) -> Result<(), String> {
+    let mut alpha = None;
+    let pos = parse_flags(args, &mut [("alpha", &mut alpha)])?;
+    let [path, s, t] = pos.as_slice() else {
+        return Err("usage: reach GRAPH SRC DST [--alpha A]".into());
+    };
+    let alpha: f64 = alpha
+        .unwrap_or_else(|| "0.01".into())
+        .parse()
+        .map_err(|_| "bad --alpha")?;
+    let g = load_graph(path)?;
+    let s: u32 = s.parse().map_err(|_| "bad source id")?;
+    let t: u32 = t.parse().map_err(|_| "bad target id")?;
+    if s as usize >= g.node_count() || t as usize >= g.node_count() {
+        return Err("node id out of range".into());
+    }
+    let idx = HierarchicalIndex::build(&g, alpha);
+    let ans = idx.query(NodeId(s), NodeId(t));
+    let exact = rbq::rbq_graph::traverse::reaches(&g, NodeId(s), NodeId(t));
+    println!(
+        "RBReach[alpha={alpha}]: {} (visited {} of cap {})",
+        ans.reachable,
+        ans.visits,
+        idx.visit_cap()
+    );
+    println!(
+        "exact BFS:            {} (visited {} data units)",
+        exact.0,
+        exact.1.total()
+    );
+    Ok(())
+}
+
+fn cmd_pattern(args: &[String]) -> Result<(), String> {
+    let (mut spec, mut alpha, mut seed) = (None, None, None);
+    let pos = parse_flags(
+        args,
+        &mut [
+            ("spec", &mut spec),
+            ("alpha", &mut alpha),
+            ("seed", &mut seed),
+        ],
+    )?;
+    let path = pos.first().ok_or("missing graph file")?;
+    let spec = parse_spec(&spec.unwrap_or_else(|| "4,8".into()))?;
+    let alpha: f64 = alpha
+        .unwrap_or_else(|| "0.001".into())
+        .parse()
+        .map_err(|_| "bad --alpha")?;
+    let seed: u64 = seed
+        .unwrap_or_else(|| "7".into())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let g = load_graph(path)?;
+    let q = (0..200u64)
+        .find_map(|s| extract_pattern(&g, spec, seed.wrapping_add(s)))
+        .ok_or("could not extract a pattern (graph too small or no ME node)")?
+        .resolve(&g)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "pattern: {} nodes, {} edges, d_Q = {}",
+        q.pattern().node_count(),
+        q.pattern().edge_count(),
+        q.dq()
+    );
+    let idx = NeighborIndex::build(&g);
+    let budget = ResourceBudget::from_ratio(&g, alpha);
+    let ans = rbsim(&g, &idx, &q, &budget);
+    println!(
+        "RBSim[alpha={alpha}]: {} matches, |G_Q| = {} of budget {}, visited {}",
+        ans.matches.len(),
+        ans.gq_size,
+        budget.max_units,
+        ans.visits.total()
+    );
+    let exact = match_opt(&q, &g);
+    let acc = pattern_accuracy(&exact, &ans.matches);
+    println!(
+        "exact (MatchOpt):     {} matches; accuracy {:.1}%",
+        exact.len(),
+        acc.f1 * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_ok() {
+        let s = parse_spec("4,8").unwrap();
+        assert_eq!((s.nodes, s.edges), (4, 8));
+        let s = parse_spec(" 6 , 12 ").unwrap();
+        assert_eq!((s.nodes, s.edges), (6, 12));
+    }
+
+    #[test]
+    fn parse_spec_errors() {
+        assert!(parse_spec("4").is_err());
+        assert!(parse_spec("a,b").is_err());
+        assert!(parse_spec("0,3").is_err());
+    }
+
+    #[test]
+    fn parse_flags_extracts_pairs() {
+        let args: Vec<String> = ["--alpha", "0.5", "file.txt", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (mut alpha, mut seed) = (None, None);
+        let pos = parse_flags(&args, &mut [("alpha", &mut alpha), ("seed", &mut seed)]).unwrap();
+        assert_eq!(alpha.as_deref(), Some("0.5"));
+        assert_eq!(seed.as_deref(), Some("9"));
+        assert_eq!(pos, vec!["file.txt"]);
+    }
+
+    #[test]
+    fn parse_flags_rejects_unknown() {
+        let args: Vec<String> = ["--bogus", "1"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args, &mut []).is_err());
+    }
+
+    #[test]
+    fn parse_flags_missing_value() {
+        let args: Vec<String> = ["--alpha"].iter().map(|s| s.to_string()).collect();
+        let mut alpha = None;
+        assert!(parse_flags(&args, &mut [("alpha", &mut alpha)]).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

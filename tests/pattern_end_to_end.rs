@@ -1,0 +1,199 @@
+//! Cross-crate integration tests for resource-bounded pattern matching:
+//! workload generation -> offline index -> dynamic reduction -> matching,
+//! checked against the unbounded baselines and the paper's theorems.
+
+use rbq_core::{pattern_accuracy, rbsim, rbsub, NeighborIndex, ResourceBudget};
+use rbq_pattern::{match_opt, strong_simulation, vf2_all_output_matches, vf2_opt, Vf2Config};
+use rbq_workload::{extract_pattern, me_node, social_groups, youtube_like, PatternSpec};
+
+fn patterns_for(
+    g: &rbq_graph::Graph,
+    spec: PatternSpec,
+    n: usize,
+) -> Vec<rbq_pattern::ResolvedPattern> {
+    (0..200u64)
+        .filter_map(|seed| extract_pattern(g, spec, seed))
+        .filter_map(|p| p.resolve(g).ok())
+        .take(n)
+        .collect()
+}
+
+#[test]
+fn rbsim_budget_and_visit_bounds_hold() {
+    let g = youtube_like(8_000, 11);
+    let idx = NeighborIndex::build(&g);
+    for q in patterns_for(&g, PatternSpec::new(4, 8), 5) {
+        for units in [50usize, 200, 800] {
+            let budget = ResourceBudget::from_units(&g, units);
+            let ans = rbsim(&g, &idx, &q, &budget);
+            assert!(
+                ans.gq_size <= units,
+                "|G_Q| = {} exceeds budget {units}",
+                ans.gq_size
+            );
+            // Theorem 3(a) visiting bound, with slack for the candidate
+            // scoring scans our accounting includes (see DESIGN.md).
+            let ball = rbq_pattern::strongsim::ball_nodes(&g, q.vp(), q.dq());
+            let dg = ball.iter().map(|&v| g.deg(v)).max().unwrap_or(1);
+            assert!(
+                ans.visits.total() <= dg * units * 8 + dg * 8,
+                "visits {} vs d_G*units = {}",
+                ans.visits.total(),
+                dg * units
+            );
+        }
+    }
+}
+
+#[test]
+fn rbsim_is_sound_under_any_budget() {
+    // Strong simulation on an induced subgraph can only under-report:
+    // precision is always 1.
+    let g = youtube_like(6_000, 3);
+    let idx = NeighborIndex::build(&g);
+    for q in patterns_for(&g, PatternSpec::new(4, 8), 4) {
+        let exact = match_opt(&q, &g);
+        for units in [10usize, 60, 400] {
+            let budget = ResourceBudget::from_units(&g, units);
+            let ans = rbsim(&g, &idx, &q, &budget);
+            for v in &ans.matches {
+                assert!(exact.contains(v), "spurious match {v:?} at {units} units");
+            }
+        }
+    }
+}
+
+#[test]
+fn rbsub_is_sound_under_any_budget() {
+    let g = youtube_like(6_000, 5);
+    let idx = NeighborIndex::build(&g);
+    for q in patterns_for(&g, PatternSpec::new(4, 8), 4) {
+        let exact = vf2_opt(&q, &g, Vf2Config::default());
+        for units in [10usize, 60, 400] {
+            let budget = ResourceBudget::from_units(&g, units);
+            let ans = rbsub(&g, &idx, &q, &budget);
+            for v in &ans.matches {
+                assert!(
+                    exact.output_matches.contains(v),
+                    "spurious match {v:?} at {units} units"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_budget_recovers_exact_answers() {
+    let g = youtube_like(4_000, 17);
+    let idx = NeighborIndex::build(&g);
+    for q in patterns_for(&g, PatternSpec::new(4, 8), 5) {
+        let budget = ResourceBudget::from_ratio(&g, 1.0);
+        let sim = rbsim(&g, &idx, &q, &budget);
+        let exact_sim = match_opt(&q, &g);
+        assert_eq!(sim.matches, exact_sim, "RBSim at alpha=1 must be exact");
+
+        let sub = rbsub(&g, &idx, &q, &budget);
+        let exact_sub = vf2_opt(&q, &g, Vf2Config::default());
+        assert_eq!(
+            sub.matches, exact_sub.output_matches,
+            "RBSub at alpha=1 must be exact"
+        );
+    }
+}
+
+#[test]
+fn accuracy_trends_to_exact_with_growing_alpha() {
+    let g = youtube_like(8_000, 23);
+    let idx = NeighborIndex::build(&g);
+    let mut reached_exact = 0usize;
+    let qs = patterns_for(&g, PatternSpec::new(4, 8), 5);
+    let total = qs.len();
+    for q in qs {
+        let exact = match_opt(&q, &g);
+        let mut best = 0.0f64;
+        for units in [40usize, 150, 600, 2400] {
+            let budget = ResourceBudget::from_units(&g, units);
+            let ans = rbsim(&g, &idx, &q, &budget);
+            best = best.max(pattern_accuracy(&exact, &ans.matches).f1);
+        }
+        if best == 1.0 {
+            reached_exact += 1;
+        }
+    }
+    assert!(
+        reached_exact * 2 >= total,
+        "only {reached_exact}/{total} queries reached exactness by 2400 units"
+    );
+}
+
+#[test]
+fn baselines_agree_with_each_other() {
+    // match_opt (per-ball) and strong_simulation (prefilter) implement the
+    // same semantics.
+    let g = youtube_like(3_000, 31);
+    for q in patterns_for(&g, PatternSpec::new(4, 6), 5) {
+        assert_eq!(match_opt(&q, &g), strong_simulation(&q, &g));
+    }
+    // vf2_opt restricted to the ball agrees with unrestricted vf2.
+    for q in patterns_for(&g, PatternSpec::new(4, 6), 3) {
+        let a = vf2_all_output_matches(&q, &g, Vf2Config::default());
+        let b = vf2_opt(&q, &g, Vf2Config::default());
+        assert_eq!(a.output_matches, b.output_matches);
+    }
+}
+
+#[test]
+fn vf2_matches_are_simulation_matches() {
+    // Isomorphic embeddings satisfy the simulation conditions, so
+    // Q_iso(G) ⊆ Q_sim(G) for the same pattern.
+    let g = youtube_like(3_000, 41);
+    for q in patterns_for(&g, PatternSpec::new(4, 6), 5) {
+        let iso = vf2_opt(&q, &g, Vf2Config::default());
+        let sim = match_opt(&q, &g);
+        for v in &iso.output_matches {
+            assert!(
+                sim.contains(v),
+                "iso match {v:?} missing from simulation answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn social_groups_end_to_end() {
+    let g = social_groups(6, 30, 120, 13);
+    let idx = NeighborIndex::build(&g);
+    let me = me_node(&g).unwrap();
+    if let Some(p) = extract_pattern(&g, PatternSpec::new(4, 8), 3) {
+        let q = p.resolve(&g).unwrap();
+        assert_eq!(q.vp(), me);
+        let budget = ResourceBudget::from_ratio(&g, 0.2);
+        let ans = rbsim(&g, &idx, &q, &budget);
+        assert!(ans.gq_size <= budget.max_units);
+        let exact = match_opt(&q, &g);
+        for v in &ans.matches {
+            assert!(exact.contains(v));
+        }
+    }
+}
+
+#[test]
+fn gq_stays_within_dq_neighborhood() {
+    // Theorem 3: G_Q is a subgraph of G_dQ(v_p).
+    let g = youtube_like(5_000, 47);
+    let idx = NeighborIndex::build(&g);
+    for q in patterns_for(&g, PatternSpec::new(5, 10), 3) {
+        let budget = ResourceBudget::from_units(&g, 500);
+        let red = rbq_core::search_reduced_graph(
+            &g,
+            &idx,
+            &q,
+            &budget,
+            rbq_core::guard::Semantics::Simulation,
+        );
+        let ball = rbq_pattern::strongsim::ball_nodes(&g, q.vp(), q.dq());
+        for &v in red.gq.members() {
+            assert!(ball.contains(&v), "{v:?} escaped G_dQ(v_p)");
+        }
+    }
+}

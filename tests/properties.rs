@@ -1,0 +1,360 @@
+//! Property-based tests (proptest) over randomly generated graphs and
+//! patterns: the invariants the paper's theorems rest on must hold for
+//! *every* input, not just the curated examples.
+
+use proptest::prelude::*;
+use rbq_core::{rbsim, rbsub, NeighborIndex, ResourceBudget};
+use rbq_graph::builder::graph_from_edges;
+use rbq_graph::traverse::reaches;
+use rbq_graph::{Graph, GraphView, NodeId};
+use rbq_pattern::{match_opt, vf2_opt, PatternBuilder, Vf2Config};
+use rbq_reach::{compress_for_reachability, HierarchicalIndex};
+
+/// Strategy: a random digraph with `n ≤ 24` nodes over ≤ 4 labels.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..4, n);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (labels, edges).prop_map(move |(labels, edges)| {
+            let names: Vec<String> = labels.iter().map(|l| format!("L{l}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            graph_from_edges(&refs, &edges)
+        })
+    })
+}
+
+/// Strategy: a graph with a unique personalized node (relabel node 0 "ME")
+/// plus a small connected pattern anchored there.
+fn arb_graph_and_pattern() -> impl Strategy<Value = (Graph, rbq_pattern::Pattern)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.node_count();
+        // Rebuild with node 0 labeled ME.
+        let mut b = rbq_graph::GraphBuilder::new();
+        for v in g.nodes() {
+            if v.index() == 0 {
+                b.add_node("ME");
+            } else {
+                b.add_node(g.node_label_str(v));
+            }
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        let g2 = b.build();
+        // Pattern: ME plus up to 3 query nodes chained off it with labels
+        // drawn from the graph's alphabet.
+        let extra = proptest::collection::vec((0u8..4, prop::bool::ANY), 1..4);
+        (Just(g2), extra)
+            .prop_map(move |(g2, extra)| {
+                let mut pb = PatternBuilder::new();
+                let me = pb.add_node("ME");
+                let mut prev = me;
+                for (l, fwd) in extra {
+                    let u = pb.add_node(&format!("L{l}"));
+                    if fwd {
+                        pb.add_edge(prev, u);
+                    } else {
+                        pb.add_edge(u, prev);
+                    }
+                    prev = u;
+                }
+                pb.personalized(me).output(prev);
+                (g2, pb.build())
+            })
+            .prop_filter("graph too small", move |_| n >= 2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Query-preserving compression is exact on every pair (§5 / [12]).
+    #[test]
+    fn compression_preserves_reachability(g in arb_graph()) {
+        let c = compress_for_reachability(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                prop_assert_eq!(
+                    c.query(s, t),
+                    reaches(&g, s, t).0,
+                    "mismatch on {}->{}", s, t
+                );
+            }
+        }
+    }
+
+    /// RBReach soundness (Theorem 4(c)): true only if truly reachable —
+    /// for every graph, every pair, several alphas.
+    #[test]
+    fn rbreach_never_false_positive(g in arb_graph(), alpha in 0.05f64..0.9) {
+        let idx = HierarchicalIndex::build(&g, alpha);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let ans = idx.query(s, t);
+                if ans.reachable {
+                    prop_assert!(reaches(&g, s, t).0, "false positive {}->{}", s, t);
+                }
+            }
+        }
+    }
+
+    /// RBReach visit bound (Theorem 4(a)).
+    #[test]
+    fn rbreach_visit_bound(g in arb_graph(), alpha in 0.05f64..0.9) {
+        let idx = HierarchicalIndex::build(&g, alpha);
+        let cap = ((alpha * g.size() as f64) as usize).max(1);
+        for s in g.nodes().take(6) {
+            for t in g.nodes().take(6) {
+                let ans = idx.query(s, t);
+                prop_assert!(ans.visits <= cap + 2, "visits {} > cap {}", ans.visits, cap);
+            }
+        }
+    }
+
+    /// RBSim soundness: approximate matches are a subset of exact matches,
+    /// under any budget (precision 1, §4.1 discussion).
+    #[test]
+    fn rbsim_matches_subset_of_exact(
+        (g, p) in arb_graph_and_pattern(),
+        units in 1usize..64,
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_units(&g, units);
+        let ans = rbsim(&g, &idx, &q, &budget);
+        prop_assert!(ans.gq_size <= units, "budget violated: {} > {}", ans.gq_size, units);
+        let exact = match_opt(&q, &g);
+        for v in &ans.matches {
+            prop_assert!(exact.contains(v), "spurious match {:?}", v);
+        }
+    }
+
+    /// RBSim completeness at full budget: Q(G_Q) = Q(G) when α = 1.
+    #[test]
+    fn rbsim_exact_at_full_budget((g, p) in arb_graph_and_pattern()) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_ratio(&g, 1.0);
+        let ans = rbsim(&g, &idx, &q, &budget);
+        let exact = match_opt(&q, &g);
+        prop_assert_eq!(ans.matches, exact);
+    }
+
+    /// RBSub soundness under any budget.
+    #[test]
+    fn rbsub_matches_subset_of_exact(
+        (g, p) in arb_graph_and_pattern(),
+        units in 1usize..64,
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_units(&g, units);
+        let ans = rbsub(&g, &idx, &q, &budget);
+        prop_assert!(ans.gq_size <= units);
+        let exact = vf2_opt(&q, &g, Vf2Config::default());
+        for v in &ans.matches {
+            prop_assert!(exact.output_matches.contains(v), "spurious {:?}", v);
+        }
+    }
+
+    /// Isomorphism answers are simulation answers (semantic containment).
+    #[test]
+    fn iso_subset_of_simulation((g, p) in arb_graph_and_pattern()) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let iso = vf2_opt(&q, &g, Vf2Config::default());
+        let sim = match_opt(&q, &g);
+        for v in &iso.output_matches {
+            prop_assert!(sim.contains(v), "iso match {:?} not in simulation", v);
+        }
+    }
+
+    /// The CSR builder and views agree on basic counts for any input.
+    #[test]
+    fn graph_view_consistency(g in arb_graph()) {
+        let mut edge_total = 0usize;
+        for v in g.nodes() {
+            edge_total += g.out(v).len();
+            // in/out views agree edge by edge
+            for &w in g.out(v) {
+                prop_assert!(g.inn(w).contains(&v));
+            }
+        }
+        prop_assert_eq!(edge_total, g.edge_count());
+        prop_assert_eq!(g.size(), g.node_count() + g.edge_count());
+    }
+
+    /// SCC condensation produces a DAG that preserves reachability.
+    #[test]
+    fn condensation_is_acyclic_and_preserving(g in arb_graph()) {
+        let c = rbq_graph::condense::condense(&g);
+        prop_assert!(rbq_graph::topo::is_acyclic(&c.dag));
+        for s in g.nodes().take(8) {
+            for t in g.nodes().take(8) {
+                prop_assert_eq!(
+                    reaches(&g, s, t).0,
+                    reaches(&c.dag, c.map(s), c.map(t)).0
+                );
+            }
+        }
+    }
+
+    /// Topological ranks strictly decrease along DAG edges.
+    #[test]
+    fn ranks_decrease_along_edges(g in arb_graph()) {
+        let c = rbq_graph::condense::condense(&g);
+        let ranks = rbq_graph::topo::topological_ranks(&c.dag);
+        for (u, v) in c.dag.edges() {
+            prop_assert!(ranks[u.index()] > ranks[v.index()]);
+        }
+    }
+
+    /// DynamicSubgraph growth maintains induced-subgraph semantics in any
+    /// insertion order.
+    #[test]
+    fn dynamic_subgraph_always_induced(
+        g in arb_graph(),
+        order in proptest::collection::vec(0usize..24, 1..12),
+    ) {
+        let mut d = rbq_graph::DynamicSubgraph::new(&g);
+        let mut members: Vec<NodeId> = Vec::new();
+        for i in order {
+            if i < g.node_count() {
+                let v = NodeId::new(i);
+                d.add_node(v);
+                if !members.contains(&v) {
+                    members.push(v);
+                }
+            }
+        }
+        let ind = rbq_graph::InducedSubgraph::new(&g, members.iter().copied());
+        prop_assert_eq!(d.num_edges(), ind.num_edges());
+        prop_assert_eq!(d.num_nodes(), ind.num_nodes());
+        for &v in &members {
+            let mut a: Vec<NodeId> = d.out_neighbors(v).collect();
+            let mut b: Vec<NodeId> = ind.out_neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bisimulation compression preserves dual-simulation answers for any
+    /// graph and any anchored chain pattern.
+    #[test]
+    fn simcompress_preserves_dual_sim((g, p) in arb_graph_and_pattern()) {
+        use rbq_pattern::{bisimulation_compress, dual_simulation};
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let direct = dual_simulation(&q, &g, None)
+            .map(|d| d.matches_sorted(q.uo()))
+            .unwrap_or_default();
+        let c = bisimulation_compress(&g);
+        let Ok(qc) = p.resolve(&c.quotient) else { return Ok(()); };
+        let via = c.dual_sim_via_quotient(&qc).unwrap_or_default();
+        prop_assert_eq!(direct, via);
+    }
+
+    /// Landmark distance estimates are upper bounds on true distances, and
+    /// `Some` implies reachable.
+    #[test]
+    fn landmark_distance_upper_bound(g in arb_graph(), k in 1usize..6, seed in 0u64..50) {
+        use rbq_reach::LandmarkDistances;
+        use rbq_graph::distance::shortest_path;
+        let ld = LandmarkDistances::build(&g, k, seed);
+        for s in g.nodes().take(8) {
+            for t in g.nodes().take(8) {
+                if let Some(est) = ld.estimate(s, t) {
+                    let exact = shortest_path(&g, s, t);
+                    prop_assert!(exact.is_some(), "estimate implies reachable {}->{}", s, t);
+                    let d = (exact.unwrap().len() - 1) as u32;
+                    prop_assert!(est >= d, "estimate {} below exact {}", est, d);
+                }
+            }
+        }
+    }
+
+    /// Shortest paths are genuine paths of minimal length (cross-checked
+    /// against BFS distances).
+    #[test]
+    fn shortest_path_is_minimal(g in arb_graph()) {
+        use rbq_graph::distance::{distances, shortest_path, INF};
+        use rbq_graph::types::Direction;
+        for s in g.nodes().take(6) {
+            let dist = distances(&g, s, Direction::Out);
+            for t in g.nodes().take(6) {
+                match shortest_path(&g, s, t) {
+                    Some(path) => {
+                        prop_assert_eq!(path.len() as u32 - 1, dist[t.index()]);
+                        prop_assert_eq!(*path.first().unwrap(), s);
+                        prop_assert_eq!(*path.last().unwrap(), t);
+                        for w in path.windows(2) {
+                            prop_assert!(g.edge(w[0], w[1]), "gap in path");
+                        }
+                    }
+                    None => prop_assert_eq!(dist[t.index()], INF),
+                }
+            }
+        }
+    }
+
+    /// The reversed view answers reachability exactly backwards.
+    #[test]
+    fn reversed_view_flips_reachability(g in arb_graph()) {
+        use rbq_graph::adapters::Reversed;
+        let r = Reversed(&g);
+        for s in g.nodes().take(6) {
+            for t in g.nodes().take(6) {
+                let fwd = reaches(&g, s, t).0;
+                // Reachability on the reversed view via its own adjacency.
+                let mut seen = std::collections::HashSet::new();
+                let mut stack = vec![t];
+                seen.insert(t);
+                let mut bwd = false;
+                while let Some(v) = stack.pop() {
+                    if v == s { bwd = true; break; }
+                    for w in r.out_neighbors(v) {
+                        if seen.insert(w) {
+                            stack.push(w);
+                        }
+                    }
+                }
+                prop_assert_eq!(fwd, bwd, "{}->{}", s, t);
+            }
+        }
+    }
+
+    /// LM vectors never report a false positive on any graph.
+    #[test]
+    fn lm_vectors_sound(g in arb_graph(), seed in 0u64..50) {
+        use rbq_reach::LandmarkVectors;
+        let lm = LandmarkVectors::build(&g, seed);
+        for s in g.nodes().take(8) {
+            for t in g.nodes().take(8) {
+                if lm.query(s, t) {
+                    prop_assert!(reaches(&g, s, t).0, "LM false positive {}->{}", s, t);
+                }
+            }
+        }
+    }
+
+    /// RBSimAny is sound for anonymous chain patterns under any budget.
+    #[test]
+    fn rbsim_any_sound(
+        (g, p) in arb_graph_and_pattern(),
+        units in 1usize..64,
+        seeds in 1usize..6,
+    ) {
+        use rbq_core::{rbsim_any, AnyConfig};
+        use rbq_pattern::strongsim::strong_simulation_anonymous;
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_units(&g, units);
+        let ans = rbsim_any(&g, &idx, &p, &budget, AnyConfig { max_seeds: seeds });
+        let exact = strong_simulation_anonymous(&p, &g);
+        for v in &ans.matches {
+            prop_assert!(exact.contains(v), "spurious anonymous match {:?}", v);
+        }
+    }
+}
