@@ -18,8 +18,7 @@
 
 use rbq_bench::*;
 use rbq_core::{
-    pattern_accuracy, rbsim, reachability_accuracy, PickPolicy, ReductionConfig,
-    ResourceBudget,
+    pattern_accuracy, rbsim, reachability_accuracy, PickPolicy, ReductionConfig, ResourceBudget,
 };
 use rbq_graph::GraphView;
 use rbq_pattern::{match_opt, strong_simulation, vf2_opt, ResolvedPattern, Vf2Config};

@@ -42,16 +42,15 @@ pub fn batch_pattern_queries(
     }
     let chunk = queries.len().div_ceil(threads);
     let mut results: Vec<Vec<PatternAnswer>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
-            .map(|qs| scope.spawn(move |_| qs.iter().map(run).collect::<Vec<_>>()))
+            .map(|qs| scope.spawn(move || qs.iter().map(run).collect::<Vec<_>>()))
             .collect();
         for h in handles {
             results.push(h.join().expect("pattern worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.concat()
 }
 

@@ -28,11 +28,11 @@ pub fn batch_query(
     }
     let chunk = queries.len().div_ceil(threads);
     let mut results: Vec<Vec<bool>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|qs| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     qs.iter()
                         .map(|&(s, t)| idx.query(s, t).reachable)
                         .collect::<Vec<bool>>()
@@ -42,8 +42,7 @@ pub fn batch_query(
         for h in handles {
             results.push(h.join().expect("query worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.concat()
 }
 

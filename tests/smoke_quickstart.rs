@@ -1,0 +1,91 @@
+//! CI smoke test mirroring `examples/quickstart.rs`: build a small social
+//! graph, answer the paper's Fig. 1 pattern with RBSim at α = 0.1, and
+//! assert a non-empty, exact answer — so every CI run exercises the
+//! headline algorithm end-to-end (graph build → index → dynamic reduction
+//! → matching → accuracy).
+
+use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
+use rbq::rbq_graph::{Graph, GraphBuilder, GraphView};
+use rbq::rbq_pattern::{match_opt, PatternBuilder, ResolvedPattern};
+
+/// The Fig. 1 running example at Example 2's scale: Michael, a hiking
+/// group, cycling clubs, and cycling lovers.
+fn fig1_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    let michael = b.add_node("Michael");
+    let hgs: Vec<_> = (0..96).map(|_| b.add_node("HG")).collect();
+    let cc1 = b.add_node("CC");
+    let cc2 = b.add_node("CC");
+    let cc3 = b.add_node("CC");
+    let cls: Vec<_> = (0..900).map(|_| b.add_node("CL")).collect();
+    for &h in &hgs {
+        b.add_edge(michael, h);
+    }
+    b.add_edge(michael, cc1);
+    b.add_edge(michael, cc3);
+    b.add_edge(cc2, cls[0]);
+    let n = cls.len();
+    let (cln_1, cln) = (cls[n - 2], cls[n - 1]);
+    b.add_edge(cc1, cln_1);
+    b.add_edge(cc1, cln);
+    b.add_edge(cc3, cln);
+    let hgm = hgs[hgs.len() - 1];
+    b.add_edge(hgm, cln_1);
+    b.add_edge(hgm, cln);
+    b.build()
+}
+
+/// The pattern Q: Michael -> CC -> CL <- HG <- Michael, output node CL.
+fn fig1_pattern(g: &Graph) -> ResolvedPattern {
+    let mut pb = PatternBuilder::new();
+    let q_me = pb.add_node("Michael");
+    let q_cc = pb.add_node("CC");
+    let q_hg = pb.add_node("HG");
+    let q_cl = pb.add_node("CL");
+    pb.add_edge(q_me, q_cc);
+    pb.add_edge(q_me, q_hg);
+    pb.add_edge(q_cc, q_cl);
+    pb.add_edge(q_hg, q_cl);
+    pb.personalized(q_me).output(q_cl);
+    pb.build().resolve(g).expect("pattern resolves against G")
+}
+
+#[test]
+fn quickstart_rbsim_at_alpha_01_finds_the_exact_answer() {
+    let g = fig1_graph();
+    let q = fig1_pattern(&g);
+    let idx = NeighborIndex::build(&g);
+
+    // α = 0.1: the budget is a tenth of |G| = |V| + |E|.
+    let budget = ResourceBudget::from_ratio(&g, 0.1);
+    let answer = rbsim(&g, &idx, &q, &budget);
+
+    assert!(
+        !answer.matches.is_empty(),
+        "RBSim at α=0.1 must find the cycling lovers"
+    );
+    assert!(
+        answer.gq_size as f64 <= 0.1 * g.size() as f64,
+        "G_Q exceeded the α-bound: {} > 0.1 * {}",
+        answer.gq_size,
+        g.size()
+    );
+
+    // The running example is answerable exactly within the bound (Example 2).
+    let exact = match_opt(&q, &g);
+    assert_eq!(answer.matches, exact, "quickstart answer must be exact");
+    let acc = pattern_accuracy(&exact, &answer.matches);
+    assert_eq!(acc.f1, 1.0, "accuracy must be 100% on the running example");
+}
+
+#[test]
+fn quickstart_budget_accounting_reports_visits() {
+    let g = fig1_graph();
+    let q = fig1_pattern(&g);
+    let idx = NeighborIndex::build(&g);
+    let budget = ResourceBudget::from_units(&g, 16);
+    let answer = rbsim(&g, &idx, &q, &budget);
+    assert!(answer.gq_size <= 16, "G_Q must respect a 16-unit budget");
+    assert!(answer.visits.total() > 0, "visit accounting must be live");
+    assert!(!answer.matches.is_empty(), "Example 2 answer is non-empty");
+}
