@@ -1,0 +1,110 @@
+//! Criterion benches for the mixed-workload engine: batch throughput
+//! across thread counts, and the reduction cache's effect on repeated
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbq_core::NeighborIndex;
+use rbq_engine::{BudgetSpec, Engine, EngineConfig, Query};
+use rbq_reach::HierarchicalIndex;
+use rbq_workload::{sample_mixed_workload, youtube_like, MixedWorkloadSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+type Shared = (
+    Arc<rbq_graph::Graph>,
+    Arc<NeighborIndex>,
+    Arc<HierarchicalIndex>,
+    Vec<Query>,
+);
+
+/// Both offline indexes are pre-built and shared into every engine so the
+/// timed region contains only scheduling, cache and evaluation work.
+fn setup() -> Shared {
+    let g = Arc::new(youtube_like(10_000, 42));
+    let idx = Arc::new(NeighborIndex::build(&g));
+    let reach = Arc::new(HierarchicalIndex::build(&g, 0.05));
+    let queries = sample_mixed_workload(
+        &g,
+        &MixedWorkloadSpec {
+            count: 100,
+            repeat_fraction: 0.4,
+            ..Default::default()
+        },
+        42,
+    );
+    (g, idx, reach, queries)
+}
+
+fn cfg(threads: usize, cache: usize) -> EngineConfig {
+    EngineConfig {
+        pattern_budget: BudgetSpec::Units(300),
+        reach_alpha: 0.05,
+        threads,
+        cache_capacity: cache,
+        ..Default::default()
+    }
+}
+
+/// Batch throughput vs worker count (fresh cache per engine, shared
+/// pre-built indexes so only scheduling is measured).
+fn engine_threads(c: &mut Criterion) {
+    let (g, idx, reach, queries) = setup();
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let engine = Engine::with_indexes(
+                        g.clone(),
+                        cfg(threads, 1024),
+                        Some(idx.clone()),
+                        Some(reach.clone()),
+                    );
+                    black_box(engine.run_batch(&queries))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cache effect: cold engine vs warm engine vs cache disabled, single
+/// thread so the delta is the cache alone.
+fn engine_cache(c: &mut Criterion) {
+    let (g, idx, reach, queries) = setup();
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let engine = Engine::with_indexes(
+                g.clone(),
+                cfg(1, 1024),
+                Some(idx.clone()),
+                Some(reach.clone()),
+            );
+            black_box(engine.run_batch(&queries))
+        })
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let engine =
+                Engine::with_indexes(g.clone(), cfg(1, 0), Some(idx.clone()), Some(reach.clone()));
+            black_box(engine.run_batch(&queries))
+        })
+    });
+    let warm = Engine::with_indexes(
+        g.clone(),
+        cfg(1, 1024),
+        Some(idx.clone()),
+        Some(reach.clone()),
+    );
+    warm.run_batch(&queries);
+    group.bench_function("warm", |b| b.iter(|| black_box(warm.run_batch(&queries))));
+    group.finish();
+}
+
+criterion_group!(benches, engine_threads, engine_cache);
+criterion_main!(benches);

@@ -104,7 +104,7 @@ fn pattern_scale(c: &mut Criterion) {
     group.sample_size(10);
     for nodes in [50_000usize, 100_000, 200_000] {
         let ds = PatternDataset::synthetic(nodes, cfg.seed);
-        let budget = rbq_core::ResourceBudget::from_ratio(&ds.g, 3e-4);
+        let budget = rbq_core::ResourceBudget::from_ratio(&*ds.g, 3e-4);
         let qs = ds.patterns(PatternSpec::new(4, 8), 2, cfg.seed);
         if qs.is_empty() {
             continue;

@@ -6,7 +6,7 @@
 //! cargo run --release -p rbq-bench --bin experiments -- fig8k --nodes 20000
 //! ```
 //!
-//! Experiment ids: `table2`, `fig8a`–`fig8p`, `ablations`, `all`.
+//! Experiment ids: `table2`, `fig8a`–`fig8p`, `engine`, `ablations`, `all`.
 //! Options: `--nodes N` (snapshot substitute size, default 30000),
 //! `--queries N` (patterns per point, default 5), `--reach-queries N`
 //! (default 100), `--seed N`, `--synthetic-scale N` (largest synthetic
@@ -20,13 +20,18 @@ use rbq_bench::*;
 use rbq_core::{
     pattern_accuracy, rbsim, reachability_accuracy, PickPolicy, ReductionConfig, ResourceBudget,
 };
+use rbq_engine::{Answer, BudgetSpec, Engine, EngineConfig, Query};
 use rbq_graph::GraphView;
 use rbq_pattern::{match_opt, strong_simulation, vf2_opt, ResolvedPattern, Vf2Config};
 use rbq_reach::{
     bfs_query, BfsOptIndex, HierarchicalIndex, IndexParams, LandmarkVectors, SelectionStrategy,
 };
-use rbq_workload::{reachability_ground_truth, sample_hard_reachability_queries, PatternSpec};
-use std::time::Duration;
+use rbq_workload::{
+    reachability_ground_truth, sample_hard_reachability_queries, sample_mixed_workload,
+    MixedWorkloadSpec, PatternSpec,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Practical cap on VF2 search steps: dense (n,2n) patterns over
 /// label-homophilous regions can admit combinatorially many embeddings;
@@ -35,6 +40,36 @@ fn vf2_cfg() -> Vf2Config {
     Vf2Config {
         max_steps: Some(20_000_000),
     }
+}
+
+/// An engine sharing the dataset's graph and neighbor index, with the
+/// given absolute per-query budget. The cache is disabled for accuracy
+/// sweeps (every evaluation should pay its own cost) — the `engine`
+/// experiment measures caching separately.
+fn engine_for(ds: &PatternDataset, budget: &ResourceBudget) -> Engine {
+    Engine::with_indexes(
+        ds.g.clone(),
+        EngineConfig {
+            pattern_budget: BudgetSpec::Units(budget.max_units),
+            vf2: vf2_cfg(),
+            cache_capacity: 0,
+            ..Default::default()
+        },
+        Some(ds.idx.clone()),
+        None,
+    )
+}
+
+/// Matches of a batch's pattern answers, empty on error/denial.
+fn pattern_matches(report: &rbq_engine::BatchReport) -> Vec<Vec<rbq_graph::NodeId>> {
+    report
+        .results
+        .iter()
+        .map(|r| match &r.answer {
+            Answer::Pattern { matches, .. } => matches.clone(),
+            _ => Vec::new(),
+        })
+        .collect()
 }
 
 fn main() {
@@ -120,9 +155,81 @@ fn main() {
     if want("fig8o") || want("fig8p") {
         reach_vs_scale(&cfg, synthetic_scale);
     }
+    if want("engine") {
+        engine_serving(&cfg);
+    }
     if want("ablations") {
         ablations(&cfg);
     }
+}
+
+/// Mixed-workload batch serving through `rbq_engine`: thread scaling and
+/// the reduction cache's effect on a repeat-heavy 200-query stream.
+fn engine_serving(cfg: &ExpConfig) {
+    println!("\n== engine: mixed-workload batch serving (Youtube-like) ==");
+    let ds = PatternDataset::youtube(cfg);
+    let workload = sample_mixed_workload(
+        &ds.g,
+        &MixedWorkloadSpec {
+            count: 200,
+            repeat_fraction: 0.3,
+            ..Default::default()
+        },
+        cfg.seed,
+    );
+    // Pre-build the reach index once: the rows should compare scheduling
+    // and caching, not repeated offline construction.
+    let reach_idx = Arc::new(HierarchicalIndex::build(&ds.g, 0.05));
+    let mk = |threads: usize, cache: usize| {
+        Engine::with_indexes(
+            ds.g.clone(),
+            EngineConfig {
+                pattern_budget: BudgetSpec::Units(300),
+                reach_alpha: 0.05,
+                threads,
+                cache_capacity: cache,
+                vf2: vf2_cfg(),
+                ..Default::default()
+            },
+            Some(ds.idx.clone()),
+            Some(reach_idx.clone()),
+        )
+    };
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>9} {:>12}",
+        "threads", "cache", "wall", "q/s", "hit rate", "visits"
+    );
+    for (threads, cache) in [(1, 0), (1, 1024), (2, 1024), (4, 1024), (8, 1024)] {
+        let engine = mk(threads, cache);
+        let t = Instant::now();
+        let report = engine.run_batch(&workload);
+        let wall = t.elapsed();
+        println!(
+            "{:>8} {:>8} {:>10} {:>10.0} {:>8.1}% {:>12}",
+            threads,
+            cache,
+            fmt_dur(wall),
+            workload.len() as f64 / wall.as_secs_f64().max(1e-9),
+            report.stats.cache_hit_rate() * 100.0,
+            report.stats.charged_visits
+        );
+    }
+    // Warm-cache rerun: the steady state of repeated template traffic.
+    let engine = mk(4, 1024);
+    engine.run_batch(&workload);
+    let t = Instant::now();
+    let report = engine.run_batch(&workload);
+    let wall = t.elapsed();
+    println!(
+        "{:>8} {:>8} {:>10} {:>10.0} {:>8.1}% {:>12}  (warm rerun)",
+        4,
+        1024,
+        fmt_dur(wall),
+        workload.len() as f64 / wall.as_secs_f64().max(1e-9),
+        report.stats.cache_hit_rate() * 100.0,
+        report.stats.charged_visits
+    );
+    println!("(answers are input-ordered and thread-count invariant; see rbq_engine)");
 }
 
 /// Paper α sweep for Figures 8(a)-(d): 1.1..2.0 ×10⁻⁵.
@@ -240,16 +347,32 @@ fn pattern_accuracy_vs_alpha(cfg: &ExpConfig, ds: &PatternDataset, tag: &str) {
         "{:>10} {:>10} {:>10} {:>8}",
         "alpha(e-5)", "RBSim", "RBSub", "budget"
     );
+    // The bounded evaluations run as one engine batch per α — the serving
+    // path (shared indexes, work-stealing workers) rather than bare loops.
+    let batch: Vec<Query> = qs
+        .iter()
+        .map(|q| Query::PatternSim {
+            pattern: q.pattern().clone(),
+        })
+        .chain(qs.iter().map(|q| Query::PatternIso {
+            pattern: q.pattern().clone(),
+        }))
+        .collect();
     for paper_alpha in alpha_sweep_pattern() {
         let budget = ds.budget_for_paper_alpha(paper_alpha);
-        let mut acc_sim = Vec::new();
-        let mut acc_sub = Vec::new();
-        for (i, q) in qs.iter().enumerate() {
-            let a = rbsim(&ds.g, &ds.idx, q, &budget);
-            acc_sim.push(pattern_accuracy(&exact_sim[i], &a.matches).f1);
-            let b = rbq_core::rbsub_with(&ds.g, &ds.idx, q, &budget, vf2_cfg());
-            acc_sub.push(pattern_accuracy(&exact_iso[i], &b.matches).f1);
-        }
+        let engine = engine_for(ds, &budget);
+        let answers = pattern_matches(&engine.run_batch(&batch));
+        let (sim_ans, iso_ans) = answers.split_at(qs.len());
+        let acc_sim: Vec<f64> = sim_ans
+            .iter()
+            .enumerate()
+            .map(|(i, m)| pattern_accuracy(&exact_sim[i], m).f1)
+            .collect();
+        let acc_sub: Vec<f64> = iso_ans
+            .iter()
+            .enumerate()
+            .map(|(i, m)| pattern_accuracy(&exact_iso[i], m).f1)
+            .collect();
         println!(
             "{:>10.1} {:>9.1}% {:>9.1}% {:>8}",
             paper_alpha * 1e5,
@@ -360,7 +483,7 @@ fn pattern_vs_scale(cfg: &ExpConfig, max_nodes: usize) {
         let ds = PatternDataset::synthetic(nodes, cfg.seed);
         // Paper: alpha = 3e-5 on graphs 10x larger; same absolute budget.
         let alpha = 3e-4;
-        let budget = ResourceBudget::from_ratio(&ds.g, alpha);
+        let budget = ResourceBudget::from_ratio(&*ds.g, alpha);
         let qs = ds.patterns(PatternSpec::new(4, 8), cfg.pattern_queries, cfg.seed);
         if qs.is_empty() {
             println!("{nodes:>10} (no extractable patterns)");
@@ -447,15 +570,40 @@ fn reach_vs_alpha(cfg: &ExpConfig, ds: &PatternDataset, tag: &str) {
             None => (paper_alpha * ds.g.size() as f64) as usize,
         };
         let alpha_ours = (units as f64 / ds.g.size() as f64).clamp(1e-6, 0.99);
-        let idx = HierarchicalIndex::build(&ds.g, alpha_ours);
+        let idx = Arc::new(HierarchicalIndex::build(&ds.g, alpha_ours));
         let t_rb = time_median(cfg.reps, || {
             for &(s, t) in &queries {
                 std::hint::black_box(idx.query(s, t).reachable);
             }
         }) / nq;
-        let rb_ans: Vec<bool> = queries
+        // Accuracy answers come off the engine's batch path, sharing the
+        // timing loop's index.
+        let engine = Engine::with_indexes(
+            ds.g.clone(),
+            EngineConfig {
+                reach_alpha: alpha_ours,
+                ..Default::default()
+            },
+            None,
+            Some(idx.clone()),
+        );
+        let batch: Vec<Query> = queries
             .iter()
-            .map(|&(s, t)| idx.query(s, t).reachable)
+            .map(|&(source, target)| Query::Reach { source, target })
+            .collect();
+        let rb_ans: Vec<bool> = engine
+            .run_batch(&batch)
+            .results
+            .iter()
+            .map(|r| {
+                matches!(
+                    r.answer,
+                    Answer::Reach {
+                        reachable: true,
+                        ..
+                    }
+                )
+            })
             .collect();
         let rb_acc = reachability_accuracy(&truth, &rb_ans).f1;
         println!(

@@ -18,6 +18,7 @@ use rbq_core::{NeighborIndex, ResourceBudget};
 use rbq_graph::{Graph, GraphView, NodeId};
 use rbq_pattern::ResolvedPattern;
 use rbq_workload::{extract_pattern, PatternSpec};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Size units (`|V| + |E|`) of the paper's real snapshots.
@@ -53,13 +54,16 @@ impl Default for ExpConfig {
 }
 
 /// A dataset prepared for pattern experiments.
+///
+/// Graph and index are `Arc`-shared so the engine experiments can reuse
+/// them without rebuilding (see [`rbq_engine::Engine::with_indexes`]).
 pub struct PatternDataset {
     /// Dataset display name.
     pub name: &'static str,
     /// The graph.
-    pub g: Graph,
+    pub g: Arc<Graph>,
     /// The offline neighbor index.
-    pub idx: NeighborIndex,
+    pub idx: Arc<NeighborIndex>,
     /// Size units of the paper's corresponding real snapshot (for α
     /// conversion), or `None` to use our α verbatim.
     pub paper_size: Option<f64>,
@@ -68,8 +72,8 @@ pub struct PatternDataset {
 impl PatternDataset {
     /// Build the Youtube substitute.
     pub fn youtube(cfg: &ExpConfig) -> Self {
-        let g = rbq_workload::youtube_like(cfg.snapshot_nodes, cfg.seed);
-        let idx = NeighborIndex::build(&g);
+        let g = Arc::new(rbq_workload::youtube_like(cfg.snapshot_nodes, cfg.seed));
+        let idx = Arc::new(NeighborIndex::build(&g));
         PatternDataset {
             name: "Youtube-like",
             g,
@@ -80,8 +84,8 @@ impl PatternDataset {
 
     /// Build the Yahoo substitute.
     pub fn yahoo(cfg: &ExpConfig) -> Self {
-        let g = rbq_workload::yahoo_like(cfg.snapshot_nodes, cfg.seed);
-        let idx = NeighborIndex::build(&g);
+        let g = Arc::new(rbq_workload::yahoo_like(cfg.snapshot_nodes, cfg.seed));
+        let idx = Arc::new(NeighborIndex::build(&g));
         PatternDataset {
             name: "Yahoo-like",
             g,
@@ -92,8 +96,8 @@ impl PatternDataset {
 
     /// Build a synthetic graph (`|E| = 2|V|`, 15 labels) as in §6.
     pub fn synthetic(nodes: usize, seed: u64) -> Self {
-        let g = rbq_workload::uniform_random(nodes, 2 * nodes, 15, seed);
-        let idx = NeighborIndex::build(&g);
+        let g = Arc::new(rbq_workload::uniform_random(nodes, 2 * nodes, 15, seed));
+        let idx = Arc::new(NeighborIndex::build(&g));
         PatternDataset {
             name: "synthetic",
             g,
@@ -108,9 +112,9 @@ impl PatternDataset {
         match self.paper_size {
             Some(ps) => {
                 let units = (paper_alpha * ps).round().max(1.0) as usize;
-                ResourceBudget::from_units(&self.g, units.min(self.g.size()))
+                ResourceBudget::from_units(&*self.g, units.min(self.g.size()))
             }
-            None => ResourceBudget::from_ratio(&self.g, paper_alpha.min(1.0)),
+            None => ResourceBudget::from_ratio(&*self.g, paper_alpha.min(1.0)),
         }
     }
 

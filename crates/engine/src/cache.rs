@@ -1,0 +1,191 @@
+//! A bounded LRU cache of reduction answers keyed by canonical pattern
+//! signature.
+//!
+//! Repeated or isomorphic pattern queries dominate personalized-search
+//! traffic (the same templates re-anchored over and over); since the
+//! engine's structures are immutable, a `G_Q` answer computed once is
+//! valid forever. Entries key on the canonical signature *plus* everything
+//! else that determines the answer: the resolved personalized match, the
+//! matching semantics, and the exact per-query budget.
+
+use crate::Answer;
+use rustc_hash::FxHashMap;
+
+/// Everything that determines a cached pattern answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical pattern signature (see [`crate::canonical`]).
+    pub signature: String,
+    /// The personalized match `v_p` the pattern resolved to.
+    pub vp: u32,
+    /// Matching semantics discriminant (0 = simulation, 1 = isomorphism).
+    pub semantics: u8,
+    /// Per-query size budget `⌊α|G|⌋`.
+    pub max_units: usize,
+    /// Per-query visit cap, if configured.
+    pub visit_cap: Option<usize>,
+}
+
+/// A cached answer plus the canonical visit cost of computing it.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// The answer served on a hit, byte-identical to the cold path.
+    pub answer: Answer,
+    /// Data units the cold evaluation visited — re-charged on hits so
+    /// budget accounting is schedule-independent.
+    pub visits: usize,
+}
+
+/// Bounded LRU map. Eviction scans for the least-recently-used entry —
+/// O(capacity), which is fine for the few-hundred-entry caches the engine
+/// runs with and keeps the structure a single flat map.
+#[derive(Debug)]
+pub struct ReductionCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    map: FxHashMap<CacheKey, (u64, CachedAnswer)>,
+}
+
+impl ReductionCache {
+    /// A cache holding at most `capacity` entries; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        ReductionCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedAnswer> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((stamp, entry)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(entry.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `value`, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(evict) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&evict);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sig: &str) -> CacheKey {
+        CacheKey {
+            signature: sig.to_string(),
+            vp: 0,
+            semantics: 0,
+            max_units: 10,
+            visit_cap: None,
+        }
+    }
+
+    fn ans(n: usize) -> CachedAnswer {
+        CachedAnswer {
+            answer: Answer::Pattern {
+                matches: Vec::new(),
+                gq_size: n,
+                gq_nodes: n,
+                hit_budget: false,
+            },
+            visits: n,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = ReductionCache::new(4);
+        assert!(c.get(&key("a")).is_none());
+        c.insert(key("a"), ans(3));
+        let got = c.get(&key("a")).expect("hit");
+        assert_eq!(got.visits, 3);
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ReductionCache::new(2);
+        c.insert(key("a"), ans(1));
+        c.insert(key("b"), ans(2));
+        let _ = c.get(&key("a")); // refresh a; b is now LRU
+        c.insert(key("c"), ans(3));
+        assert!(c.get(&key("b")).is_none(), "b should have been evicted");
+        assert!(c.get(&key("a")).is_some());
+        assert!(c.get(&key("c")).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ReductionCache::new(0);
+        c.insert(key("a"), ans(1));
+        assert!(c.get(&key("a")).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn budget_distinguishes_keys() {
+        let mut c = ReductionCache::new(4);
+        c.insert(key("a"), ans(1));
+        let mut other = key("a");
+        other.max_units = 99;
+        assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_len() {
+        let mut c = ReductionCache::new(2);
+        c.insert(key("a"), ans(1));
+        c.insert(key("a"), ans(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key("a")).unwrap().visits, 2);
+    }
+}

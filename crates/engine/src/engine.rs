@@ -1,0 +1,724 @@
+//! The engine: shared immutable structures, per-query evaluation, and the
+//! work-stealing batch scheduler.
+
+use crate::cache::{CacheKey, CachedAnswer, ReductionCache};
+use crate::canonical::canonical_pattern;
+use crate::{Answer, Query, QueryClass, QueryResult};
+use rbq_core::guard::Semantics;
+use rbq_core::{rbsim, rbsub_with, NeighborIndex, ResourceBudget};
+use rbq_graph::{Graph, GraphView, NodeId};
+use rbq_pattern::{Pattern, Vf2Config};
+use rbq_reach::HierarchicalIndex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How the per-query pattern budget is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetSpec {
+    /// Resource ratio `α ∈ (0, 1]` of the graph size.
+    Ratio(f64),
+    /// Absolute unit count `α·|G|` (size-independent, as in the paper's
+    /// cross-dataset comparisons).
+    Units(usize),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-query size budget for pattern queries.
+    pub pattern_budget: BudgetSpec,
+    /// Optional visit coefficient `c`: per-query visit cap `α·c·|G|`.
+    pub visit_coefficient: Option<f64>,
+    /// Resource ratio for the lazily built reachability index, `(0, 1]`.
+    pub reach_alpha: f64,
+    /// Worker threads for [`Engine::run_batch`]; 0 = available parallelism.
+    pub threads: usize,
+    /// Reduction-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Aggregate visit budget per batch: the total canonical visit cost the
+    /// engine will *deliver*; queries beyond it are answered
+    /// [`Answer::Denied`], settled deterministically in input order.
+    pub aggregate_visit_budget: Option<usize>,
+    /// VF2 knobs for isomorphism queries.
+    pub vf2: Vf2Config,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pattern_budget: BudgetSpec::Ratio(0.01),
+            visit_coefficient: None,
+            reach_alpha: 0.05,
+            threads: 0,
+            cache_capacity: 1024,
+            aggregate_visit_budget: None,
+            vf2: Vf2Config::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validate ranges, returning a message suitable for CLI `exit 2`.
+    pub fn validate(&self) -> Result<(), String> {
+        if let BudgetSpec::Ratio(a) = self.pattern_budget {
+            if !(a.is_finite() && a > 0.0 && a <= 1.0) {
+                return Err(format!("pattern alpha must lie in (0, 1], got {a}"));
+            }
+        }
+        if !(self.reach_alpha.is_finite() && self.reach_alpha > 0.0 && self.reach_alpha <= 1.0) {
+            return Err(format!(
+                "reach alpha must lie in (0, 1], got {}",
+                self.reach_alpha
+            ));
+        }
+        if let Some(c) = self.visit_coefficient {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(format!("visit coefficient must be positive, got {c}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-class accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Queries of this class evaluated (including cache hits).
+    pub queries: usize,
+    /// Canonical visit cost accumulated.
+    pub visits: usize,
+    /// Wall time spent evaluating (cache hits count their ~zero lookup).
+    pub latency: Duration,
+}
+
+impl ClassStats {
+    /// Mean per-query latency, zero when no queries ran.
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.latency / self.queries as u32
+        }
+    }
+
+    fn merge(&mut self, other: &ClassStats) {
+        self.queries += other.queries;
+        self.visits += other.visits;
+        self.latency += other.latency;
+    }
+}
+
+/// Batch / lifetime engine statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total queries processed.
+    pub queries: usize,
+    /// Reachability class.
+    pub reach: ClassStats,
+    /// Strong-simulation class.
+    pub sim: ClassStats,
+    /// Subgraph-isomorphism class.
+    pub iso: ClassStats,
+    /// Answers served from the reduction cache.
+    pub cache_hits: usize,
+    /// Pattern evaluations that missed the cache.
+    pub cache_misses: usize,
+    /// Malformed queries answered [`Answer::Error`].
+    pub errors: usize,
+    /// Queries denied at aggregate-budget settlement.
+    pub denied: usize,
+    /// Visit cost charged against the aggregate budget (delivered answers
+    /// only — never exceeds the configured aggregate budget).
+    pub charged_visits: usize,
+    /// Canonical visit cost of every answered query, delivered or denied.
+    pub total_visits: usize,
+}
+
+impl EngineStats {
+    /// Cache hit rate over pattern queries, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let n = self.cache_hits + self.cache_misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / n as f64
+        }
+    }
+
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.queries += other.queries;
+        self.reach.merge(&other.reach);
+        self.sim.merge(&other.sim);
+        self.iso.merge(&other.iso);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.errors += other.errors;
+        self.denied += other.denied;
+        self.charged_visits += other.charged_visits;
+        self.total_visits += other.total_visits;
+    }
+
+    fn class_mut(&mut self, class: QueryClass) -> &mut ClassStats {
+        match class {
+            QueryClass::Reach => &mut self.reach,
+            QueryClass::Sim => &mut self.sim,
+            QueryClass::Iso => &mut self.iso,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries {} (reach {}, sim {}, iso {}); errors {}, denied {}",
+            self.queries,
+            self.reach.queries,
+            self.sim.queries,
+            self.iso.queries,
+            self.errors,
+            self.denied
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "visits: {} charged, {} total",
+            self.charged_visits, self.total_visits
+        )?;
+        write!(
+            f,
+            "mean latency: reach {:?}, sim {:?}, iso {:?}",
+            self.reach.mean_latency(),
+            self.sim.mean_latency(),
+            self.iso.mean_latency()
+        )
+    }
+}
+
+/// Result of [`Engine::run_batch`]: input-order answers plus the batch's
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One result per input query, in input order.
+    pub results: Vec<QueryResult>,
+    /// Statistics for this batch alone.
+    pub stats: EngineStats,
+}
+
+/// One evaluated query before settlement: result, class, wall latency.
+type Evaluated = (QueryResult, QueryClass, Duration);
+
+/// A mixed-workload query engine over one immutable graph.
+///
+/// The engine owns `Arc`-shared structures: the graph, the pattern
+/// [`NeighborIndex`] (§4.1) and the reachability [`HierarchicalIndex`]
+/// (§5.1), each built lazily on the first query of its class and reused by
+/// every subsequent query — the "once for all queries" amortization the
+/// paper's offline/online split calls for (§3, Remarks).
+pub struct Engine {
+    g: Arc<Graph>,
+    cfg: EngineConfig,
+    nbr: OnceLock<Arc<NeighborIndex>>,
+    reach: OnceLock<Arc<HierarchicalIndex>>,
+    cache: Mutex<ReductionCache>,
+    totals: Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// An engine over `g` with `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`EngineConfig::validate`]; front ends should
+    /// validate first and exit gracefully.
+    pub fn new(g: Arc<Graph>, cfg: EngineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid engine config: {e}");
+        }
+        let cache = Mutex::new(ReductionCache::new(cfg.cache_capacity));
+        Engine {
+            g,
+            cfg,
+            nbr: OnceLock::new(),
+            reach: OnceLock::new(),
+            cache,
+            totals: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// Like [`Engine::new`], but seeding pre-built indexes so callers that
+    /// already paid for offline construction (benches, the experiments
+    /// harness) share them instead of rebuilding.
+    pub fn with_indexes(
+        g: Arc<Graph>,
+        cfg: EngineConfig,
+        neighbor: Option<Arc<NeighborIndex>>,
+        reach: Option<Arc<HierarchicalIndex>>,
+    ) -> Self {
+        let e = Engine::new(g, cfg);
+        if let Some(n) = neighbor {
+            let _ = e.nbr.set(n);
+        }
+        if let Some(r) = reach {
+            let _ = e.reach.set(r);
+        }
+        e
+    }
+
+    /// The engine's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared neighbor index, building it on first use.
+    pub fn neighbor_index(&self) -> Arc<NeighborIndex> {
+        self.nbr
+            .get_or_init(|| Arc::new(NeighborIndex::build(&self.g)))
+            .clone()
+    }
+
+    /// The shared reachability index, building it on first use.
+    pub fn reach_index(&self) -> Arc<HierarchicalIndex> {
+        self.reach
+            .get_or_init(|| Arc::new(HierarchicalIndex::build(&self.g, self.cfg.reach_alpha)))
+            .clone()
+    }
+
+    /// The per-query pattern budget derived from the configuration.
+    pub fn pattern_budget(&self) -> ResourceBudget {
+        let mut b = match self.cfg.pattern_budget {
+            BudgetSpec::Ratio(a) => ResourceBudget::from_ratio(&*self.g, a),
+            BudgetSpec::Units(u) => {
+                ResourceBudget::from_units(&*self.g, u.min(self.g.size().max(1)))
+            }
+        };
+        if let Some(c) = self.cfg.visit_coefficient {
+            b = b.with_visit_coefficient(c);
+        }
+        b
+    }
+
+    /// Lifetime statistics across every batch and single query served.
+    pub fn stats(&self) -> EngineStats {
+        self.totals.lock().expect("stats lock").clone()
+    }
+
+    /// Current reduction-cache entry count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Answer one query (no aggregate-budget settlement).
+    pub fn run(&self, q: &Query) -> QueryResult {
+        let (result, class, latency) = self.run_one(q);
+        let mut totals = self.totals.lock().expect("stats lock");
+        record(&mut totals, &result, class, latency);
+        totals.charged_visits += if result.answer.is_ok() {
+            result.visits
+        } else {
+            0
+        };
+        result
+    }
+
+    /// Answer a batch of heterogeneous queries.
+    ///
+    /// Queries are claimed from a shared atomic cursor by
+    /// `cfg.threads` scoped workers (work-stealing in the sense that fast
+    /// workers drain more of the batch); answers come back in input order
+    /// and are identical for any thread count. When an aggregate visit
+    /// budget is configured, delivered answers are settled against it in
+    /// input order and the remainder are [`Answer::Denied`].
+    pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        let n = queries.len();
+        let threads = self.effective_threads(n);
+        let mut results: Vec<Option<Evaluated>> = Vec::new();
+        results.resize_with(n, || None);
+
+        if threads <= 1 {
+            for (i, q) in queries.iter().enumerate() {
+                results[i] = Some(self.run_one(q));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut shards: Vec<Vec<(usize, Evaluated)>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                out.push((i, self.run_one(&queries[i])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    shards.push(h.join().expect("engine worker panicked"));
+                }
+            });
+            for shard in shards {
+                for (i, r) in shard {
+                    results[i] = Some(r);
+                }
+            }
+        }
+
+        // Input-order settlement: deterministic regardless of scheduling.
+        let mut stats = EngineStats::default();
+        let mut remaining = self.cfg.aggregate_visit_budget;
+        let mut final_results = Vec::with_capacity(n);
+        for slot in results {
+            let (mut result, class, latency) = slot.expect("every query evaluated");
+            record(&mut stats, &result, class, latency);
+            if result.answer.is_ok() {
+                match remaining.as_mut() {
+                    Some(rem) if result.visits > *rem => {
+                        stats.denied += 1;
+                        result.answer = Answer::Denied {
+                            needed: result.visits,
+                            remaining: *rem,
+                        };
+                    }
+                    other => {
+                        if let Some(rem) = other {
+                            *rem -= result.visits;
+                        }
+                        stats.charged_visits += result.visits;
+                    }
+                }
+            }
+            final_results.push(result);
+        }
+        self.totals.lock().expect("stats lock").merge(&stats);
+        BatchReport {
+            results: final_results,
+            stats,
+        }
+    }
+
+    fn effective_threads(&self, n: usize) -> usize {
+        let t = if self.cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.threads
+        };
+        t.max(1).min(n.max(1))
+    }
+
+    fn run_one(&self, q: &Query) -> Evaluated {
+        let start = Instant::now();
+        let result = match q {
+            Query::Reach { source, target } => self.run_reach(*source, *target),
+            Query::PatternSim { pattern } => self.run_pattern(pattern, Semantics::Simulation),
+            Query::PatternIso { pattern } => self.run_pattern(pattern, Semantics::Isomorphism),
+        };
+        (result, q.class(), start.elapsed())
+    }
+
+    fn run_reach(&self, s: NodeId, t: NodeId) -> QueryResult {
+        let n = self.g.node_count();
+        if s.index() >= n || t.index() >= n {
+            return QueryResult {
+                answer: Answer::Error(format!("node id out of range ({} or {} >= {n})", s.0, t.0)),
+                visits: 0,
+                cached: false,
+            };
+        }
+        let idx = self.reach_index();
+        let a = idx.query(s, t);
+        QueryResult {
+            answer: Answer::Reach {
+                reachable: a.reachable,
+                certified: a.certified,
+            },
+            visits: a.visits,
+            cached: false,
+        }
+    }
+
+    fn run_pattern(&self, pattern: &Pattern, sem: Semantics) -> QueryResult {
+        // Evaluate the canonical relabeling: isomorphic queries then run the
+        // byte-identical computation, so cache hits equal cold answers.
+        let (canon, signature) = canonical_pattern(pattern);
+        let resolved = match canon.resolve(&self.g) {
+            Ok(r) => r,
+            Err(e) => {
+                return QueryResult {
+                    answer: Answer::Error(e.to_string()),
+                    visits: 0,
+                    cached: false,
+                }
+            }
+        };
+        let budget = self.pattern_budget();
+        let key = CacheKey {
+            signature,
+            vp: resolved.vp().0,
+            semantics: match sem {
+                Semantics::Simulation => 0,
+                Semantics::Isomorphism => 1,
+            },
+            max_units: budget.max_units,
+            visit_cap: budget.visit_cap,
+        };
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return QueryResult {
+                answer: hit.answer,
+                visits: hit.visits,
+                cached: true,
+            };
+        }
+        let idx = self.neighbor_index();
+        let ans = match sem {
+            Semantics::Simulation => rbsim(&self.g, &idx, &resolved, &budget),
+            Semantics::Isomorphism => rbsub_with(&self.g, &idx, &resolved, &budget, self.cfg.vf2),
+        };
+        let answer = Answer::Pattern {
+            matches: ans.matches,
+            gq_size: ans.gq_size,
+            gq_nodes: ans.gq_nodes,
+            hit_budget: ans.hit_budget,
+        };
+        let visits = ans.visits.total();
+        self.cache.lock().expect("cache lock").insert(
+            key,
+            CachedAnswer {
+                answer: answer.clone(),
+                visits,
+            },
+        );
+        QueryResult {
+            answer,
+            visits,
+            cached: false,
+        }
+    }
+}
+
+fn record(stats: &mut EngineStats, result: &QueryResult, class: QueryClass, latency: Duration) {
+    stats.queries += 1;
+    let c = stats.class_mut(class);
+    c.queries += 1;
+    c.latency += latency;
+    match &result.answer {
+        Answer::Error(_) => stats.errors += 1,
+        _ => {
+            c.visits += result.visits;
+            stats.total_visits += result.visits;
+            if class != QueryClass::Reach {
+                if result.cached {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_graph::GraphBuilder;
+    use rbq_pattern::pattern::fig1_pattern;
+
+    fn fig1_graph() -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let hg = b.add_node("HG");
+        let cc = b.add_node("CC");
+        let cl = b.add_node("CL");
+        b.add_edge(michael, hg);
+        b.add_edge(michael, cc);
+        b.add_edge(cc, cl);
+        b.add_edge(hg, cl);
+        Arc::new(b.build())
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            pattern_budget: BudgetSpec::Ratio(1.0),
+            reach_alpha: 1.0,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mixed_batch_answers_all_classes() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let queries = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            Query::PatternSim {
+                pattern: fig1_pattern(),
+            },
+            Query::PatternIso {
+                pattern: fig1_pattern(),
+            },
+            Query::Reach {
+                source: NodeId(3),
+                target: NodeId(0),
+            },
+        ];
+        let report = engine.run_batch(&queries);
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(
+            report.results[0].answer,
+            Answer::Reach {
+                reachable: true,
+                certified: true
+            }
+        );
+        match &report.results[1].answer {
+            Answer::Pattern { matches, .. } => assert_eq!(matches, &[NodeId(3)]),
+            other => panic!("expected pattern answer, got {other:?}"),
+        }
+        match &report.results[2].answer {
+            Answer::Pattern { matches, .. } => assert_eq!(matches, &[NodeId(3)]),
+            other => panic!("expected pattern answer, got {other:?}"),
+        }
+        assert!(matches!(
+            report.results[3].answer,
+            Answer::Reach {
+                reachable: false,
+                ..
+            }
+        ));
+        assert_eq!(report.stats.queries, 4);
+        assert_eq!(report.stats.reach.queries, 2);
+        assert_eq!(report.stats.sim.queries, 1);
+        assert_eq!(report.stats.iso.queries, 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_cache() {
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let q = Query::PatternSim {
+            pattern: fig1_pattern(),
+        };
+        let first = engine.run(&q);
+        let second = engine.run(&q);
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.answer, second.answer);
+        assert_eq!(first.visits, second.visits);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_reach_is_an_error_not_a_panic() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let r = engine.run(&Query::Reach {
+            source: NodeId(0),
+            target: NodeId(999),
+        });
+        assert!(matches!(r.answer, Answer::Error(_)));
+        assert_eq!(engine.stats().errors, 1);
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let mut b = rbq_pattern::PatternBuilder::new();
+        let x = b.add_node("NoSuchLabel");
+        b.personalized(x).output(x);
+        let r = engine.run(&Query::PatternSim { pattern: b.build() });
+        assert!(matches!(r.answer, Answer::Error(_)));
+    }
+
+    #[test]
+    fn aggregate_budget_denies_tail_in_input_order() {
+        let g = fig1_graph();
+        let mut c = cfg();
+        c.threads = 1;
+        let probe = Engine::new(g.clone(), c.clone());
+        let q = Query::PatternSim {
+            pattern: fig1_pattern(),
+        };
+        let per_query = probe.run(&q).visits;
+        assert!(per_query > 0);
+
+        c.aggregate_visit_budget = Some(per_query); // room for exactly one
+        c.cache_capacity = 0; // keep both queries full-cost
+        let engine = Engine::new(g, c);
+        let report = engine.run_batch(&[q.clone(), q]);
+        assert!(report.results[0].answer.is_ok());
+        assert!(matches!(report.results[1].answer, Answer::Denied { .. }));
+        assert_eq!(report.stats.denied, 1);
+        assert!(report.stats.charged_visits <= per_query);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_across_batches() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let qs = [Query::Reach {
+            source: NodeId(0),
+            target: NodeId(1),
+        }];
+        engine.run_batch(&qs);
+        engine.run_batch(&qs);
+        assert_eq!(engine.stats().queries, 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let report = engine.run_batch(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.queries, 0);
+    }
+
+    #[test]
+    fn config_validation_catches_bad_alpha() {
+        assert!(EngineConfig {
+            pattern_budget: BudgetSpec::Ratio(0.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EngineConfig {
+            reach_alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+}

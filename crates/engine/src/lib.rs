@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # rbq-engine — a concurrent mixed-workload query engine
+//!
+//! The paper answers one query at a time within an `α`-bounded budget;
+//! serving *traffic* needs an engine that amortizes the offline structures
+//! across a stream of heterogeneous queries. This crate provides it:
+//!
+//! * a unified [`Query`] enum (reachability / simulation / isomorphism)
+//!   and [`Answer`] type, with a one-line text serialization for query
+//!   files;
+//! * an [`Engine`] owning `Arc`-shared immutable structures — the graph,
+//!   the [`rbq_core::NeighborIndex`] (§4.1), and the
+//!   [`rbq_reach::HierarchicalIndex`] (§5.1) — each built lazily on the
+//!   first query of its class;
+//! * per-query **and** aggregate [`rbq_core::ResourceBudget`] accounting:
+//!   every pattern query runs under the configured `α` budget, and an
+//!   optional batch-level aggregate visit budget is settled
+//!   deterministically in input order (excess answers come back
+//!   [`Answer::Denied`]);
+//! * a bounded LRU **reduction cache** ([`cache`]) keyed by canonical
+//!   pattern signature ([`canonical`]), so repeated or isomorphic queries
+//!   reuse their `G_Q` answer byte-for-byte;
+//! * a work-stealing batch scheduler ([`Engine::run_batch`]):
+//!   `std::thread::scope` workers claim queries off a shared atomic
+//!   cursor, answers return in input order and are identical for any
+//!   thread count, and [`EngineStats`] reports visits, cache hit rate and
+//!   per-class latency.
+
+pub mod cache;
+pub mod canonical;
+pub mod engine;
+pub mod query;
+
+pub use cache::{CacheKey, CachedAnswer, ReductionCache};
+pub use canonical::canonical_pattern;
+pub use engine::{BatchReport, BudgetSpec, ClassStats, Engine, EngineConfig, EngineStats};
+pub use query::{Answer, Query, QueryClass, QueryResult};

@@ -25,8 +25,9 @@ pub enum SelectionStrategy {
 /// Tunables for index construction.
 #[derive(Debug, Clone, Copy)]
 pub struct IndexParams {
-    /// Resource ratio `α ∈ (0, 1)`: the index holds `⌊α|G|/2⌋` landmarks
-    /// and queries visit at most `⌊α|G|⌋` data.
+    /// Resource ratio `α ∈ (0, 1]`: the index holds `⌊α|G|/2⌋` landmarks
+    /// and queries visit at most `⌊α|G|⌋` data. At `α = 1` every DAG node
+    /// is a landmark and RBReach is exact (≡ BFS).
     pub alpha: f64,
     /// Cap on per-node label set `|v.E|` (the paper bounds it by
     /// `α|G|/2`; a practical cap keeps degenerate DAGs in check).
@@ -97,8 +98,8 @@ impl HierarchicalIndex {
     /// Build with explicit parameters (Fig. 6's `RBIndex`).
     pub fn build_with(g: &Graph, params: IndexParams) -> Self {
         assert!(
-            params.alpha.is_finite() && params.alpha > 0.0 && params.alpha < 1.0,
-            "alpha must lie in (0, 1)"
+            params.alpha.is_finite() && params.alpha > 0.0 && params.alpha <= 1.0,
+            "alpha must lie in (0, 1]"
         );
         let compressed = if params.merge_equivalence {
             compress_for_reachability(g)
@@ -115,7 +116,15 @@ impl HierarchicalIndex {
 
         let g_size = g.size();
         let visit_cap = (params.alpha * g_size as f64).floor() as usize;
-        let k1 = ((params.alpha * g_size as f64) / 2.0).floor() as usize;
+        // At α = 1 every DAG node becomes a landmark: with first-hit hop
+        // labels then covering every DAG edge, the bidirectional search is
+        // complete and RBReach degenerates to exact reachability (the α = 1
+        // end of Theorem 2's accuracy/resource trade-off).
+        let k1 = if params.alpha >= 1.0 {
+            n
+        } else {
+            ((params.alpha * g_size as f64) / 2.0).floor() as usize
+        };
         let k1 = k1.min(n);
         // Spreading parameter: the paper's `a = ⌊2/α⌋` makes the k1
         // selections sweep exactly |G| nodes; compression can leave the DAG
@@ -129,7 +138,13 @@ impl HierarchicalIndex {
         let (desc_est, anc_est) = coverage_estimates(dag);
 
         // ---- Level-1 landmark selection. ----
-        let lm_nodes = greedy_select(dag, &ranks, k1, a, params.selection, &desc_est, &anc_est);
+        // The greedy's neighbor-removal spread would skip nodes when every
+        // node is wanted, so the k1 = n case short-circuits it.
+        let lm_nodes = if k1 >= n {
+            dag.nodes().collect()
+        } else {
+            greedy_select(dag, &ranks, k1, a, params.selection, &desc_est, &anc_est)
+        };
         let k1 = lm_nodes.len();
         let mut lm_of_node: FxHashMap<NodeId, LmId> = FxHashMap::default();
         for (i, &v) in lm_nodes.iter().enumerate() {
@@ -809,6 +824,28 @@ mod tests {
         assert_eq!(st.landmarks, st.tree_edges + st.roots);
         assert_eq!(st.dag_nodes, idx.compressed.dag.node_count());
         assert_eq!(st.visit_cap, idx.visit_cap());
+    }
+
+    #[test]
+    fn alpha_one_marks_every_dag_node() {
+        let g = layered_dag(4, 4);
+        let idx = HierarchicalIndex::build(&g, 1.0);
+        assert_eq!(idx.num_landmarks(), idx.compressed.dag.node_count());
+    }
+
+    #[test]
+    fn alpha_one_is_exact_on_sparse_graph() {
+        // Sparse enough that α|G|/2 < |V_dag| — the old selection would
+        // leave landmark-free paths and miss reachable pairs.
+        let g = graph_from_edges(&["A"; 6], &[(0, 1), (1, 2), (3, 4)]);
+        let idx = HierarchicalIndex::build(&g, 1.0);
+        for s in 0..6u32 {
+            for t in 0..6u32 {
+                let (s, t) = (NodeId(s), NodeId(t));
+                let exact = rbq_graph::traverse::reaches(&g, s, t).0;
+                assert_eq!(idx.query(s, t).reachable, exact, "{s:?}->{t:?}");
+            }
+        }
     }
 
     #[test]

@@ -101,12 +101,20 @@ impl HierarchicalIndex {
 
         // Guard of Lemma 5(2): a useful landmark ℓ (s → ℓ → t) must have
         // t_rank < rank(ℓ) < s_rank; prune subtrees whose range cannot
-        // straddle.
+        // straddle. The endpoint landmarks themselves sit *on* the window
+        // boundary (rank == s_rank / t_rank) yet are exactly where the two
+        // frontiers must meet when an endpoint is a landmark — exempt them,
+        // or adjacent landmark pairs are never certified.
+        let s_lm = self.lm_of_node.get(&cs).copied();
+        let t_lm = self.lm_of_node.get(&ct).copied();
         let useful_range = |lm: LmId| {
             let r = self.landmarks[lm as usize].range;
             r.1 > t_rank && r.0 < s_rank
         };
         let useful_self = |lm: LmId| {
+            if Some(lm) == s_lm || Some(lm) == t_lm {
+                return true;
+            }
             let r = self.landmarks[lm as usize].rank;
             r > t_rank && r < s_rank
         };
@@ -132,7 +140,10 @@ impl HierarchicalIndex {
         }
         for &i in &t_seed {
             visits += 1;
-            if s_active.contains(&i) && useful_or_endpoint(self, i, cs, ct) {
+            // A landmark certified by both endpoints answers the query; the
+            // rank guard below is irrelevant here (certification is always
+            // correct regardless of usefulness pruning).
+            if s_active.contains(&i) {
                 return ReachAnswer {
                     reachable: true,
                     visits,
@@ -296,12 +307,6 @@ impl HierarchicalIndex {
         }
         potential.max(0.0) / (cost.max(0.0) + 1.0)
     }
-}
-
-/// A shared landmark certifies the pair regardless of the rank guard (the
-/// guard is an optimization; a certified landmark is always correct).
-fn useful_or_endpoint(_idx: &HierarchicalIndex, _lm: LmId, _s: NodeId, _t: NodeId) -> bool {
-    true
 }
 
 #[cfg(test)]

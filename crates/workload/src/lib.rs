@@ -13,14 +13,19 @@
 //! `(|V_p|, |E_p|)` with labels drawn from the data graph and a designated
 //! personalized node (every generated graph gives node 0 the unique label
 //! `"ME"`), and reachability query sets sampled as ordered node pairs.
+//!
+//! [`mixed`] samples heterogeneous [`rbq_engine::Query`] streams (with
+//! tunable repetition) for engine batch serving.
 
 pub mod generate;
+pub mod mixed;
 pub mod queries;
 
 pub use generate::{
     layered_dag, me_node, power_law, power_law_full, power_law_with, social_groups, uniform_random,
     yahoo_like, youtube_like,
 };
+pub use mixed::{sample_mixed_workload, MixedWorkloadSpec};
 pub use queries::{
     extract_pattern, reachability_ground_truth, sample_hard_reachability_queries,
     sample_reachability_queries, PatternSpec,

@@ -1,0 +1,196 @@
+//! Mixed engine workloads: a seeded stream of heterogeneous queries
+//! (reachability, simulation, isomorphism) with tunable repetition, the
+//! traffic shape [`rbq_engine::Engine::run_batch`] is built for.
+//!
+//! Repetition matters: personalized-search traffic re-issues the same
+//! query templates constantly, which is exactly what the engine's
+//! canonical-signature reduction cache exploits. `repeat_fraction`
+//! controls how much of the pattern share re-uses an earlier pattern.
+
+use crate::generate::me_node;
+use crate::queries::{extract_pattern, sample_reachability_queries, PatternSpec};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rbq_engine::Query;
+use rbq_graph::Graph;
+
+/// Shape of a mixed workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedWorkloadSpec {
+    /// Total queries to sample.
+    pub count: usize,
+    /// Fraction of reachability queries, `[0, 1]`.
+    pub reach_fraction: f64,
+    /// Fraction *of the pattern share* answered under isomorphism
+    /// semantics (the rest run simulation), `[0, 1]`.
+    pub iso_fraction: f64,
+    /// Fraction of pattern queries that repeat an earlier pattern of the
+    /// workload verbatim, `[0, 1)` — the cache-hit driver.
+    pub repeat_fraction: f64,
+    /// Size of freshly extracted patterns.
+    pub spec: PatternSpec,
+    /// Reachable share of the reachability queries (see
+    /// [`sample_reachability_queries`]).
+    pub positive_fraction: f64,
+}
+
+impl Default for MixedWorkloadSpec {
+    fn default() -> Self {
+        MixedWorkloadSpec {
+            count: 100,
+            reach_fraction: 0.4,
+            iso_fraction: 0.3,
+            repeat_fraction: 0.3,
+            spec: PatternSpec::new(4, 8),
+            positive_fraction: 0.5,
+        }
+    }
+}
+
+/// Sample a shuffled mixed workload over `g`.
+///
+/// Deterministic in `(g, spec, seed)`. Pattern extraction needs the
+/// graph's `"ME"` anchor; when it is absent, or extraction keeps failing,
+/// the pattern share degrades to additional reachability queries rather
+/// than erroring — the returned workload always has `spec.count` queries
+/// (unless the graph is empty, which yields an empty workload).
+pub fn sample_mixed_workload(g: &Graph, spec: &MixedWorkloadSpec, seed: u64) -> Vec<Query> {
+    assert!((0.0..=1.0).contains(&spec.reach_fraction));
+    assert!((0.0..=1.0).contains(&spec.iso_fraction));
+    assert!((0.0..=1.0).contains(&spec.repeat_fraction));
+    if g.node_count() == 0 || spec.count == 0 {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6d69_7865_642d_7131);
+    let want_reach = (spec.count as f64 * spec.reach_fraction).round() as usize;
+    let want_pattern = spec.count - want_reach.min(spec.count);
+
+    // Pattern pool: fresh extractions, reused for the repeat share.
+    let mut pool: Vec<rbq_pattern::Pattern> = Vec::new();
+    let mut patterns: Vec<Query> = Vec::new();
+    if me_node(g).is_some() {
+        let mut extract_seed = seed;
+        let mut failures = 0usize;
+        while patterns.len() < want_pattern && failures < want_pattern * 20 + 200 {
+            let repeat = !pool.is_empty() && rng.gen_bool(spec.repeat_fraction);
+            let pattern = if repeat {
+                pool.choose(&mut rng).cloned()
+            } else {
+                extract_seed = extract_seed.wrapping_add(1);
+                let p = extract_pattern(g, spec.spec, extract_seed);
+                if let Some(p) = &p {
+                    pool.push(p.clone());
+                }
+                p
+            };
+            match pattern {
+                Some(pattern) => {
+                    let iso = rng.gen_bool(spec.iso_fraction);
+                    patterns.push(if iso {
+                        Query::PatternIso { pattern }
+                    } else {
+                        Query::PatternSim { pattern }
+                    });
+                }
+                None => failures += 1,
+            }
+        }
+    }
+
+    // Reachability share plus whatever the pattern share couldn't fill.
+    let reach_count = spec.count - patterns.len();
+    let mut out: Vec<Query> =
+        sample_reachability_queries(g, reach_count, spec.positive_fraction, seed)
+            .into_iter()
+            .map(|(source, target)| Query::Reach { source, target })
+            .collect();
+    out.append(&mut patterns);
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{uniform_random, youtube_like};
+    use rbq_engine::QueryClass;
+
+    #[test]
+    fn mix_has_requested_size_and_all_classes() {
+        let g = youtube_like(2_000, 3);
+        let spec = MixedWorkloadSpec {
+            count: 60,
+            ..Default::default()
+        };
+        let w = sample_mixed_workload(&g, &spec, 7);
+        assert_eq!(w.len(), 60);
+        let count = |c: QueryClass| w.iter().filter(|q| q.class() == c).count();
+        assert!(count(QueryClass::Reach) >= 10);
+        assert!(count(QueryClass::Sim) >= 5);
+        assert!(count(QueryClass::Iso) >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = youtube_like(1_000, 5);
+        let spec = MixedWorkloadSpec {
+            count: 30,
+            ..Default::default()
+        };
+        let a = sample_mixed_workload(&g, &spec, 11);
+        let b = sample_mixed_workload(&g, &spec, 11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_line().unwrap(), y.to_line().unwrap());
+        }
+    }
+
+    #[test]
+    fn repeats_present_for_cache_hits() {
+        let g = youtube_like(2_000, 3);
+        let spec = MixedWorkloadSpec {
+            count: 80,
+            reach_fraction: 0.2,
+            repeat_fraction: 0.5,
+            ..Default::default()
+        };
+        let w = sample_mixed_workload(&g, &spec, 13);
+        let mut lines: Vec<String> = w
+            .iter()
+            .filter(|q| q.class() != QueryClass::Reach)
+            .map(|q| q.to_line().unwrap())
+            .collect();
+        let total = lines.len();
+        lines.sort_unstable();
+        lines.dedup();
+        assert!(
+            lines.len() < total,
+            "expected repeated patterns ({total} distinct)"
+        );
+    }
+
+    #[test]
+    fn no_me_node_degrades_to_reachability() {
+        // uniform_random labels node 0 "ME"? Strip by relabeling.
+        let g0 = uniform_random(50, 100, 5, 1);
+        let mut b = rbq_graph::GraphBuilder::new();
+        for _ in g0.nodes() {
+            b.add_node("X");
+        }
+        for (u, v) in g0.edges() {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let w = sample_mixed_workload(&g, &MixedWorkloadSpec::default(), 3);
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|q| q.class() == QueryClass::Reach));
+    }
+
+    #[test]
+    fn empty_graph_empty_workload() {
+        let g = rbq_graph::GraphBuilder::new().build();
+        assert!(sample_mixed_workload(&g, &MixedWorkloadSpec::default(), 0).is_empty());
+    }
+}

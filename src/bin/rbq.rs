@@ -6,19 +6,24 @@
 //! rbq compress g.txt
 //! rbq reach g.txt 17 4242 --alpha 0.01
 //! rbq pattern g.txt --spec 4,8 --alpha 0.001 --seed 7
+//! rbq workload g.txt --count 200 --seed 7 --out q.txt
+//! rbq batch g.txt q.txt --alpha 0.005 --threads 8
 //! ```
 //!
 //! Graphs use the plain-text format of `rbq_graph::io` (`n <id> <label>` /
-//! `e <src> <dst>` lines).
+//! `e <src> <dst>` lines); query files use the one-line format of
+//! `rbq_engine::Query` (`r <src> <dst>` / `s|i <up> <uo> <labels> <edges>`).
 
 use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
+use rbq::rbq_engine::{Answer, BudgetSpec, Engine, EngineConfig, Query};
 use rbq::rbq_graph::{io as gio, Graph, GraphView, NodeId};
 use rbq::rbq_pattern::{bisimulation_compress, match_opt};
 use rbq::rbq_reach::{compress_for_reachability, HierarchicalIndex};
-use rbq::rbq_workload::{extract_pattern, PatternSpec};
+use rbq::rbq_workload::{extract_pattern, sample_mixed_workload, MixedWorkloadSpec, PatternSpec};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: rbq <generate|stats|compress|reach|pattern> [args]\n\
+                "usage: rbq <generate|stats|compress|reach|pattern|workload|batch> [args]\n\
                  see module docs for details"
             );
             ExitCode::from(2)
@@ -44,6 +49,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "compress" => cmd_compress(rest),
         "reach" => cmd_reach(rest),
         "pattern" => cmd_pattern(rest),
+        "workload" => cmd_workload(rest),
+        "batch" => cmd_batch(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -93,6 +100,17 @@ fn parse_spec(s: &str) -> Result<PatternSpec, String> {
         return Err("pattern needs at least one node".into());
     }
     Ok(PatternSpec::new(nodes, edges))
+}
+
+/// Parse a resource ratio, rejecting anything outside `(0, 1]` — the
+/// library layers `assert!` on bad ratios, and a panic is not an
+/// acceptable CLI failure mode.
+fn parse_alpha(s: &str, what: &str) -> Result<f64, String> {
+    let a: f64 = s.parse().map_err(|_| format!("bad {what} {s:?}"))?;
+    if !(a.is_finite() && a > 0.0 && a <= 1.0) {
+        return Err(format!("{what} must lie in (0, 1], got {s}"));
+    }
+    Ok(a)
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -187,13 +205,10 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     let [path, s, t] = pos.as_slice() else {
         return Err("usage: reach GRAPH SRC DST [--alpha A]".into());
     };
-    let alpha: f64 = alpha
-        .unwrap_or_else(|| "0.01".into())
-        .parse()
-        .map_err(|_| "bad --alpha")?;
+    let alpha = parse_alpha(&alpha.unwrap_or_else(|| "0.01".into()), "--alpha")?;
     let g = load_graph(path)?;
-    let s: u32 = s.parse().map_err(|_| "bad source id")?;
-    let t: u32 = t.parse().map_err(|_| "bad target id")?;
+    let s: u32 = s.parse().map_err(|_| format!("bad source id {s:?}"))?;
+    let t: u32 = t.parse().map_err(|_| format!("bad target id {t:?}"))?;
     if s as usize >= g.node_count() || t as usize >= g.node_count() {
         return Err("node id out of range".into());
     }
@@ -226,10 +241,7 @@ fn cmd_pattern(args: &[String]) -> Result<(), String> {
     )?;
     let path = pos.first().ok_or("missing graph file")?;
     let spec = parse_spec(&spec.unwrap_or_else(|| "4,8".into()))?;
-    let alpha: f64 = alpha
-        .unwrap_or_else(|| "0.001".into())
-        .parse()
-        .map_err(|_| "bad --alpha")?;
+    let alpha = parse_alpha(&alpha.unwrap_or_else(|| "0.001".into()), "--alpha")?;
     let seed: u64 = seed
         .unwrap_or_else(|| "7".into())
         .parse()
@@ -263,6 +275,172 @@ fn cmd_pattern(args: &[String]) -> Result<(), String> {
         exact.len(),
         acc.f1 * 100.0
     );
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    let (mut count, mut seed, mut out, mut spec) = (None, None, None, None);
+    let (mut reach_frac, mut iso_frac, mut repeat_frac) = (None, None, None);
+    let pos = parse_flags(
+        args,
+        &mut [
+            ("count", &mut count),
+            ("seed", &mut seed),
+            ("out", &mut out),
+            ("spec", &mut spec),
+            ("reach-frac", &mut reach_frac),
+            ("iso-frac", &mut iso_frac),
+            ("repeat-frac", &mut repeat_frac),
+        ],
+    )?;
+    let path = pos.first().ok_or("missing graph file")?;
+    let out = out.ok_or("missing --out FILE")?;
+    let parse_frac = |s: Option<String>, def: f64, what: &str| -> Result<f64, String> {
+        match s {
+            None => Ok(def),
+            Some(s) => {
+                let f: f64 = s.parse().map_err(|_| format!("bad {what} {s:?}"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("{what} must lie in [0, 1], got {s}"));
+                }
+                Ok(f)
+            }
+        }
+    };
+    let mut mspec = MixedWorkloadSpec {
+        count: count
+            .unwrap_or_else(|| "200".into())
+            .parse()
+            .map_err(|_| "bad --count")?,
+        reach_fraction: parse_frac(reach_frac, 0.4, "--reach-frac")?,
+        iso_fraction: parse_frac(iso_frac, 0.3, "--iso-frac")?,
+        repeat_fraction: parse_frac(repeat_frac, 0.3, "--repeat-frac")?,
+        ..Default::default()
+    };
+    if let Some(s) = spec {
+        mspec.spec = parse_spec(&s)?;
+    }
+    let seed: u64 = seed
+        .unwrap_or_else(|| "7".into())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let g = load_graph(path)?;
+    let queries = sample_mixed_workload(&g, &mspec, seed);
+    let f = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    writeln!(
+        w,
+        "# rbq mixed workload: {} queries, seed {seed}",
+        queries.len()
+    )
+    .map_err(|e| e.to_string())?;
+    for q in &queries {
+        writeln!(w, "{}", q.to_line()?).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} queries to {out}", queries.len());
+    Ok(())
+}
+
+fn load_queries(path: &str) -> Result<Vec<Query>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(Query::parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    Ok(queries)
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let (mut alpha, mut reach_alpha, mut threads, mut cache, mut aggregate, mut verbose) =
+        (None, None, None, None, None, None);
+    let pos = parse_flags(
+        args,
+        &mut [
+            ("alpha", &mut alpha),
+            ("reach-alpha", &mut reach_alpha),
+            ("threads", &mut threads),
+            ("cache", &mut cache),
+            ("aggregate", &mut aggregate),
+            ("verbose", &mut verbose),
+        ],
+    )?;
+    let [graph_path, query_path] = pos.as_slice() else {
+        return Err("usage: batch GRAPH QUERYFILE [--alpha A] [--reach-alpha A] [--threads T] [--cache N] [--aggregate N] [--verbose 1]".into());
+    };
+    let alpha = parse_alpha(&alpha.unwrap_or_else(|| "0.01".into()), "--alpha")?;
+    let reach_alpha = parse_alpha(
+        &reach_alpha.unwrap_or_else(|| "0.05".into()),
+        "--reach-alpha",
+    )?;
+    let threads: usize = threads
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "bad --threads")?;
+    let cache: usize = cache
+        .unwrap_or_else(|| "1024".into())
+        .parse()
+        .map_err(|_| "bad --cache")?;
+    let aggregate = match aggregate {
+        None => None,
+        Some(s) => Some(s.parse::<usize>().map_err(|_| "bad --aggregate")?),
+    };
+    let verbose = verbose.is_some_and(|v| v != "0");
+
+    let g = Arc::new(load_graph(graph_path)?);
+    let queries = load_queries(query_path)?;
+    let cfg = EngineConfig {
+        pattern_budget: BudgetSpec::Ratio(alpha),
+        reach_alpha,
+        threads,
+        cache_capacity: cache,
+        aggregate_visit_budget: aggregate,
+        ..Default::default()
+    };
+    cfg.validate()?;
+    let engine = Engine::new(g, cfg);
+    let budget = engine.pattern_budget();
+    let start = std::time::Instant::now();
+    let report = engine.run_batch(&queries);
+    let wall = start.elapsed();
+
+    if verbose {
+        for (i, r) in report.results.iter().enumerate() {
+            println!(
+                "[{i:>4}] {}{}",
+                r.answer,
+                if r.cached { " [cached]" } else { "" }
+            );
+        }
+    }
+    println!(
+        "batch: {} queries in {wall:.2?} ({:.0} q/s)",
+        queries.len(),
+        queries.len() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!("{}", report.stats);
+    let mut budget_violations = 0usize;
+    for r in &report.results {
+        if let Answer::Pattern { gq_size, .. } = &r.answer {
+            if *gq_size > budget.max_units {
+                budget_violations += 1;
+            }
+        }
+    }
+    if budget_violations == 0 {
+        println!(
+            "per-query budgets respected: every |G_Q| <= {} units",
+            budget.max_units
+        );
+    } else {
+        return Err(format!(
+            "{budget_violations} answers exceeded the per-query budget of {} units",
+            budget.max_units
+        ));
+    }
     Ok(())
 }
 
@@ -315,5 +493,97 @@ mod tests {
     fn unknown_subcommand_errors() {
         assert!(run(&["frobnicate".to_string()]).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_alpha_validates_range() {
+        assert!(parse_alpha("0.5", "--alpha").is_ok());
+        assert!(parse_alpha("1.0", "--alpha").is_ok());
+        for bad in ["0", "0.0", "1.5", "-0.1", "nan", "inf", "abc", ""] {
+            assert!(parse_alpha(bad, "--alpha").is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// A tiny graph file in a per-test temp path (the suite runs tests in
+    /// parallel, so names must not collide).
+    fn temp_graph(tag: &str) -> String {
+        let path =
+            std::env::temp_dir().join(format!("rbq_cli_test_{tag}_{}.txt", std::process::id()));
+        let g = {
+            let mut b = rbq::rbq_graph::GraphBuilder::new();
+            let me = b.add_node("ME");
+            let a = b.add_node("A");
+            let c = b.add_node("B");
+            b.add_edge(me, a);
+            b.add_edge(a, c);
+            b.build()
+        };
+        let f = File::create(&path).expect("temp file");
+        gio::write_graph(&g, BufWriter::new(f)).expect("write graph");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn reach_out_of_range_node_id_errors_cleanly() {
+        let g = temp_graph("reach_oob");
+        let err = run(&argv(&["reach", &g, "0", "999"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = run(&argv(&["reach", &g, "999", "0"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let _ = std::fs::remove_file(&g);
+    }
+
+    #[test]
+    fn reach_malformed_ids_and_alpha_error_cleanly() {
+        let g = temp_graph("reach_bad");
+        assert!(run(&argv(&["reach", &g, "zero", "1"])).is_err());
+        assert!(run(&argv(&["reach", &g, "0", "1", "--alpha", "2.0"])).is_err());
+        assert!(run(&argv(&["reach", &g, "0", "1", "--alpha", "0"])).is_err());
+        let _ = std::fs::remove_file(&g);
+    }
+
+    #[test]
+    fn pattern_malformed_spec_errors_cleanly() {
+        let g = temp_graph("pattern_bad");
+        assert!(run(&argv(&["pattern", &g, "--spec", "nope"])).is_err());
+        assert!(run(&argv(&["pattern", &g, "--spec", "0,3"])).is_err());
+        assert!(run(&argv(&["pattern", &g, "--alpha", "-1"])).is_err());
+        let _ = std::fs::remove_file(&g);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_queryfile() {
+        let g = temp_graph("batch_bad");
+        let qpath = std::env::temp_dir().join(format!("rbq_cli_badq_{}.txt", std::process::id()));
+        std::fs::write(&qpath, "r 0 1\nx nonsense\n").expect("write queries");
+        let q = qpath.to_string_lossy().into_owned();
+        let err = run(&argv(&["batch", &g, &q])).unwrap_err();
+        assert!(err.contains("unknown query kind"), "{err}");
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn batch_runs_on_tiny_workload() {
+        let g = temp_graph("batch_ok");
+        let qpath = std::env::temp_dir().join(format!("rbq_cli_okq_{}.txt", std::process::id()));
+        std::fs::write(&qpath, "# two queries\nr 0 2\ns 0 1 ME,A 0-1\n").expect("write queries");
+        let q = qpath.to_string_lossy().into_owned();
+        run(&argv(&[
+            "batch",
+            &g,
+            &q,
+            "--alpha",
+            "1.0",
+            "--reach-alpha",
+            "1.0",
+        ]))
+        .expect("batch");
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&qpath);
     }
 }

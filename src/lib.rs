@@ -15,12 +15,16 @@
 //! * [`rbq_pattern`] — the unbounded baselines (`Match`, `MatchOpt`, `VF2`,
 //!   `VF2OPT`);
 //! * [`rbq_graph`] — the graph substrate;
+//! * [`rbq_engine`] — the concurrent mixed-workload engine: shared lazy
+//!   indexes, a canonical-signature reduction cache, and batch scheduling
+//!   with per-query plus aggregate budget accounting;
 //! * [`rbq_workload`] — synthetic datasets and query generators mirroring
-//!   the paper's evaluation.
+//!   the paper's evaluation, including mixed engine workloads.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use rbq_core;
+pub use rbq_engine;
 pub use rbq_graph;
 pub use rbq_pattern;
 pub use rbq_reach;

@@ -1,0 +1,201 @@
+//! Differential oracles: the resource-bounded algorithms checked against
+//! their unbounded reference implementations on proptest-random inputs.
+//!
+//! The α = 1 cases are the exactness claims the paper's theorems pivot on:
+//! with the whole graph admissible, RBSim must coincide with `MatchOpt`
+//! (Theorem 3(b)), RBSub with `VF2OPT`, and RBReach with plain BFS (the
+//! α = 1 end of Theorem 2's impossibility trade-off). Below α = 1 the
+//! oracles weaken to one-sided guarantees — pattern answers stay subsets
+//! of the exact answers (verified embeddings / simulations only), and
+//! RBReach never reports a false positive.
+
+use proptest::prelude::*;
+use rbq::rbq_core::{rbsim, rbsub, NeighborIndex, ResourceBudget};
+use rbq::rbq_graph::builder::graph_from_edges;
+use rbq::rbq_graph::traverse::reaches;
+use rbq::rbq_graph::{Graph, GraphBuilder, NodeId};
+use rbq::rbq_pattern::{match_opt, vf2_opt, Pattern, PatternBuilder, Vf2Config};
+use rbq::rbq_reach::HierarchicalIndex;
+
+/// A random digraph over ≤ 5 labels with node 0 relabeled to the unique
+/// anchor `"ME"`. Sizes are chosen so the unbounded baselines stay cheap
+/// enough for the release-mode CI job to run hundreds of cases.
+fn arb_anchored_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..5, n - 1);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (labels, edges).prop_map(move |(labels, edges)| {
+            let mut b = GraphBuilder::new();
+            b.add_node("ME");
+            for l in &labels {
+                b.add_node(&format!("L{l}"));
+            }
+            for &(u, v) in &edges {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            b.build()
+        })
+    })
+}
+
+/// A connected anchored pattern with branching: a random-parent tree over
+/// 2–5 nodes (edge directions random) plus up to two extra edges, labels
+/// drawn from the graph's alphabet, output on the last node.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let node = (0u8..5, prop::bool::ANY);
+    (
+        proptest::collection::vec(node, 1..5),
+        proptest::collection::vec((0u8..8, 0u8..8, prop::bool::ANY), 0..3),
+    )
+        .prop_map(|(tree, extra)| {
+            let mut pb = PatternBuilder::new();
+            let me = pb.add_node("ME");
+            let mut ids = vec![me];
+            for (i, &(l, fwd)) in tree.iter().enumerate() {
+                let u = pb.add_node(&format!("L{l}"));
+                // Random parent among earlier nodes keeps it connected and
+                // branches (unlike a chain).
+                let parent = ids[(l as usize * 31 + i) % ids.len()];
+                if fwd {
+                    pb.add_edge(parent, u);
+                } else {
+                    pb.add_edge(u, parent);
+                }
+                ids.push(u);
+            }
+            for &(a, b, fwd) in &extra {
+                let (a, b) = (ids[a as usize % ids.len()], ids[b as usize % ids.len()]);
+                if a != b {
+                    if fwd {
+                        pb.add_edge(a, b);
+                    } else {
+                        pb.add_edge(b, a);
+                    }
+                }
+            }
+            pb.personalized(me).output(*ids.last().expect("nonempty"));
+            pb.build()
+        })
+}
+
+/// A random digraph without the anchor constraint, for reachability.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..4, n);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (labels, edges).prop_map(move |(labels, edges)| {
+            let names: Vec<String> = labels.iter().map(|l| format!("L{l}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            graph_from_edges(&refs, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Oracle 1 (Theorem 3(b) at α = 1): RBSim ≡ MatchOpt.
+    #[test]
+    fn rbsim_at_alpha_one_equals_match_opt(
+        g in arb_anchored_graph(),
+        p in arb_pattern(),
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_ratio(&g, 1.0);
+        let ans = rbsim(&g, &idx, &q, &budget);
+        let exact = match_opt(&q, &g);
+        prop_assert_eq!(ans.matches, exact, "RBSim(α=1) diverged from MatchOpt");
+    }
+
+    /// Oracle 2 (α = 1 isomorphism): RBSub ≡ VF2OPT.
+    #[test]
+    fn rbsub_at_alpha_one_equals_vf2opt(
+        g in arb_anchored_graph(),
+        p in arb_pattern(),
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_ratio(&g, 1.0);
+        let ans = rbsub(&g, &idx, &q, &budget);
+        let exact = vf2_opt(&q, &g, Vf2Config::default());
+        prop_assert_eq!(ans.matches, exact.output_matches, "RBSub(α=1) diverged from VF2OPT");
+    }
+
+    /// Oracle 3: RBSub answers are verified embeddings at *every* budget —
+    /// each reported output match extends to a full embedding in `G`
+    /// (equivalently: is among VF2's matches on the whole graph).
+    #[test]
+    fn rbsub_answers_are_verified_embeddings(
+        g in arb_anchored_graph(),
+        p in arb_pattern(),
+        units in 1usize..48,
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_units(&g, units);
+        let ans = rbsub(&g, &idx, &q, &budget);
+        prop_assert!(ans.gq_size <= units, "budget violated: {} > {}", ans.gq_size, units);
+        let exact = vf2_opt(&q, &g, Vf2Config::default());
+        for v in &ans.matches {
+            prop_assert!(
+                exact.output_matches.contains(v),
+                "unverifiable embedding at {:?} under budget {}", v, units
+            );
+        }
+    }
+
+    /// Oracle 4: RBSim answers stay simulations of the full graph at every
+    /// budget (subset of MatchOpt).
+    #[test]
+    fn rbsim_answers_are_sound_at_any_budget(
+        g in arb_anchored_graph(),
+        p in arb_pattern(),
+        units in 1usize..48,
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let budget = ResourceBudget::from_units(&g, units);
+        let ans = rbsim(&g, &idx, &q, &budget);
+        let exact = match_opt(&q, &g);
+        for v in &ans.matches {
+            prop_assert!(exact.contains(v), "spurious simulation match {:?}", v);
+        }
+    }
+
+    /// Oracle 5 (α = 1 reachability): RBReach ≡ BFS on every pair.
+    #[test]
+    fn rbreach_at_alpha_one_equals_bfs(g in arb_graph()) {
+        let idx = HierarchicalIndex::build(&g, 1.0);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let got = idx.query(s, t);
+                let want = reaches(&g, s, t).0;
+                prop_assert_eq!(
+                    got.reachable, want,
+                    "RBReach(α=1) diverged from BFS on {:?}->{:?}", s, t
+                );
+                if got.reachable {
+                    prop_assert!(got.certified, "true answers must be certified");
+                }
+            }
+        }
+    }
+
+    /// Oracle 6 (Theorem 4(c) below α = 1): never a false positive, and a
+    /// `true` from RBReach at any α agrees with BFS.
+    #[test]
+    fn rbreach_below_alpha_one_is_one_sided(g in arb_graph(), alpha in 0.05f64..1.0) {
+        let idx = HierarchicalIndex::build(&g, alpha);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if idx.query(s, t).reachable {
+                    prop_assert!(
+                        reaches(&g, s, t).0,
+                        "false positive {:?}->{:?} at alpha {}", s, t, alpha
+                    );
+                }
+            }
+        }
+    }
+}
