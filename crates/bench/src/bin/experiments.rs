@@ -6,11 +6,13 @@
 //! cargo run --release -p rbq-bench --bin experiments -- fig8k --nodes 20000
 //! ```
 //!
-//! Experiment ids: `table2`, `fig8a`–`fig8p`, `engine`, `ablations`, `all`.
+//! Experiment ids: `table2`, `fig8a`–`fig8p`, `engine`, `ablations`,
+//! `perf-snapshot`, `all`.
 //! Options: `--nodes N` (snapshot substitute size, default 30000),
 //! `--queries N` (patterns per point, default 5), `--reach-queries N`
 //! (default 100), `--seed N`, `--synthetic-scale N` (largest synthetic
-//! |V|, default 1000000).
+//! |V|, default 1000000), `--out PATH` / `--compare PATH`
+//! (perf-snapshot JSON output and optional baseline to diff against).
 //!
 //! Paper α values are converted to our graph sizes by holding the absolute
 //! budget `α·|G|` fixed (see `rbq-bench` crate docs); every row prints
@@ -76,6 +78,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::default();
     let mut synthetic_scale = 1_000_000usize;
+    // Default to a non-committed name: committed BENCH_pr<N>.json records
+    // are written deliberately via --out, never by omission.
+    let mut out_path = String::from("bench-snapshot.json");
+    let mut compare_path: Option<String> = None;
     let mut exps: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -100,12 +106,20 @@ fn main() {
                 i += 1;
                 synthetic_scale = args[i].parse().expect("--synthetic-scale N");
             }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--compare" => {
+                i += 1;
+                compare_path = Some(args[i].clone());
+            }
             other => exps.push(other.to_string()),
         }
         i += 1;
     }
     if exps.is_empty() {
-        eprintln!("usage: experiments [options] <table2|fig8a..fig8p|ablations|all>");
+        eprintln!("usage: experiments [options] <table2|fig8a..fig8p|ablations|perf-snapshot|all>");
         std::process::exit(2);
     }
     let all = exps.iter().any(|e| e == "all");
@@ -161,6 +175,179 @@ fn main() {
     if want("ablations") {
         ablations(&cfg);
     }
+    // Explicit-only (not part of `all`): it writes a snapshot file.
+    if exps.iter().any(|e| e == "perf-snapshot") {
+        perf_snapshot(&cfg, &out_path, compare_path.as_deref());
+    }
+}
+
+// --------------------------------------------------------- perf-snapshot
+
+/// The matching-core timing suite behind `BENCH_prN.json` snapshots:
+/// dual-simulation-dominated queries on the Youtube-like substitute, timed
+/// end to end and written as machine-readable JSON so every PR can record
+/// its before/after trajectory. Run with `--compare OLD.json` to embed the
+/// old run as `baseline` and report per-bench speedups.
+///
+/// Convention (ROADMAP "bench snapshots"): run with `--nodes 20000` and
+/// commit the output as `BENCH_pr<N>.json`.
+fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
+    println!("\n== perf-snapshot: dual-simulation-dominated suite ==");
+    let ds = PatternDataset::youtube(cfg);
+    let qs = ds.patterns_min_nbh(PatternSpec::new(4, 8), 8, cfg.seed, 300);
+    assert!(!qs.is_empty(), "no extractable patterns");
+    println!(
+        "graph |G| = {} ({} nodes), {} queries, {} reps",
+        ds.g.size(),
+        ds.g.node_count(),
+        qs.len(),
+        cfg.reps
+    );
+    let budget = ds.budget_for_paper_alpha(1.6e-5);
+    let nq = qs.len() as u32;
+
+    let mut rows: Vec<(&'static str, Duration)> = Vec::new();
+
+    // Full-graph dual simulation: the fixpoint everything else builds on.
+    rows.push((
+        "dualsim_full",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                std::hint::black_box(rbq_pattern::dual_simulation(q, &*ds.g, None));
+            }
+        }) / nq,
+    ));
+    // MatchOpt: one ball-restricted dual simulation per candidate center.
+    rows.push((
+        "match_opt",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                std::hint::black_box(match_opt(q, &ds.g));
+            }
+        }) / nq,
+    ));
+    // Prefiltered strong simulation (the `Q(G)` exact evaluator).
+    rows.push((
+        "strong_simulation",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                std::hint::black_box(strong_simulation(q, &ds.g));
+            }
+        }) / nq,
+    ));
+    // The bounded pipeline: reduction + Q(G_Q).
+    rows.push((
+        "rbsim",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                std::hint::black_box(rbsim(&ds.g, &ds.idx, q, &budget));
+            }
+        }) / nq,
+    ));
+    // Anonymous matching: exercises per-query-node candidate seeding.
+    rows.push((
+        "rbsim_any",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                std::hint::black_box(rbq_core::rbsim_any(
+                    &ds.g,
+                    &ds.idx,
+                    q.pattern(),
+                    &budget,
+                    rbq_core::AnyConfig::default(),
+                ));
+            }
+        }) / nq,
+    ));
+
+    for (name, d) in &rows {
+        println!("{name:<20} {:>12} /query", fmt_dur(*d));
+    }
+
+    let baseline = compare.and_then(|p| match std::fs::read_to_string(p) {
+        Ok(s) => Some(parse_snapshot_benches(&s)),
+        Err(e) => {
+            eprintln!("perf-snapshot: cannot read --compare {p}: {e}");
+            None
+        }
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v1\",\n");
+    json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
+    json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"queries\": {},\n", qs.len()));
+    json.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    json.push_str(&format!(
+        "  \"budget_units\": {},\n  \"benches\": {{\n",
+        budget.max_units
+    ));
+    for (i, (name, d)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"per_query_us\": {:.1} }}{comma}\n",
+            d.as_secs_f64() * 1e6
+        ));
+    }
+    json.push_str("  }");
+    if let Some(base) = &baseline {
+        json.push_str(",\n  \"baseline\": {\n");
+        for (i, (name, us)) in base.iter().enumerate() {
+            let comma = if i + 1 < base.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    \"{name}\": {{ \"per_query_us\": {us:.1} }}{comma}\n"
+            ));
+        }
+        json.push_str("  },\n  \"speedup_vs_baseline\": {\n");
+        let speedups: Vec<(String, f64)> = rows
+            .iter()
+            .filter_map(|(name, d)| {
+                let old = base.iter().find(|(n, _)| n == name)?.1;
+                Some((name.to_string(), old / (d.as_secs_f64() * 1e6).max(1e-9)))
+            })
+            .collect();
+        for (i, (name, s)) in speedups.iter().enumerate() {
+            let comma = if i + 1 < speedups.len() { "," } else { "" };
+            json.push_str(&format!("    \"{name}\": {s:.2}{comma}\n"));
+            println!("{name:<20} speedup {s:.2}x");
+        }
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
+    std::fs::write(out_path, json).expect("write perf snapshot");
+    println!("wrote {out_path}");
+}
+
+/// Extract `name -> per_query_us` pairs from a snapshot written by
+/// [`perf_snapshot`]. The format is strictly line-based (one bench per
+/// line), so no general JSON parser is needed; only the first occurrence of
+/// each name is kept (the `benches` section precedes `baseline`).
+fn parse_snapshot_benches(s: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in s.lines() {
+        let Some(rest) = line.trim().strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(val) = tail.split("\"per_query_us\":").nth(1) else {
+            continue;
+        };
+        let num: String = val
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(us) = num.parse::<f64>() {
+            if !out.iter().any(|(n, _)| n == name) {
+                out.push((name.to_string(), us));
+            }
+        }
+    }
+    out
 }
 
 /// Mixed-workload batch serving through `rbq_engine`: thread scaling and

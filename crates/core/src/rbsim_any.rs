@@ -64,13 +64,14 @@ pub fn rbsim_any(
 ) -> AnyAnswer {
     let mut visits = VisitAccount::default();
 
-    // Seed query node: fewest data candidates by label.
+    // Seed query node: fewest data candidates by label — a constant-time
+    // partition-length lookup per query node, not an O(|V|) scan.
     let seed_u = pattern
         .nodes()
         .min_by_key(|&u| {
             g.labels()
                 .get(pattern.label_str(u))
-                .map_or(0, |l| g.nodes_with_label(l).count())
+                .map_or(0, |l| g.count_nodes_with_label(l))
         })
         .expect("patterns have nodes");
 
@@ -93,11 +94,11 @@ pub fn rbsim_any(
     {
         // A resolved instance just for guard evaluation (anchor is
         // irrelevant to per-node guards).
-        if let Some(first) = g.nodes_with_label(seed_label).next() {
+        if let Some(&first) = g.nodes_with_label(seed_label).first() {
             if let Ok(q0) = reanchored.resolve_with_anchor(g, first) {
                 let ctx = GuardCtx::new(g, idx, &q0, Semantics::Simulation);
                 let empty = DynamicSubgraph::new(g);
-                for v in g.nodes_with_label(seed_label) {
+                for &v in g.nodes_with_label(seed_label) {
                     if !ctx.guard(v, seed_u, &mut visits) {
                         continue;
                     }

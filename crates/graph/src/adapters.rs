@@ -8,7 +8,7 @@
 //!   e.g. to erase labels for structure-only matching.
 
 use crate::types::{Label, NodeId};
-use crate::view::GraphView;
+use crate::view::{GraphView, Neighbors, NodeIds};
 
 /// The reverse view of a graph: `u -> v` becomes `v -> u`.
 #[derive(Debug, Clone, Copy)]
@@ -23,15 +23,17 @@ impl<V: GraphView + ?Sized> GraphView for Reversed<'_, V> {
         self.0.label(v)
     }
 
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         self.0.in_neighbors(v)
     }
 
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         self.0.out_neighbors(v)
     }
 
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    fn node_ids(&self) -> NodeIds<'_> {
         self.0.node_ids()
     }
 
@@ -45,6 +47,16 @@ impl<V: GraphView + ?Sized> GraphView for Reversed<'_, V> {
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.0.has_edge(v, u)
+    }
+
+    // Reversal leaves labels untouched, so label lookups keep the base
+    // view's (possibly indexed) fast path. `Relabeled` must not forward.
+    fn for_each_node_with_label(&self, l: Label, f: &mut dyn FnMut(NodeId)) {
+        self.0.for_each_node_with_label(l, f)
+    }
+
+    fn count_nodes_with_label(&self, l: Label) -> usize {
+        self.0.count_nodes_with_label(l)
     }
 }
 
@@ -70,15 +82,17 @@ impl<V: GraphView + ?Sized, F: Fn(NodeId, Label) -> Label> GraphView for Relabel
         (self.f)(v, self.base.label(v))
     }
 
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         self.base.out_neighbors(v)
     }
 
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         self.base.in_neighbors(v)
     }
 
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    fn node_ids(&self) -> NodeIds<'_> {
         self.base.node_ids()
     }
 

@@ -8,13 +8,15 @@
 
 use crate::labels::LabelInterner;
 use crate::types::{Direction, Label, NodeId};
-use crate::view::GraphView;
+use crate::view::{GraphView, Neighbors, NodeIds};
 
 /// An immutable node-labeled directed graph in CSR form.
 ///
 /// Construct via [`crate::GraphBuilder`]. Adjacency lists are sorted by
 /// target id and deduplicated, enabling `O(log d)` edge tests via binary
-/// search and cache-friendly sequential scans.
+/// search and cache-friendly sequential scans. A third CSR partition maps
+/// each label to its (sorted) node list, so candidate seeding by label is
+/// `O(1)` + output instead of an `O(|V|)` scan per query node.
 #[derive(Debug, Clone)]
 pub struct Graph {
     labels: LabelInterner,
@@ -23,6 +25,8 @@ pub struct Graph {
     out_targets: Vec<NodeId>,
     in_offsets: Vec<usize>,
     in_targets: Vec<NodeId>,
+    label_offsets: Vec<usize>,
+    label_nodes: Vec<NodeId>,
 }
 
 impl Graph {
@@ -37,6 +41,22 @@ impl Graph {
         debug_assert_eq!(out_offsets.len(), node_labels.len() + 1);
         debug_assert_eq!(in_offsets.len(), node_labels.len() + 1);
         debug_assert_eq!(out_targets.len(), in_targets.len());
+        // Label partition: counting-sort node ids by label. Nodes are
+        // visited in ascending id order, so each partition comes out sorted.
+        let nl = labels.len();
+        let mut label_offsets = vec![0usize; nl + 1];
+        for &l in &node_labels {
+            label_offsets[l.index() + 1] += 1;
+        }
+        for i in 0..nl {
+            label_offsets[i + 1] += label_offsets[i];
+        }
+        let mut label_nodes = vec![NodeId(0); node_labels.len()];
+        let mut cursor = label_offsets.clone();
+        for (i, &l) in node_labels.iter().enumerate() {
+            label_nodes[cursor[l.index()]] = NodeId::new(i);
+            cursor[l.index()] += 1;
+        }
         Graph {
             labels,
             node_labels,
@@ -44,6 +64,8 @@ impl Graph {
             out_targets,
             in_offsets,
             in_targets,
+            label_offsets,
+            label_nodes,
         }
     }
 
@@ -131,9 +153,14 @@ impl Graph {
             .flat_map(move |u| self.out(u).iter().map(move |&v| (u, v)))
     }
 
-    /// Nodes carrying label `l`.
-    pub fn nodes_with_label(&self, l: Label) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(move |&v| self.node_label(v) == l)
+    /// Nodes carrying label `l`, as a sorted slice of the label partition
+    /// index — `O(1)` + output. Unknown labels yield the empty slice.
+    #[inline]
+    pub fn nodes_with_label(&self, l: Label) -> &[NodeId] {
+        if l.index() + 1 >= self.label_offsets.len() {
+            return &[];
+        }
+        &self.label_nodes[self.label_offsets[l.index()]..self.label_offsets[l.index() + 1]]
     }
 
     /// Maximum total degree over all nodes (the paper's `d_G` when applied to
@@ -154,16 +181,18 @@ impl GraphView for Graph {
         self.node_label(v)
     }
 
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(self.out(v).iter().copied())
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors::slice(self.out(v))
     }
 
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(self.inn(v).iter().copied())
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors::slice(self.inn(v))
     }
 
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(self.nodes())
+    fn node_ids(&self) -> NodeIds<'_> {
+        NodeIds::Range(0..self.node_count() as u32)
     }
 
     #[inline]
@@ -189,6 +218,17 @@ impl GraphView for Graph {
     #[inline]
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.edge(u, v)
+    }
+
+    fn for_each_node_with_label(&self, l: Label, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.nodes_with_label(l) {
+            f(v);
+        }
+    }
+
+    #[inline]
+    fn count_nodes_with_label(&self, l: Label) -> usize {
+        self.nodes_with_label(l).len()
     }
 }
 
@@ -257,8 +297,28 @@ mod tests {
         assert_eq!(g.node_label_str(d), "D");
         let la = g.labels().get("A").unwrap();
         assert_eq!(g.node_label(a), la);
-        let with_a: Vec<_> = g.nodes_with_label(la).collect();
-        assert_eq!(with_a, vec![a]);
+        assert_eq!(g.nodes_with_label(la), &[a]);
+    }
+
+    #[test]
+    fn label_partition_equals_linear_scan() {
+        // The label index must agree with a filter over all nodes, for
+        // every interned label, and be sorted.
+        let g = crate::builder::graph_from_edges(
+            &["A", "B", "A", "C", "B", "A"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        for l in (0..g.labels().len() as u32).map(Label) {
+            let scan: Vec<NodeId> = g.nodes().filter(|&v| g.node_label(v) == l).collect();
+            assert_eq!(g.nodes_with_label(l), scan.as_slice());
+            assert_eq!(g.count_nodes_with_label(l), scan.len());
+            assert!(g.nodes_with_label(l).windows(2).all(|w| w[0] < w[1]));
+            let mut via_trait = Vec::new();
+            g.for_each_node_with_label(l, &mut |v| via_trait.push(v));
+            assert_eq!(via_trait, scan);
+        }
+        assert_eq!(g.nodes_with_label(Label(999)), &[] as &[NodeId]);
+        assert_eq!(g.count_nodes_with_label(Label(999)), 0);
     }
 
     #[test]

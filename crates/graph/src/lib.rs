@@ -48,4 +48,4 @@ pub use graph::Graph;
 pub use labels::LabelInterner;
 pub use subgraph::{DynamicSubgraph, InducedSubgraph};
 pub use types::{Label, NodeId};
-pub use view::GraphView;
+pub use view::{GraphView, Neighbors, NodeIds};

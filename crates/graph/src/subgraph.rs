@@ -11,7 +11,7 @@
 
 use crate::graph::Graph;
 use crate::types::{Label, NodeId};
-use crate::view::GraphView;
+use crate::view::{GraphView, Neighbors, NodeIds};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// The subgraph of a base graph induced by a node set (§2).
@@ -82,28 +82,18 @@ impl GraphView for InducedSubgraph<'_> {
         self.base.node_label(v)
     }
 
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(
-            self.base
-                .out(v)
-                .iter()
-                .copied()
-                .filter(move |w| self.members.contains(w)),
-        )
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors::filtered(self.base.out(v), &self.members)
     }
 
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(
-            self.base
-                .inn(v)
-                .iter()
-                .copied()
-                .filter(move |w| self.members.contains(w)),
-        )
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors::filtered(self.base.inn(v), &self.members)
     }
 
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
-        Box::new(self.nodes.iter().copied())
+    fn node_ids(&self) -> NodeIds<'_> {
+        NodeIds::Slice(self.nodes.iter())
     }
 
     #[inline]
@@ -223,24 +213,26 @@ impl GraphView for DynamicSubgraph<'_> {
         self.base.node_label(v)
     }
 
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         match self.out_adj.get(&v) {
-            Some(list) => Box::new(list.iter().copied()),
-            None => Box::new(std::iter::empty()),
+            Some(list) => Neighbors::slice(list),
+            None => Neighbors::empty(),
         }
     }
 
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
         match self.in_adj.get(&v) {
-            Some(list) => Box::new(list.iter().copied()),
-            None => Box::new(std::iter::empty()),
+            Some(list) => Neighbors::slice(list),
+            None => Neighbors::empty(),
         }
     }
 
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    fn node_ids(&self) -> NodeIds<'_> {
         let mut ids = self.nodes.clone();
         ids.sort_unstable();
-        Box::new(ids.into_iter())
+        NodeIds::Owned(ids.into_iter())
     }
 
     #[inline]

@@ -4,8 +4,135 @@
 //! on the full graph `G` (baselines) and on the dynamically reduced `G_Q`
 //! (paper Fig. 2). Making the matchers generic over a read-only view lets
 //! one implementation serve both, without copying `G_Q` into a fresh graph.
+//!
+//! Adjacency is exposed through the concrete [`Neighbors`] iterator — a
+//! borrowed slice, optionally filtered through a membership set — instead of
+//! `Box<dyn Iterator>`: the matching fixpoints probe adjacency millions of
+//! times per query, and a heap allocation per probe dominated their profile.
+//! Slice-backed views (the common case) additionally expose the raw slice
+//! via [`Neighbors::as_slice`] so hot loops can iterate without any
+//! per-element branching.
 
 use crate::types::{Direction, Label, NodeId};
+use rustc_hash::FxHashSet;
+
+const EMPTY: &[NodeId] = &[];
+
+/// Borrowed adjacency of one node: a slice, optionally filtered by a
+/// membership set (for induced-subgraph views). Never allocates.
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    rest: &'a [NodeId],
+    filter: Option<&'a FxHashSet<NodeId>>,
+}
+
+impl<'a> Neighbors<'a> {
+    /// Adjacency backed directly by a slice.
+    #[inline]
+    pub fn slice(list: &'a [NodeId]) -> Self {
+        Neighbors {
+            rest: list,
+            filter: None,
+        }
+    }
+
+    /// Adjacency backed by a base-graph slice filtered through `members`:
+    /// only targets in the set are yielded.
+    #[inline]
+    pub fn filtered(list: &'a [NodeId], members: &'a FxHashSet<NodeId>) -> Self {
+        Neighbors {
+            rest: list,
+            filter: Some(members),
+        }
+    }
+
+    /// No neighbors.
+    #[inline]
+    pub fn empty() -> Self {
+        Neighbors {
+            rest: EMPTY,
+            filter: None,
+        }
+    }
+
+    /// The remaining neighbors as a plain slice, when unfiltered. Hot loops
+    /// use this to bypass the per-element filter branch; `None` means the
+    /// view is virtual (filtered) and must be iterated.
+    #[inline]
+    pub fn as_slice(&self) -> Option<&'a [NodeId]> {
+        match self.filter {
+            None => Some(self.rest),
+            Some(_) => None,
+        }
+    }
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self.filter {
+            None => {
+                let (&first, rest) = self.rest.split_first()?;
+                self.rest = rest;
+                Some(first)
+            }
+            Some(members) => {
+                while let Some((&first, rest)) = self.rest.split_first() {
+                    self.rest = rest;
+                    if members.contains(&first) {
+                        return Some(first);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.filter {
+            None => (self.rest.len(), Some(self.rest.len())),
+            Some(_) => (0, Some(self.rest.len())),
+        }
+    }
+}
+
+/// Node ids of a view, in ascending order. Concrete (non-boxed) so
+/// `node_ids()` costs nothing for range- and slice-backed views; only views
+/// that keep nodes in insertion order pay a sort + allocation.
+#[derive(Debug, Clone)]
+pub enum NodeIds<'a> {
+    /// Dense id range `0..n` (a full [`crate::Graph`]).
+    Range(std::ops::Range<u32>),
+    /// Sorted member slice (induced subgraphs).
+    Slice(std::slice::Iter<'a, NodeId>),
+    /// Materialized sorted ids (views without a sorted member list).
+    Owned(std::vec::IntoIter<NodeId>),
+}
+
+impl Iterator for NodeIds<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            NodeIds::Range(r) => r.next().map(NodeId),
+            NodeIds::Slice(it) => it.next().copied(),
+            NodeIds::Owned(it) => it.next(),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NodeIds::Range(r) => r.size_hint(),
+            NodeIds::Slice(it) => it.size_hint(),
+            NodeIds::Owned(it) => it.size_hint(),
+        }
+    }
+}
 
 /// A read-only view of a node-labeled directed graph.
 ///
@@ -22,13 +149,13 @@ pub trait GraphView {
     fn label(&self, v: NodeId) -> Label;
 
     /// Children of `v`: targets of edges `v -> w` present in the view.
-    fn out_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_>;
+    fn out_neighbors(&self, v: NodeId) -> Neighbors<'_>;
 
     /// Parents of `v`: sources of edges `w -> v` present in the view.
-    fn in_neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_>;
+    fn in_neighbors(&self, v: NodeId) -> Neighbors<'_>;
 
     /// All node ids present in the view, in ascending order.
-    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_>;
+    fn node_ids(&self) -> NodeIds<'_>;
 
     /// Number of nodes in the view.
     fn num_nodes(&self) -> usize;
@@ -37,7 +164,7 @@ pub trait GraphView {
     fn num_edges(&self) -> usize;
 
     /// Neighbors in the given direction.
-    fn neighbors(&self, v: NodeId, dir: Direction) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    fn neighbors(&self, v: NodeId, dir: Direction) -> Neighbors<'_> {
         match dir {
             Direction::Out => self.out_neighbors(v),
             Direction::In => self.in_neighbors(v),
@@ -70,6 +197,25 @@ pub trait GraphView {
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.out_neighbors(u).any(|w| w == v)
     }
+
+    /// Visit every node of the view carrying label `l`, in ascending id
+    /// order. The default scans all nodes; [`crate::Graph`] overrides it
+    /// with its label partition index (`O(1)` + output).
+    fn for_each_node_with_label(&self, l: Label, f: &mut dyn FnMut(NodeId)) {
+        for v in self.node_ids() {
+            if self.label(v) == l {
+                f(v);
+            }
+        }
+    }
+
+    /// Number of nodes carrying label `l`. The default scans; [`crate::Graph`]
+    /// answers from the label partition in constant time.
+    fn count_nodes_with_label(&self, l: Label) -> usize {
+        let mut n = 0usize;
+        self.for_each_node_with_label(l, &mut |_| n += 1);
+        n
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +240,36 @@ mod tests {
         assert_eq!(g.degree(c), 2);
         assert!(g.has_edge(a, c));
         assert!(!g.has_edge(c, a));
+    }
+
+    #[test]
+    fn neighbors_slice_roundtrip() {
+        let list = [NodeId(1), NodeId(3), NodeId(5)];
+        let n = Neighbors::slice(&list);
+        assert_eq!(n.as_slice(), Some(&list[..]));
+        assert_eq!(n.size_hint(), (3, Some(3)));
+        let got: Vec<NodeId> = n.collect();
+        assert_eq!(got, list);
+        assert!(Neighbors::empty().next().is_none());
+    }
+
+    #[test]
+    fn neighbors_filtered_skips_nonmembers() {
+        let list = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let members: FxHashSet<NodeId> = [NodeId(2), NodeId(4)].into_iter().collect();
+        let n = Neighbors::filtered(&list, &members);
+        assert_eq!(n.as_slice(), None);
+        let got: Vec<NodeId> = n.collect();
+        assert_eq!(got, vec![NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn node_ids_variants_iterate() {
+        let ids = [NodeId(2), NodeId(7)];
+        assert_eq!(NodeIds::Range(0..3).count(), 3);
+        let got: Vec<NodeId> = NodeIds::Slice(ids.iter()).collect();
+        assert_eq!(got, ids);
+        let got: Vec<NodeId> = NodeIds::Owned(Vec::from(ids).into_iter()).collect();
+        assert_eq!(got, ids);
     }
 }

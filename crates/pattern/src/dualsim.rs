@@ -6,45 +6,112 @@
 //! match `v'` among `v`'s children with `(u', v') ∈ R`, and (b) every query
 //! parent `u''` of `u` has a match among `v`'s parents (paper §2,
 //! conditions (a)/(b)). There is a unique **maximum** dual simulation, which
-//! this module computes by iterated pruning, seeded with the personalized
-//! pair `(u_p, v_p)`.
+//! this module computes seeded with the personalized pair `(u_p, v_p)`.
+//!
+//! ## Algorithm
+//!
+//! The fixpoint is computed by the counter-based worklist algorithm (in the
+//! tradition of Henzinger–Henzinger–Kopke's efficient simulation): for every
+//! query edge `(a, b)` and candidate `v` of `a`, a counter holds
+//! `|out(v) ∩ sim(b)|`; symmetrically for parents. A pair is removed exactly
+//! when one of its counters reaches zero, and each removal decrements only
+//! the counters of the removed node's data neighbors — so total work is
+//! `O((|V_p| + |E_p|) · (|V| + |E|))` instead of the naive algorithm's
+//! repeated full re-sweeps. Match sets are sorted candidate vectors with a
+//! dense alive mask, not hash sets: probes are binary searches, results are
+//! borrowed sorted slices, and the inner loops never allocate per probe
+//! (adjacency comes from [`GraphView`]'s slice-backed
+//! [`rbq_graph::Neighbors`]).
+//!
+//! The naive iterated-pruning fixpoint is retained under `#[cfg(test)]` as
+//! the differential oracle for the property tests below.
 
 use crate::pattern::{PNode, ResolvedPattern};
 use rbq_graph::{GraphView, NodeId};
 use rustc_hash::FxHashSet;
 
 /// The maximum dual-simulation relation, as per-query-node match sets.
+///
+/// Match sets are sorted, deduplicated vectors: deterministic order is
+/// inherent, and [`DualSim::matches_sorted`] is a borrowed slice.
 #[derive(Debug, Clone)]
 pub struct DualSim {
-    sim: Vec<FxHashSet<NodeId>>,
+    sim: Vec<Vec<NodeId>>,
 }
 
 impl DualSim {
-    /// Matches of query node `u`.
-    pub fn matches(&self, u: PNode) -> &FxHashSet<NodeId> {
+    /// Matches of query node `u`, sorted ascending.
+    #[inline]
+    pub fn matches(&self, u: PNode) -> &[NodeId] {
         &self.sim[u.index()]
     }
 
-    /// Matches of `u` as a sorted vector (deterministic order).
-    pub fn matches_sorted(&self, u: PNode) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.sim[u.index()].iter().copied().collect();
-        v.sort_unstable();
-        v
+    /// Matches of `u` in deterministic (ascending) order — the same slice
+    /// as [`DualSim::matches`]; kept as the name the callers grew up with.
+    #[inline]
+    pub fn matches_sorted(&self, u: PNode) -> &[NodeId] {
+        self.matches(u)
     }
 
-    /// All data nodes participating in the relation (the match-graph nodes).
-    pub fn all_matched(&self) -> FxHashSet<NodeId> {
-        let mut s = FxHashSet::default();
-        for m in &self.sim {
-            s.extend(m.iter().copied());
-        }
+    /// All data nodes participating in the relation (the match-graph
+    /// nodes), sorted and deduplicated.
+    pub fn all_matched(&self) -> Vec<NodeId> {
+        let mut s: Vec<NodeId> = self.sim.iter().flatten().copied().collect();
+        s.sort_unstable();
+        s.dedup();
         s
     }
 
     /// Whether `(u, v)` is in the relation.
     pub fn contains(&self, u: PNode, v: NodeId) -> bool {
-        self.sim[u.index()].contains(&v)
+        self.sim[u.index()].binary_search(&v).is_ok()
     }
+}
+
+/// Position of `v` in the sorted candidate list of one query node.
+#[inline]
+fn pos(cand: &[NodeId], v: NodeId) -> Option<usize> {
+    cand.binary_search(&v).ok()
+}
+
+/// Membership test in a bitmap indexed by data-node id offset by `base`;
+/// ids outside the bitmap (never candidates) are absent. Ids below `base`
+/// wrap to a huge index and fall off the slice, reading as absent.
+#[inline]
+fn bit(words: &[u64], base: usize, v: NodeId) -> bool {
+    let i = v.index().wrapping_sub(base);
+    words.get(i >> 6).is_some_and(|w| (w >> (i & 63)) & 1 == 1)
+}
+
+/// Label guard for one direction: does `v` carry every label of `req`
+/// (sorted, deduplicated) among its children (`out = true`) or parents?
+/// Early-exits once all requirements are seen.
+#[inline]
+fn guard_dir<V: GraphView + ?Sized>(g: &V, v: NodeId, req: &[rbq_graph::Label], out: bool) -> bool {
+    if req.is_empty() {
+        return true;
+    }
+    if req.len() > 64 {
+        // Beyond the seen-mask width the guard cannot be tracked in one
+        // word; skip it (the counters below remain authoritative).
+        return true;
+    }
+    let need: u64 = u64::MAX >> (64 - req.len());
+    let mut seen = 0u64;
+    let neighbors = if out {
+        g.out_neighbors(v)
+    } else {
+        g.in_neighbors(v)
+    };
+    for w in neighbors {
+        if let Ok(k) = req.binary_search(&g.label(w)) {
+            seen |= 1 << k;
+            if seen == need {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Compute the maximum dual simulation of `q` in `g`, optionally restricted
@@ -68,79 +135,319 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
         return None;
     }
 
-    // Initialize candidate sets by label.
-    let mut sim: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); n];
+    // Candidate seeding by label. Unrestricted seeding goes through the
+    // view's label partition (O(1) + output on `Graph`); universes are
+    // filtered directly. Each list is then screened by the *label guard*:
+    // a candidate of `u` must have, per query child (resp. parent) label of
+    // `u`, at least one matching-labeled data child (resp. parent). Guard
+    // failures violate condition (a)/(b) against the label-consistent
+    // superset of the relation, so they cannot appear in the maximum dual
+    // simulation — dropping them up front keeps the counter structures
+    // (and the cache-hostile worklist propagation) proportional to the
+    // plausible candidates, not the label frequency.
+    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    let mut req_out: Vec<rbq_graph::Label> = Vec::new();
+    let mut req_in: Vec<rbq_graph::Label> = Vec::new();
     for u in p.nodes() {
         if u == q.up() {
-            sim[u.index()].insert(q.vp());
+            cand.push(vec![q.vp()]);
             continue;
         }
         let lu = q.label(u);
+        let mut list: Vec<NodeId> = Vec::new();
         match universe {
             Some(uni) => {
                 for &v in uni {
                     if g.contains(v) && g.label(v) == lu {
-                        sim[u.index()].insert(v);
+                        list.push(v);
                     }
                 }
+                list.sort_unstable();
             }
             None => {
-                for v in g.node_ids() {
-                    if g.label(v) == lu {
-                        sim[u.index()].insert(v);
-                    }
-                }
+                // Label partitions are emitted in ascending id order.
+                g.for_each_node_with_label(lu, &mut |v| list.push(v));
             }
         }
-        if sim[u.index()].is_empty() {
+        req_out.clear();
+        req_out.extend(p.out(u).iter().map(|&uc| q.label(uc)));
+        req_out.sort_unstable();
+        req_out.dedup();
+        req_in.clear();
+        req_in.extend(p.inn(u).iter().map(|&up_| q.label(up_)));
+        req_in.sort_unstable();
+        req_in.dedup();
+        if !req_out.is_empty() || !req_in.is_empty() {
+            list.retain(|&v| guard_dir(g, v, &req_out, true) && guard_dir(g, v, &req_in, false));
+        }
+        if list.is_empty() {
             return None;
+        }
+        cand.push(list);
+    }
+
+    // Alive mask + live count per query node; the relation is
+    // `{(u, cand[u][i]) : alive[u][i]}` throughout.
+    let mut alive: Vec<Vec<bool>> = cand.iter().map(|c| vec![true; c.len()]).collect();
+    let mut alive_count: Vec<usize> = cand.iter().map(Vec::len).collect();
+
+    // Removal worklist of (query node index, candidate position). `kill`
+    // retires a pair at most once; `false` means some match set emptied.
+    let mut worklist: Vec<(usize, usize)> = Vec::new();
+    fn kill(
+        u: usize,
+        i: usize,
+        alive: &mut [Vec<bool>],
+        alive_count: &mut [usize],
+        worklist: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        if !alive[u][i] {
+            return true;
+        }
+        alive[u][i] = false;
+        alive_count[u] -= 1;
+        worklist.push((u, i));
+        alive_count[u] > 0
+    }
+
+    // Static membership bitmaps over the *initial* candidate sets, indexed
+    // by data-node id: counter initialization probes adjacency once per
+    // (edge, candidate, neighbor) and must not pay a binary search each
+    // time. Bitmaps stay fixed; liveness is tracked by `alive`. Indexing
+    // is offset by the smallest candidate id so ball-restricted calls
+    // (localized but high ids) allocate for the candidate id *range*, not
+    // the base graph's whole id space.
+    let min_id = cand
+        .iter()
+        .filter_map(|c| c.first())
+        .map(|v| v.index())
+        .min()
+        .unwrap_or(0);
+    let max_id = cand
+        .iter()
+        .filter_map(|c| c.last())
+        .map(|v| v.index())
+        .max()
+        .unwrap_or(0);
+    let mut member: Vec<Vec<u64>> = vec![vec![0u64; ((max_id - min_id) >> 6) + 1]; n];
+    for (u, c) in cand.iter().enumerate() {
+        for &v in c {
+            let i = v.index() - min_id;
+            member[u][i >> 6] |= 1 << (i & 63);
         }
     }
 
-    // Iterated pruning to the greatest fixpoint.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for u in p.nodes() {
-            let ui = u.index();
-            // Collect removals first to avoid aliasing sim[u] while probing
-            // sim[u'] (u' may equal u on self-loop query edges).
-            let mut remove: Vec<NodeId> = Vec::new();
-            'cand: for &v in &sim[ui] {
-                for &uc in p.out(u) {
-                    let target = &sim[uc.index()];
-                    let ok = g.out_neighbors(v).any(|w| target.contains(&w));
-                    if !ok {
-                        remove.push(v);
-                        continue 'cand;
-                    }
+    // Per-edge counters against the initial candidate sets; worklist
+    // processing keeps them equal to |neighbors ∩ current sim| for every
+    // still-alive pair. succ_cnt[e][i]: edge e = (a, b), candidate i of a,
+    // matched children. pred_cnt[e][i]: candidate i of b, matched parents.
+    // Candidates already killed by an earlier edge keep a zero counter:
+    // dead pairs' counters are never consulted again.
+    let edges = p.edges();
+    let mut succ_cnt: Vec<Vec<u32>> = Vec::with_capacity(edges.len());
+    let mut pred_cnt: Vec<Vec<u32>> = Vec::with_capacity(edges.len());
+    for &(a, b) in edges {
+        let (ai, bi) = (a.index(), b.index());
+        let mut sc = vec![0u32; cand[ai].len()];
+        for (i, &v) in cand[ai].iter().enumerate() {
+            if !alive[ai][i] {
+                continue;
+            }
+            let mut c = 0u32;
+            for w in g.out_neighbors(v) {
+                if bit(&member[bi], min_id, w) {
+                    c += 1;
                 }
-                for &up_ in p.inn(u) {
-                    let source = &sim[up_.index()];
-                    let ok = g.in_neighbors(v).any(|w| source.contains(&w));
-                    if !ok {
-                        remove.push(v);
-                        continue 'cand;
+            }
+            sc[i] = c;
+            if c == 0 && !kill(ai, i, &mut alive, &mut alive_count, &mut worklist) {
+                return None;
+            }
+        }
+        succ_cnt.push(sc);
+        let mut pc = vec![0u32; cand[bi].len()];
+        for (i, &v) in cand[bi].iter().enumerate() {
+            if !alive[bi][i] {
+                continue;
+            }
+            let mut c = 0u32;
+            for w in g.in_neighbors(v) {
+                if bit(&member[ai], min_id, w) {
+                    c += 1;
+                }
+            }
+            pc[i] = c;
+            if c == 0 && !kill(bi, i, &mut alive, &mut alive_count, &mut worklist) {
+                return None;
+            }
+        }
+        pred_cnt.push(pc);
+    }
+
+    // Incidence lists: which edge indices have `u` as source / target.
+    let mut edges_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        edges_out[a.index()].push(e);
+        edges_in[b.index()].push(e);
+    }
+
+    // Propagate removals to the greatest fixpoint: losing `w` from sim(u)
+    // decrements the child-counter of each data parent of `w` (for edges
+    // into `u`) and the parent-counter of each data child (for edges out).
+    while let Some((ui, i)) = worklist.pop() {
+        let w = cand[ui][i];
+        for &e in &edges_in[ui] {
+            let ai = edges[e].0.index();
+            for x in g.in_neighbors(w) {
+                // Bit test first: most data neighbors are not candidates,
+                // and the bitmap filters them without a binary search.
+                if !bit(&member[ai], min_id, x) {
+                    continue;
+                }
+                if let Some(j) = pos(&cand[ai], x) {
+                    if alive[ai][j] {
+                        succ_cnt[e][j] -= 1;
+                        if succ_cnt[e][j] == 0
+                            && !kill(ai, j, &mut alive, &mut alive_count, &mut worklist)
+                        {
+                            return None;
+                        }
                     }
                 }
             }
-            if !remove.is_empty() {
-                changed = true;
-                for v in remove {
-                    sim[ui].remove(&v);
+        }
+        for &e in &edges_out[ui] {
+            let bi = edges[e].1.index();
+            for x in g.out_neighbors(w) {
+                if !bit(&member[bi], min_id, x) {
+                    continue;
                 }
-                if sim[ui].is_empty() {
-                    return None;
+                if let Some(j) = pos(&cand[bi], x) {
+                    if alive[bi][j] {
+                        pred_cnt[e][j] -= 1;
+                        if pred_cnt[e][j] == 0
+                            && !kill(bi, j, &mut alive, &mut alive_count, &mut worklist)
+                        {
+                            return None;
+                        }
+                    }
                 }
             }
         }
     }
 
     // The personalized pair must have survived.
-    if !sim[q.up().index()].contains(&q.vp()) {
+    if !alive[q.up().index()][0] {
         return None;
     }
+
+    let sim: Vec<Vec<NodeId>> = cand
+        .iter()
+        .zip(&alive)
+        .map(|(c, a)| {
+            c.iter()
+                .zip(a)
+                .filter_map(|(&v, &al)| al.then_some(v))
+                .collect()
+        })
+        .collect();
     Some(DualSim { sim })
+}
+
+/// The pre-worklist fixpoint, kept verbatim as a `#[cfg(test)]` oracle: the
+/// maximum dual simulation is unique, so the two implementations must agree
+/// on every input (see the differential property test below).
+#[cfg(test)]
+mod naive {
+    use super::*;
+
+    pub fn dual_simulation_naive<V: GraphView + ?Sized>(
+        q: &ResolvedPattern,
+        g: &V,
+        universe: Option<&FxHashSet<NodeId>>,
+    ) -> Option<Vec<Vec<NodeId>>> {
+        let p = q.pattern();
+        let n = p.node_count();
+        let in_universe = |v: NodeId| universe.is_none_or(|u| u.contains(&v));
+        if !g.contains(q.vp()) || !in_universe(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
+            return None;
+        }
+        let mut sim: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); n];
+        for u in p.nodes() {
+            if u == q.up() {
+                sim[u.index()].insert(q.vp());
+                continue;
+            }
+            let lu = q.label(u);
+            match universe {
+                Some(uni) => {
+                    for &v in uni {
+                        if g.contains(v) && g.label(v) == lu {
+                            sim[u.index()].insert(v);
+                        }
+                    }
+                }
+                None => {
+                    for v in g.node_ids() {
+                        if g.label(v) == lu {
+                            sim[u.index()].insert(v);
+                        }
+                    }
+                }
+            }
+            if sim[u.index()].is_empty() {
+                return None;
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in p.nodes() {
+                let ui = u.index();
+                let mut remove: Vec<NodeId> = Vec::new();
+                'cand: for &v in &sim[ui] {
+                    for &uc in p.out(u) {
+                        let target = &sim[uc.index()];
+                        let ok = g.out_neighbors(v).any(|w| target.contains(&w));
+                        if !ok {
+                            remove.push(v);
+                            continue 'cand;
+                        }
+                    }
+                    for &up_ in p.inn(u) {
+                        let source = &sim[up_.index()];
+                        let ok = g.in_neighbors(v).any(|w| source.contains(&w));
+                        if !ok {
+                            remove.push(v);
+                            continue 'cand;
+                        }
+                    }
+                }
+                if !remove.is_empty() {
+                    changed = true;
+                    for v in remove {
+                        sim[ui].remove(&v);
+                    }
+                    if sim[ui].is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+        if !sim[q.up().index()].contains(&q.vp()) {
+            return None;
+        }
+        Some(
+            sim.into_iter()
+                .map(|s| {
+                    let mut v: Vec<NodeId> = s.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +495,7 @@ mod tests {
         let matches = d.matches_sorted(uo);
         // cl_{n-1} and cl_n both have CC and HG parents reachable from
         // Michael; cl1's only parent cc2 is pruned (no Michael parent).
-        assert_eq!(matches, vec![ids[7], ids[8]]);
+        assert_eq!(matches, &[ids[7], ids[8]]);
     }
 
     #[test]
@@ -196,7 +503,7 @@ mod tests {
         let (g, ids) = fig1_graph();
         let q = fig1_pattern().resolve(&g).unwrap();
         let d = dual_simulation(&q, &g, None).unwrap();
-        assert_eq!(d.matches_sorted(q.up()), vec![ids[0]]);
+        assert_eq!(d.matches_sorted(q.up()), &[ids[0]]);
     }
 
     #[test]
@@ -263,7 +570,7 @@ mod tests {
         pb.personalized(m).output(m);
         let q = pb.build().resolve(&g).unwrap();
         let d = dual_simulation(&q, &g, None).unwrap();
-        assert_eq!(d.matches_sorted(m), vec![ids[0]]);
+        assert_eq!(d.matches_sorted(m), &[ids[0]]);
         assert_eq!(d.all_matched().len(), 1);
     }
 
@@ -288,7 +595,7 @@ mod tests {
         pb.personalized(p).output(a);
         let q = pb.build().resolve(&g).unwrap();
         let d = dual_simulation(&q, &g, None).unwrap();
-        assert_eq!(d.matches_sorted(a), vec![y]);
+        assert_eq!(d.matches_sorted(a), &[y]);
         let _ = (x, z);
     }
 
@@ -322,5 +629,137 @@ mod tests {
         let d = dual_simulation(&q, &g, None).unwrap();
         // Michael + hgm + cc1 + cc3 + cln-1 + cln = 6
         assert_eq!(d.all_matched().len(), 6);
+    }
+
+    // ------------------------------------------------ differential oracle
+
+    use proptest::prelude::*;
+    use rbq_graph::builder::graph_from_edges;
+    use rbq_graph::InducedSubgraph;
+
+    /// A random digraph (≤ 20 nodes, ≤ 4 labels) where node 0 is the unique
+    /// "ME", plus a random small pattern anchored at ME.
+    fn arb_graph_and_pattern() -> impl Strategy<Value = (Graph, crate::pattern::Pattern)> {
+        (2usize..20).prop_flat_map(|n| {
+            let labels = proptest::collection::vec(0u8..4, n - 1);
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+            let extra = proptest::collection::vec((0u8..4, prop::bool::ANY), 1..5);
+            (labels, edges, extra).prop_map(|(labels, edges, extra)| {
+                let names: Vec<String> = std::iter::once("ME".to_string())
+                    .chain(labels.iter().map(|l| format!("L{l}")))
+                    .collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let g = graph_from_edges(&refs, &edges);
+                let mut pb = PatternBuilder::new();
+                let me = pb.add_node("ME");
+                let mut prev = me;
+                for (l, fwd) in extra {
+                    let u = pb.add_node(&format!("L{l}"));
+                    if fwd {
+                        pb.add_edge(prev, u);
+                    } else {
+                        pb.add_edge(u, prev);
+                    }
+                    prev = u;
+                }
+                pb.personalized(me).output(prev);
+                (g, pb.build())
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The worklist algorithm computes the same (unique) maximum dual
+        /// simulation as the naive full-resweep fixpoint, on every graph,
+        /// pattern, and query node.
+        #[test]
+        fn worklist_equals_naive_fixpoint((g, p) in arb_graph_and_pattern()) {
+            let Ok(q) = p.resolve(&g) else { return Ok(()); };
+            let fast = dual_simulation(&q, &g, None);
+            let slow = naive::dual_simulation_naive(&q, &g, None);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    for u in p.nodes() {
+                        prop_assert_eq!(
+                            f.matches_sorted(u),
+                            s[u.index()].as_slice(),
+                            "mismatch at query node {:?}", u
+                        );
+                    }
+                }
+                (f, s) => prop_assert!(
+                    false,
+                    "existence mismatch: fast={} naive={}",
+                    f.is_some(),
+                    s.is_some()
+                ),
+            }
+        }
+
+        /// Agreement also holds under a restricting universe (the
+        /// ball-restricted mode strong simulation uses).
+        #[test]
+        fn worklist_equals_naive_under_universe(
+            (g, p) in arb_graph_and_pattern(),
+            keep in proptest::collection::vec(prop::bool::ANY, 20),
+        ) {
+            let Ok(q) = p.resolve(&g) else { return Ok(()); };
+            let uni: FxHashSet<NodeId> = g
+                .nodes()
+                .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+                .chain(std::iter::once(q.vp()))
+                .collect();
+            let fast = dual_simulation(&q, &g, Some(&uni));
+            let slow = naive::dual_simulation_naive(&q, &g, Some(&uni));
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    for u in p.nodes() {
+                        prop_assert_eq!(f.matches_sorted(u), s[u.index()].as_slice());
+                    }
+                }
+                (f, s) => prop_assert!(
+                    false,
+                    "existence mismatch: fast={} naive={}",
+                    f.is_some(),
+                    s.is_some()
+                ),
+            }
+        }
+
+        /// And on virtual (filtered) views, whose adjacency is not
+        /// slice-backed.
+        #[test]
+        fn worklist_equals_naive_on_induced_view(
+            (g, p) in arb_graph_and_pattern(),
+            keep in proptest::collection::vec(prop::bool::ANY, 20),
+        ) {
+            let Ok(q) = p.resolve(&g) else { return Ok(()); };
+            let members: Vec<NodeId> = g
+                .nodes()
+                .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+                .chain(std::iter::once(q.vp()))
+                .collect();
+            let view = InducedSubgraph::new(&g, members);
+            let fast = dual_simulation(&q, &view, None);
+            let slow = naive::dual_simulation_naive(&q, &view, None);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    for u in p.nodes() {
+                        prop_assert_eq!(f.matches_sorted(u), s[u.index()].as_slice());
+                    }
+                }
+                (f, s) => prop_assert!(
+                    false,
+                    "existence mismatch: fast={} naive={}",
+                    f.is_some(),
+                    s.is_some()
+                ),
+            }
+        }
     }
 }

@@ -214,11 +214,11 @@ impl Pattern {
             }
         }
         let lp = labels[self.personalized.index()];
-        let mut candidates = g.nodes_with_label(lp);
-        let vp = candidates.next().ok_or(ResolveError::NoPersonalizedMatch)?;
-        if candidates.next().is_some() {
-            return Err(ResolveError::AmbiguousPersonalizedMatch);
-        }
+        let vp = match g.nodes_with_label(lp) {
+            [] => return Err(ResolveError::NoPersonalizedMatch),
+            [v] => *v,
+            _ => return Err(ResolveError::AmbiguousPersonalizedMatch),
+        };
         Ok(ResolvedPattern {
             pattern: self.clone(),
             labels,

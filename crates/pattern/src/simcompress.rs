@@ -72,7 +72,7 @@ impl SimCompressed {
     /// singleton).
     pub fn dual_sim_via_quotient(&self, q: &ResolvedPattern) -> Option<Vec<NodeId>> {
         let rel = dual_simulation(q, &self.quotient, None)?;
-        Some(self.expand(&rel.matches_sorted(q.uo())))
+        Some(self.expand(rel.matches_sorted(q.uo())))
     }
 }
 
@@ -238,7 +238,7 @@ mod tests {
 
         let q_orig = pattern.resolve(&g).unwrap();
         let direct = dual_simulation(&q_orig, &g, None)
-            .map(|d| d.matches_sorted(q_orig.uo()))
+            .map(|d| d.matches_sorted(q_orig.uo()).to_vec())
             .unwrap_or_default();
 
         let c = bisimulation_compress(&g);

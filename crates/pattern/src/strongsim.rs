@@ -73,7 +73,7 @@ pub fn strong_simulation_anonymous(pattern: &crate::pattern::Pattern, g: &Graph)
         return Vec::new();
     };
     let mut out: FxHashSet<NodeId> = FxHashSet::default();
-    for v in g.nodes_with_label(anchor_label) {
+    for &v in g.nodes_with_label(anchor_label) {
         if let Ok(q) = pattern.resolve_with_anchor(g, v) {
             out.extend(strong_simulation(&q, g));
         }
@@ -102,8 +102,10 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
     // Optional shared prefilter: the maximum dual simulation on
     // G_{2dQ}(v_p) contains every ball-restricted relation (balls around
     // centers in N_dQ(v_p) lie inside N_{2dQ}(v_p)), so non-members can
-    // never match and balls disjoint from it can be skipped.
-    let matched_filter: Option<FxHashSet<NodeId>> = if prefilter {
+    // never match and balls disjoint from it can be skipped. The matched
+    // set is a sorted vector (the relation's native representation);
+    // membership is a binary search.
+    let matched_filter: Option<Vec<NodeId>> = if prefilter {
         let uni = ball_nodes(g, vp, 2 * dq);
         match dual_simulation(q, g, Some(&uni)) {
             Some(d) => Some(d.all_matched()),
@@ -118,8 +120,11 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
         let ball = ball_nodes(g, v0, dq);
         let universe: FxHashSet<NodeId> = match &matched_filter {
             Some(m) => {
-                let mut u: FxHashSet<NodeId> =
-                    ball.iter().copied().filter(|v| m.contains(v)).collect();
+                let mut u: FxHashSet<NodeId> = ball
+                    .iter()
+                    .copied()
+                    .filter(|v| m.binary_search(v).is_ok())
+                    .collect();
                 if !u.contains(&vp) {
                     continue;
                 }

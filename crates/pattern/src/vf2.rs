@@ -163,11 +163,16 @@ fn backtrack<V: GraphView + ?Sized>(
 
     // Candidate generation: prefer expanding from an already-mapped pattern
     // neighbor (its data image's adjacency), falling back to a label scan.
+    // Slice-backed adjacency copies in one memcpy via `as_slice`.
+    let collect = |nb: rbq_graph::Neighbors<'_>| match nb.as_slice() {
+        Some(s) => s.to_vec(),
+        None => nb.collect(),
+    };
     let mut candidates: Vec<NodeId> = Vec::new();
     let mut anchored = false;
     for &w in p.out(u) {
         if let Some(img) = mapping[w.index()] {
-            candidates = g.in_neighbors(img).collect();
+            candidates = collect(g.in_neighbors(img));
             anchored = true;
             break;
         }
@@ -175,15 +180,16 @@ fn backtrack<V: GraphView + ?Sized>(
     if !anchored {
         for &w in p.inn(u) {
             if let Some(img) = mapping[w.index()] {
-                candidates = g.out_neighbors(img).collect();
+                candidates = collect(g.out_neighbors(img));
                 anchored = true;
                 break;
             }
         }
     }
     if !anchored {
+        // Label-partition seeding (O(1) + output on a full graph).
         let lu = q.label(u);
-        candidates = g.node_ids().filter(|&v| g.label(v) == lu).collect();
+        g.for_each_node_with_label(lu, &mut |v| candidates.push(v));
     }
 
     let du_out = p.out(u).len();

@@ -40,7 +40,7 @@ fn add_labeled_nodes(
 /// The unique personalized node (label `"ME"`) of a generated graph.
 pub fn me_node(g: &Graph) -> Option<NodeId> {
     let me = g.labels().get("ME")?;
-    g.nodes_with_label(me).next()
+    g.nodes_with_label(me).first().copied()
 }
 
 /// Uniform random digraph (Erdős–Rényi-style): `nodes` nodes, `edges`
@@ -359,7 +359,7 @@ mod tests {
             social_groups(3, 20, 10, 9),
         ] {
             let me = g.labels().get("ME").unwrap();
-            assert_eq!(g.nodes_with_label(me).count(), 1);
+            assert_eq!(g.nodes_with_label(me).len(), 1);
         }
     }
 }

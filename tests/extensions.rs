@@ -101,7 +101,7 @@ fn simcompress_preserves_dual_simulation_on_social_graph() {
     if let Some(p) = extract_pattern(&g, PatternSpec::new(3, 4), 5) {
         let q_orig = p.resolve(&g).unwrap();
         let direct = dual_simulation(&q_orig, &g, None)
-            .map(|d| d.matches_sorted(q_orig.uo()))
+            .map(|d| d.matches_sorted(q_orig.uo()).to_vec())
             .unwrap_or_default();
         let q_quot = match p.resolve(&c.quotient) {
             Ok(q) => q,
