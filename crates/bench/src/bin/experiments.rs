@@ -10,9 +10,11 @@
 //! `perf-snapshot`, `all`.
 //! Options: `--nodes N` (snapshot substitute size, default 30000),
 //! `--queries N` (patterns per point, default 5), `--reach-queries N`
-//! (default 100), `--seed N`, `--synthetic-scale N` (largest synthetic
-//! |V|, default 1000000), `--out PATH` / `--compare PATH`
-//! (perf-snapshot JSON output and optional baseline to diff against).
+//! (default 100), `--reps N` (timing repetitions, median reported;
+//! default 3 — raise on noisy machines), `--seed N`,
+//! `--synthetic-scale N` (largest synthetic |V|, default 1000000),
+//! `--out PATH` / `--compare PATH` (perf-snapshot JSON output and
+//! optional baseline to diff against).
 //!
 //! Paper α values are converted to our graph sizes by holding the absolute
 //! budget `α·|G|` fixed (see `rbq-bench` crate docs); every row prints
@@ -97,6 +99,10 @@ fn main() {
             "--reach-queries" => {
                 i += 1;
                 cfg.reach_queries = args[i].parse().expect("--reach-queries N");
+            }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args[i].parse().expect("--reps N");
             }
             "--seed" => {
                 i += 1;
@@ -314,6 +320,10 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
             println!("{name:<20} speedup {s:.2}x");
         }
         json.push_str("  }");
+        // geomean(&[]) is the neutral 1.00x, so a baseline with no
+        // overlapping bench names prints an honest no-change summary.
+        let gm = geomean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<f64>>());
+        println!("{:<20} speedup {gm:.2}x", "geomean");
     }
     json.push_str("\n}\n");
     std::fs::write(out_path, json).expect("write perf snapshot");

@@ -15,7 +15,7 @@
 //! divides by our graph's size. Both values are printed.
 
 use rbq_core::{NeighborIndex, ResourceBudget};
-use rbq_graph::{Graph, GraphView, NodeId};
+use rbq_graph::{Graph, NodeId};
 use rbq_pattern::ResolvedPattern;
 use rbq_workload::{extract_pattern, PatternSpec};
 use std::sync::Arc;
@@ -112,7 +112,8 @@ impl PatternDataset {
         match self.paper_size {
             Some(ps) => {
                 let units = (paper_alpha * ps).round().max(1.0) as usize;
-                ResourceBudget::from_units(&*self.g, units.min(self.g.size()))
+                // `from_units` clamps to |G| itself.
+                ResourceBudget::from_units(&*self.g, units)
             }
             None => ResourceBudget::from_ratio(&*self.g, paper_alpha.min(1.0)),
         }
@@ -184,24 +185,38 @@ pub fn fmt_dur(d: Duration) -> String {
 }
 
 /// Geometric mean helper for speedup summaries.
+///
+/// An empty input is the *neutral* speedup `1.0` — returning `0.0` (as a
+/// naive implementation would) renders as a bogus "0.00×" line when a
+/// snapshot section has no comparable entries.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
-        return 0.0;
+        return 1.0;
     }
     (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
 /// The size `|G_dQ(v_p)|` of a query's relevant neighborhood (Table 2's
-/// denominator).
+/// denominator): nodes of the `d_Q`-ball plus its induced edges, counted
+/// directly off the sorted ball (each edge once, from its source) — no
+/// per-call hash set or induced-subgraph construction.
 pub fn dq_neighborhood_size(g: &Graph, q: &ResolvedPattern) -> usize {
-    let nodes = rbq_pattern::strongsim::ball_nodes(g, q.vp(), q.dq());
-    let sub = rbq_graph::InducedSubgraph::new(g, nodes.into_iter().collect::<Vec<NodeId>>());
-    sub.size()
+    let nodes: Vec<NodeId> = rbq_pattern::strongsim::ball_nodes(g, q.vp(), q.dq());
+    let mut edges = 0usize;
+    for &v in &nodes {
+        for &w in g.out(v) {
+            if nodes.binary_search(&w).is_ok() {
+                edges += 1;
+            }
+        }
+    }
+    nodes.len() + edges
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbq_graph::GraphView;
 
     #[test]
     fn budget_scaling_holds_absolute_units() {
@@ -232,7 +247,33 @@ mod tests {
     #[test]
     fn geomean_basic() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
-        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_empty_is_neutral() {
+        // Regression: an empty section used to report a "0.00x" speedup.
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geomean_singleton_is_identity() {
+        assert!((geomean(&[3.5]) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dq_neighborhood_size_matches_induced_subgraph() {
+        let cfg = ExpConfig {
+            snapshot_nodes: 2_000,
+            ..Default::default()
+        };
+        let ds = PatternDataset::youtube(&cfg);
+        let qs = ds.patterns(PatternSpec::new(4, 8), 3, 7);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            let nodes = rbq_pattern::strongsim::ball_nodes(ds.g.as_ref(), q.vp(), q.dq());
+            let sub = rbq_graph::InducedSubgraph::new(&ds.g, nodes);
+            assert_eq!(dq_neighborhood_size(&ds.g, q), sub.size());
+        }
     }
 
     #[test]

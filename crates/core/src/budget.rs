@@ -41,11 +41,21 @@ impl ResourceBudget {
     /// Budget from an absolute unit count (useful in tests and when scaling
     /// paper `α` values across graph sizes; the algorithms only ever consume
     /// the absolute budget `α·|G|`).
+    ///
+    /// `units` is clamped to `|G|`: a budget beyond the whole graph buys
+    /// nothing, and letting it through would produce `alpha > 1.0`,
+    /// violating the upper end of the `α ∈ (0, 1]` invariant that
+    /// [`ResourceBudget::from_ratio`] asserts and that the `α·c < 1`
+    /// visit-cap reasoning ([`ResourceBudget::with_visit_coefficient`])
+    /// depends on. The low end is intentionally looser than `from_ratio`:
+    /// `units == 0` (the zero-budget degenerate case several tests
+    /// exercise) yields `alpha == 0.0` and an empty `G_Q`.
     pub fn from_units<V: GraphView + ?Sized>(g: &V, units: usize) -> Self {
-        let size = g.size().max(1);
+        let size = g.size();
+        let max_units = units.min(size);
         ResourceBudget {
-            alpha: units as f64 / size as f64,
-            max_units: units,
+            alpha: max_units as f64 / size.max(1) as f64,
+            max_units,
             visit_cap: None,
         }
     }
@@ -130,6 +140,18 @@ mod tests {
         let b = ResourceBudget::from_units(&g, 5);
         assert_eq!(b.max_units, 5);
         assert!((b.alpha - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_units_clamps_to_graph_size() {
+        // Regression: units > |G| used to yield alpha > 1.0 (and a visit
+        // cap beyond c·|G|), violating the documented α ∈ (0, 1] invariant.
+        let g = g10();
+        let b = ResourceBudget::from_units(&g, 1_000);
+        assert_eq!(b.max_units, 10);
+        assert_eq!(b.alpha, 1.0);
+        let capped = b.with_visit_coefficient(2.0);
+        assert_eq!(capped.visit_cap, Some(20));
     }
 
     #[test]

@@ -23,7 +23,6 @@ use crate::neighbor_index::NeighborIndex;
 use crate::reduction::search_reduced_graph;
 use rbq_graph::{DynamicSubgraph, Graph, GraphView, NodeId};
 use rbq_pattern::{strong_simulation_on_view, PNode, Pattern};
-use rustc_hash::FxHashSet;
 
 /// Knobs for [`rbsim_any`].
 #[derive(Debug, Clone, Copy)]
@@ -125,9 +124,11 @@ pub fn rbsim_any(
         };
     }
 
-    // Split the budget evenly; remainder to the first seeds.
+    // Split the budget evenly; remainder to the first seeds. Per-seed
+    // answers are sorted vectors; the union is a sort + dedup at the end
+    // (no hash set on the matching path).
     let per_seed = (budget.max_units / seeds.len()).max(1);
-    let mut out: FxHashSet<NodeId> = FxHashSet::default();
+    let mut matches: Vec<NodeId> = Vec::new();
     let mut total_gq = 0usize;
     for &seed in &seeds {
         let Ok(q) = reanchored.resolve_with_anchor(g, seed) else {
@@ -137,10 +138,10 @@ pub fn rbsim_any(
         let red = search_reduced_graph(g, idx, &q, &sub_budget, Semantics::Simulation);
         visits.add_from(&red.visits);
         total_gq += red.gq.size();
-        out.extend(strong_simulation_on_view(&q, &red.gq));
+        matches.extend(strong_simulation_on_view(&q, &red.gq));
     }
-    let mut matches: Vec<NodeId> = out.into_iter().collect();
     matches.sort_unstable();
+    matches.dedup();
     AnyAnswer {
         matches,
         seeds,

@@ -6,7 +6,7 @@ use crate::canonical::canonical_pattern;
 use crate::{Answer, Query, QueryClass, QueryResult};
 use rbq_core::guard::Semantics;
 use rbq_core::{rbsim, rbsub_with, NeighborIndex, ResourceBudget};
-use rbq_graph::{Graph, GraphView, NodeId};
+use rbq_graph::{Graph, NodeId};
 use rbq_pattern::{Pattern, Vf2Config};
 use rbq_reach::HierarchicalIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -300,9 +300,8 @@ impl Engine {
     pub fn pattern_budget(&self) -> ResourceBudget {
         let mut b = match self.cfg.pattern_budget {
             BudgetSpec::Ratio(a) => ResourceBudget::from_ratio(&*self.g, a),
-            BudgetSpec::Units(u) => {
-                ResourceBudget::from_units(&*self.g, u.min(self.g.size().max(1)))
-            }
+            // `from_units` clamps to |G| itself (α ∈ (0, 1] invariant).
+            BudgetSpec::Units(u) => ResourceBudget::from_units(&*self.g, u),
         };
         if let Some(c) = self.cfg.visit_coefficient {
             b = b.with_visit_coefficient(c);

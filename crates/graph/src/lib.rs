@@ -16,8 +16,9 @@
 //!   subgraph, or a dynamically grown `G_Q`;
 //! * traversals ([`traverse`]) — BFS / DFS / bounded and bidirectional BFS
 //!   with visit accounting;
-//! * neighborhoods ([`neighborhood`]) — `N_r(v)` node sets and `G_r(v)`
-//!   balls (the `r`-neighborhood subgraphs of §2);
+//! * neighborhoods ([`neighborhood`]) — `N_r(v)` node sets, `G_r(v)` balls
+//!   (the `r`-neighborhood subgraphs of §2), and the reusable epoch-stamped
+//!   [`BallScratch`] for evaluating many balls without per-ball allocation;
 //! * [`scc`] — Tarjan strongly connected components, and [`condense`] —
 //!   reachability-preserving DAG condensation (the first half of the
 //!   query-preserving compression of §5);
@@ -46,6 +47,7 @@ pub mod view;
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use labels::LabelInterner;
+pub use neighborhood::BallScratch;
 pub use subgraph::{DynamicSubgraph, InducedSubgraph};
 pub use types::{Label, NodeId};
 pub use view::{GraphView, Neighbors, NodeIds};

@@ -28,7 +28,6 @@
 
 use crate::pattern::{PNode, ResolvedPattern};
 use rbq_graph::{GraphView, NodeId};
-use rustc_hash::FxHashSet;
 
 /// The maximum dual-simulation relation, as per-query-node match sets.
 ///
@@ -103,88 +102,272 @@ fn guard_dir<V: GraphView + ?Sized>(g: &V, v: NodeId, req: &[rbq_graph::Label], 
     } else {
         g.in_neighbors(v)
     };
-    for w in neighbors {
-        if let Ok(k) = req.binary_search(&g.label(w)) {
-            seen |= 1 << k;
-            if seen == need {
-                return true;
+    // Slice fast path: candidate screening probes every neighbor of every
+    // candidate, so the generic iterator's per-element branch matters.
+    match neighbors.as_slice() {
+        Some(s) => {
+            for &w in s {
+                if let Ok(k) = req.binary_search(&g.label(w)) {
+                    seen |= 1 << k;
+                    if seen == need {
+                        return true;
+                    }
+                }
+            }
+        }
+        None => {
+            for w in neighbors {
+                if let Ok(k) = req.binary_search(&g.label(w)) {
+                    seen |= 1 << k;
+                    if seen == need {
+                        return true;
+                    }
+                }
             }
         }
     }
     false
 }
 
+/// Number of `nb` targets present in the bitmap — the counter-initialization
+/// kernel, with the slice fast path.
+#[inline]
+fn count_members(nb: rbq_graph::Neighbors<'_>, words: &[u64], base: usize) -> u32 {
+    match nb.as_slice() {
+        Some(s) => s.iter().filter(|&&w| bit(words, base, w)).count() as u32,
+        None => nb.filter(|&w| bit(words, base, w)).count() as u32,
+    }
+}
+
 /// Compute the maximum dual simulation of `q` in `g`, optionally restricted
 /// to a node `universe`, seeded with `(u_p, v_p)`.
 ///
 /// Returns `None` if no total relation exists (some query node has no match,
-/// or `v_p` is pruned). The `universe`, when given, must be a subset of the
-/// view's nodes; only those nodes may appear in the relation — this is how
-/// ball-restricted relations `R_{v0}` are computed without copying balls.
+/// or `v_p` is pruned). The `universe`, when given, is a **sorted,
+/// deduplicated slice** of node ids (the representation
+/// [`rbq_graph::BallScratch`] emits); only those nodes may appear in the
+/// relation — this is how ball-restricted relations `R_{v0}` are computed
+/// without copying balls or building per-ball hash sets.
 pub fn dual_simulation<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
-    universe: Option<&FxHashSet<NodeId>>,
+    universe: Option<&[NodeId]>,
 ) -> Option<DualSim> {
-    let p = q.pattern();
-    let n = p.node_count();
-    let in_universe = |v: NodeId| universe.is_none_or(|u| u.contains(&v));
+    debug_assert!(
+        universe.is_none_or(|u| u.windows(2).all(|w| w[0] < w[1])),
+        "universe must be sorted and deduplicated"
+    );
+    let screen = match universe {
+        None => candidate_screen(q, g)?,
+        Some(uni) => candidate_screen_within(q, g, uni)?,
+    };
+    fixpoint_from_candidates(q, g, screen.per_node)
+}
 
-    // Personalized seed must be present and well-labeled.
-    if !g.contains(q.vp()) || !in_universe(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
+/// Retain only the guard-passing candidates of query node `u`: a candidate
+/// must have, per query child (resp. parent) label of `u`, at least one
+/// matching-labeled data child (resp. parent). Guard failures violate
+/// condition (a)/(b) against the label-consistent superset of the relation,
+/// so they cannot appear in the maximum dual simulation — dropping them up
+/// front keeps the counter structures (and the cache-hostile worklist
+/// propagation) proportional to the plausible candidates, not the label
+/// frequency. `req_out`/`req_in` are caller-owned scratch, reused across
+/// query nodes.
+fn guard_screen<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    u: PNode,
+    list: &mut Vec<NodeId>,
+    req_out: &mut Vec<rbq_graph::Label>,
+    req_in: &mut Vec<rbq_graph::Label>,
+) {
+    let p = q.pattern();
+    req_out.clear();
+    req_out.extend(p.out(u).iter().map(|&uc| q.label(uc)));
+    req_out.sort_unstable();
+    req_out.dedup();
+    req_in.clear();
+    req_in.extend(p.inn(u).iter().map(|&up_| q.label(up_)));
+    req_in.sort_unstable();
+    req_in.dedup();
+    if !req_out.is_empty() || !req_in.is_empty() {
+        list.retain(|&v| guard_dir(g, v, req_out, true) && guard_dir(g, v, req_in, false));
+    }
+}
+
+/// Per-query-node candidate universe with label and guard screening already
+/// applied, for evaluating **many** universes (balls) of the same query on
+/// the same view.
+///
+/// Labels and the guard depend only on `(data node, query node)` — not on
+/// the ball — so strong simulation builds this screen once per query and
+/// intersects it with each ball, instead of re-labeling and re-guarding
+/// every ball member for every center (the dominant cost of per-ball
+/// evaluation once the BFS itself is cheap).
+#[derive(Debug, Clone)]
+pub struct CandidateScreen {
+    /// Sorted guarded candidates per query node (`[v_p]` for `u_p`).
+    per_node: Vec<Vec<NodeId>>,
+}
+
+impl CandidateScreen {
+    /// Sorted guarded candidates of query node `u` across the whole view.
+    pub fn candidates(&self, u: PNode) -> &[NodeId] {
+        &self.per_node[u.index()]
+    }
+}
+
+/// Build the [`CandidateScreen`] of `q` on `g`: for every query node, the
+/// sorted list of same-labeled, guard-passing data nodes. Returns `None`
+/// when some query node has no candidate anywhere in the view — then no
+/// universe can admit a total relation.
+pub fn candidate_screen<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+) -> Option<CandidateScreen> {
+    if !g.contains(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
         return None;
     }
-
-    // Candidate seeding by label. Unrestricted seeding goes through the
-    // view's label partition (O(1) + output on `Graph`); universes are
-    // filtered directly. Each list is then screened by the *label guard*:
-    // a candidate of `u` must have, per query child (resp. parent) label of
-    // `u`, at least one matching-labeled data child (resp. parent). Guard
-    // failures violate condition (a)/(b) against the label-consistent
-    // superset of the relation, so they cannot appear in the maximum dual
-    // simulation — dropping them up front keeps the counter structures
-    // (and the cache-hostile worklist propagation) proportional to the
-    // plausible candidates, not the label frequency.
-    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    let p = q.pattern();
+    let mut per_node: Vec<Vec<NodeId>> = Vec::with_capacity(p.node_count());
     let mut req_out: Vec<rbq_graph::Label> = Vec::new();
     let mut req_in: Vec<rbq_graph::Label> = Vec::new();
     for u in p.nodes() {
         if u == q.up() {
-            cand.push(vec![q.vp()]);
+            per_node.push(vec![q.vp()]);
             continue;
         }
-        let lu = q.label(u);
+        // Label partitions are emitted in ascending id order.
         let mut list: Vec<NodeId> = Vec::new();
-        match universe {
-            Some(uni) => {
-                for &v in uni {
-                    if g.contains(v) && g.label(v) == lu {
-                        list.push(v);
-                    }
-                }
-                list.sort_unstable();
-            }
-            None => {
-                // Label partitions are emitted in ascending id order.
-                g.for_each_node_with_label(lu, &mut |v| list.push(v));
+        g.for_each_node_with_label(q.label(u), &mut |v| list.push(v));
+        guard_screen(q, g, u, &mut list, &mut req_out, &mut req_in);
+        if list.is_empty() {
+            return None;
+        }
+        per_node.push(list);
+    }
+    Some(CandidateScreen { per_node })
+}
+
+/// [`candidate_screen`] restricted to a **sorted** node `domain` — only
+/// domain members are screened. Candidates are seeded in one pass over the
+/// domain (each node lands in every same-labeled query node's list via a
+/// tiny label → query-node table, so the lists are born sorted), then
+/// guard-screened.
+///
+/// Strong simulation builds its screen from `N_{2d_Q}(v_p)` this way:
+/// every ball it evaluates is a subset of that neighborhood, so screening
+/// the whole view would be wasted work on large graphs with localized
+/// queries.
+pub fn candidate_screen_within<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    domain: &[NodeId],
+) -> Option<CandidateScreen> {
+    debug_assert!(
+        domain.windows(2).all(|w| w[0] < w[1]),
+        "domain must be sorted and deduplicated"
+    );
+    if !g.contains(q.vp())
+        || domain.binary_search(&q.vp()).is_err()
+        || g.label(q.vp()) != q.label(q.up())
+    {
+        return None;
+    }
+    let p = q.pattern();
+    let n = p.node_count();
+    let mut per_node: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    per_node[q.up().index()] = vec![q.vp()];
+    let by_label: Vec<(rbq_graph::Label, usize)> = p
+        .nodes()
+        .filter(|&u| u != q.up())
+        .map(|u| (q.label(u), u.index()))
+        .collect();
+    for &v in domain {
+        if !g.contains(v) {
+            continue;
+        }
+        let lv = g.label(v);
+        for &(l, ui) in &by_label {
+            if l == lv {
+                per_node[ui].push(v);
             }
         }
-        req_out.clear();
-        req_out.extend(p.out(u).iter().map(|&uc| q.label(uc)));
-        req_out.sort_unstable();
-        req_out.dedup();
-        req_in.clear();
-        req_in.extend(p.inn(u).iter().map(|&up_| q.label(up_)));
-        req_in.sort_unstable();
-        req_in.dedup();
-        if !req_out.is_empty() || !req_in.is_empty() {
-            list.retain(|&v| guard_dir(g, v, &req_out, true) && guard_dir(g, v, &req_in, false));
+    }
+    let mut req_out: Vec<rbq_graph::Label> = Vec::new();
+    let mut req_in: Vec<rbq_graph::Label> = Vec::new();
+    for u in p.nodes() {
+        if u == q.up() {
+            continue;
+        }
+        guard_screen(q, g, u, &mut per_node[u.index()], &mut req_out, &mut req_in);
+        if per_node[u.index()].is_empty() {
+            return None;
+        }
+    }
+    Some(CandidateScreen { per_node })
+}
+
+/// [`dual_simulation`] restricted to `universe`, seeded from a prebuilt
+/// [`CandidateScreen`] instead of re-screening the universe: per query node
+/// the candidates are `screen ∩ universe`, a sorted-merge (galloping from
+/// the smaller side) with no label or guard work. Answers are identical to
+/// `dual_simulation(q, g, Some(universe))` for any `universe` that is a
+/// subset of the screen's domain (the whole view for
+/// [`candidate_screen`], the given node set for
+/// [`candidate_screen_within`]).
+pub fn dual_simulation_screened<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    universe: &[NodeId],
+    screen: &CandidateScreen,
+) -> Option<DualSim> {
+    debug_assert!(
+        universe.windows(2).all(|w| w[0] < w[1]),
+        "universe must be sorted and deduplicated"
+    );
+    if universe.binary_search(&q.vp()).is_err() {
+        return None;
+    }
+    let p = q.pattern();
+    let n = p.node_count();
+    let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    cand[q.up().index()] = vec![q.vp()];
+    for u in p.nodes() {
+        if u == q.up() {
+            continue;
+        }
+        let list = &mut cand[u.index()];
+        let s = screen.candidates(u);
+        // Gallop from the smaller side: balls are usually much larger than
+        // the guarded candidate lists (or vice versa for huge universes).
+        let (small, big) = if s.len() <= universe.len() {
+            (s, universe)
+        } else {
+            (universe, s)
+        };
+        for &v in small {
+            if big.binary_search(&v).is_ok() {
+                list.push(v);
+            }
         }
         if list.is_empty() {
             return None;
         }
-        cand.push(list);
     }
+    fixpoint_from_candidates(q, g, cand)
+}
+
+/// The counter-based worklist fixpoint over prepared candidate lists
+/// (sorted, guard-screened, `[v_p]` at `u_p`) — the shared core of
+/// [`dual_simulation`] and [`dual_simulation_screened`].
+fn fixpoint_from_candidates<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    cand: Vec<Vec<NodeId>>,
+) -> Option<DualSim> {
+    let p = q.pattern();
+    let n = p.node_count();
 
     // Alive mask + live count per query node; the relation is
     // `{(u, cand[u][i]) : alive[u][i]}` throughout.
@@ -229,13 +412,18 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
         .map(|v| v.index())
         .max()
         .unwrap_or(0);
-    let mut member: Vec<Vec<u64>> = vec![vec![0u64; ((max_id - min_id) >> 6) + 1]; n];
+    // One flat allocation for all n bitmaps (not n small ones): per-ball
+    // calls construct and drop this on every center.
+    let words_per = ((max_id - min_id) >> 6) + 1;
+    let mut member_flat: Vec<u64> = vec![0u64; words_per * n];
     for (u, c) in cand.iter().enumerate() {
+        let words = &mut member_flat[u * words_per..(u + 1) * words_per];
         for &v in c {
             let i = v.index() - min_id;
-            member[u][i >> 6] |= 1 << (i & 63);
+            words[i >> 6] |= 1 << (i & 63);
         }
     }
+    let member = |u: usize| &member_flat[u * words_per..(u + 1) * words_per];
 
     // Per-edge counters against the initial candidate sets; worklist
     // processing keeps them equal to |neighbors ∩ current sim| for every
@@ -253,12 +441,7 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
             if !alive[ai][i] {
                 continue;
             }
-            let mut c = 0u32;
-            for w in g.out_neighbors(v) {
-                if bit(&member[bi], min_id, w) {
-                    c += 1;
-                }
-            }
+            let c = count_members(g.out_neighbors(v), member(bi), min_id);
             sc[i] = c;
             if c == 0 && !kill(ai, i, &mut alive, &mut alive_count, &mut worklist) {
                 return None;
@@ -270,12 +453,7 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
             if !alive[bi][i] {
                 continue;
             }
-            let mut c = 0u32;
-            for w in g.in_neighbors(v) {
-                if bit(&member[ai], min_id, w) {
-                    c += 1;
-                }
-            }
+            let c = count_members(g.in_neighbors(v), member(ai), min_id);
             pc[i] = c;
             if c == 0 && !kill(bi, i, &mut alive, &mut alive_count, &mut worklist) {
                 return None;
@@ -302,7 +480,7 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
             for x in g.in_neighbors(w) {
                 // Bit test first: most data neighbors are not candidates,
                 // and the bitmap filters them without a binary search.
-                if !bit(&member[ai], min_id, x) {
+                if !bit(member(ai), min_id, x) {
                     continue;
                 }
                 if let Some(j) = pos(&cand[ai], x) {
@@ -320,7 +498,7 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
         for &e in &edges_out[ui] {
             let bi = edges[e].1.index();
             for x in g.out_neighbors(w) {
-                if !bit(&member[bi], min_id, x) {
+                if !bit(member(bi), min_id, x) {
                     continue;
                 }
                 if let Some(j) = pos(&cand[bi], x) {
@@ -357,10 +535,13 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
 
 /// The pre-worklist fixpoint, kept verbatim as a `#[cfg(test)]` oracle: the
 /// maximum dual simulation is unique, so the two implementations must agree
-/// on every input (see the differential property test below).
+/// on every input (see the differential property test below). It still
+/// takes its universe as a hash set — deliberately: the oracle's input
+/// representation stays independent of the sorted-slice rewrite under test.
 #[cfg(test)]
 mod naive {
     use super::*;
+    use rustc_hash::FxHashSet;
 
     pub fn dual_simulation_naive<V: GraphView + ?Sized>(
         q: &ResolvedPattern,
@@ -546,11 +727,12 @@ mod tests {
         let q = fig1_pattern().resolve(&g).unwrap();
         // Universe excludes cc1 and cc3 -> no CC candidate with a Michael
         // parent -> no relation.
-        let uni: FxHashSet<NodeId> = ids
+        let mut uni: Vec<NodeId> = ids
             .iter()
             .copied()
             .filter(|&v| v != ids[3] && v != ids[5])
             .collect();
+        uni.sort_unstable();
         assert!(dual_simulation(&q, &g, Some(&uni)).is_none());
     }
 
@@ -558,7 +740,8 @@ mod tests {
     fn universe_missing_vp_fails() {
         let (g, ids) = fig1_graph();
         let q = fig1_pattern().resolve(&g).unwrap();
-        let uni: FxHashSet<NodeId> = ids[1..].iter().copied().collect();
+        let mut uni: Vec<NodeId> = ids[1..].to_vec();
+        uni.sort_unstable();
         assert!(dual_simulation(&q, &g, Some(&uni)).is_none());
     }
 
@@ -700,20 +883,24 @@ mod tests {
         }
 
         /// Agreement also holds under a restricting universe (the
-        /// ball-restricted mode strong simulation uses).
+        /// ball-restricted mode strong simulation uses): the fast path gets
+        /// the sorted slice, the oracle the equivalent hash set.
         #[test]
         fn worklist_equals_naive_under_universe(
             (g, p) in arb_graph_and_pattern(),
             keep in proptest::collection::vec(prop::bool::ANY, 20),
         ) {
             let Ok(q) = p.resolve(&g) else { return Ok(()); };
-            let uni: FxHashSet<NodeId> = g
+            let mut uni: Vec<NodeId> = g
                 .nodes()
                 .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
                 .chain(std::iter::once(q.vp()))
                 .collect();
+            uni.sort_unstable();
+            uni.dedup();
+            let uni_set: rustc_hash::FxHashSet<NodeId> = uni.iter().copied().collect();
             let fast = dual_simulation(&q, &g, Some(&uni));
-            let slow = naive::dual_simulation_naive(&q, &g, Some(&uni));
+            let slow = naive::dual_simulation_naive(&q, &g, Some(&uni_set));
             match (fast, slow) {
                 (None, None) => {}
                 (Some(f), Some(s)) => {
@@ -727,6 +914,48 @@ mod tests {
                     f.is_some(),
                     s.is_some()
                 ),
+            }
+        }
+
+        /// The screened evaluation path (per-query candidate screen +
+        /// per-ball intersection) is answer-identical to screening the
+        /// universe directly.
+        #[test]
+        fn screened_equals_direct_universe(
+            (g, p) in arb_graph_and_pattern(),
+            keep in proptest::collection::vec(prop::bool::ANY, 20),
+        ) {
+            let Ok(q) = p.resolve(&g) else { return Ok(()); };
+            let mut uni: Vec<NodeId> = g
+                .nodes()
+                .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+                .chain(std::iter::once(q.vp()))
+                .collect();
+            uni.sort_unstable();
+            uni.dedup();
+            let direct = dual_simulation(&q, &g, Some(&uni));
+            // Whole-view screen, and a screen restricted to a domain that
+            // is a superset of the universe (the strong-simulation shape).
+            let screened = candidate_screen(&q, &g)
+                .and_then(|s| dual_simulation_screened(&q, &g, &uni, &s));
+            let all: Vec<NodeId> = g.nodes().collect();
+            let within = candidate_screen_within(&q, &g, &all)
+                .and_then(|s| dual_simulation_screened(&q, &g, &uni, &s));
+            for screened in [screened, within] {
+                match (direct.as_ref(), screened) {
+                    (None, None) => {}
+                    (Some(d), Some(s)) => {
+                        for u in p.nodes() {
+                            prop_assert_eq!(d.matches_sorted(u), s.matches_sorted(u));
+                        }
+                    }
+                    (d, s) => prop_assert!(
+                        false,
+                        "existence mismatch: direct={} screened={}",
+                        d.is_some(),
+                        s.is_some()
+                    ),
+                }
             }
         }
 

@@ -26,7 +26,10 @@ pub mod simcompress;
 pub mod strongsim;
 pub mod vf2;
 
-pub use dualsim::{dual_simulation, DualSim};
+pub use dualsim::{
+    candidate_screen, candidate_screen_within, dual_simulation, dual_simulation_screened,
+    CandidateScreen, DualSim,
+};
 pub use pattern::{PNode, Pattern, PatternBuilder, ResolveError, ResolvedPattern};
 pub use simcompress::{bisimulation_compress, SimCompressed};
 pub use strongsim::{match_opt, strong_simulation, strong_simulation_on_view};

@@ -69,7 +69,9 @@ impl SimCompressed {
     ///
     /// The pattern must resolve against the *quotient* (labels are
     /// preserved; the personalized node's unique label keeps its block a
-    /// singleton).
+    /// singleton). The evaluation is unrestricted (no universe); a
+    /// ball-restricted quotient evaluation would pass the sorted block-id
+    /// slice as the `dual_simulation` universe.
     pub fn dual_sim_via_quotient(&self, q: &ResolvedPattern) -> Option<Vec<NodeId>> {
         let rel = dual_simulation(q, &self.quotient, None)?;
         Some(self.expand(rel.matches_sorted(q.uo())))

@@ -15,33 +15,21 @@
 //! the prefilter relation) while skipping doomed balls early; the reduced
 //! graph `G_Q` is evaluated with the same code.
 
-use crate::dualsim::dual_simulation;
+use crate::dualsim::{candidate_screen_within, dual_simulation_screened};
 use crate::pattern::ResolvedPattern;
-use rbq_graph::{Graph, GraphView, NodeId};
-use rustc_hash::FxHashSet;
-use std::collections::VecDeque;
+use rbq_graph::{BallScratch, Graph, GraphView, NodeId};
 
-/// Node set of the ball `G_r(center)` within an arbitrary view: nodes within
-/// `r` hops following edges in either direction.
-pub fn ball_nodes<V: GraphView + ?Sized>(g: &V, center: NodeId, r: usize) -> FxHashSet<NodeId> {
-    let mut seen = FxHashSet::default();
-    if !g.contains(center) {
-        return seen;
-    }
-    let mut q = VecDeque::new();
-    seen.insert(center);
-    q.push_back((center, 0usize));
-    while let Some((v, d)) = q.pop_front() {
-        if d == r {
-            continue;
-        }
-        for w in g.out_neighbors(v).chain(g.in_neighbors(v)) {
-            if seen.insert(w) {
-                q.push_back((w, d + 1));
-            }
-        }
-    }
-    seen
+/// Node set of the ball `G_r(center)` within an arbitrary view — nodes
+/// within `r` hops following edges in either direction — as a **sorted**
+/// vector.
+///
+/// One-shot convenience over [`BallScratch`]; loops evaluating many balls
+/// should hold a scratch and call [`BallScratch::ball_into`] to reuse the
+/// epoch-stamped visited buffer across centers.
+pub fn ball_nodes<V: GraphView + ?Sized>(g: &V, center: NodeId, r: usize) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    BallScratch::new().ball_into(g, center, r, &mut out);
+    out
 }
 
 /// The paper's `MatchOpt` baseline: strong simulation evaluated per ball,
@@ -72,15 +60,15 @@ pub fn strong_simulation_anonymous(pattern: &crate::pattern::Pattern, g: &Graph)
     let Some(anchor_label) = g.labels().get(pattern.label_str(pattern.personalized())) else {
         return Vec::new();
     };
-    let mut out: FxHashSet<NodeId> = FxHashSet::default();
+    let mut out: Vec<NodeId> = Vec::new();
     for &v in g.nodes_with_label(anchor_label) {
         if let Ok(q) = pattern.resolve_with_anchor(g, v) {
             out.extend(strong_simulation(&q, g));
         }
     }
-    let mut res: Vec<NodeId> = out.into_iter().collect();
-    res.sort_unstable();
-    res
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 fn strong_sim_impl<V: GraphView + ?Sized>(
@@ -94,20 +82,34 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
     }
     let dq = q.dq();
 
-    // Candidate centers: balls must contain v_p, i.e. centers within d_Q
-    // undirected hops of v_p.
-    let mut centers: Vec<NodeId> = ball_nodes(g, vp, dq).into_iter().collect();
-    centers.sort_unstable();
+    // One scratch for every BFS of this query: the candidate-center /
+    // screen-domain balls around v_p and the per-center balls below.
+    let mut scratch = BallScratch::new();
+
+    // One traversal yields both the candidate centers (balls must contain
+    // v_p, i.e. centers within d_Q undirected hops of v_p) and the
+    // 2·d_Q-neighborhood every per-center ball lies inside — the centers
+    // are the depth-≤-d_Q prefix of the same BFS.
+    let mut centers: Vec<NodeId> = Vec::new();
+    let mut domain: Vec<NodeId> = Vec::new();
+    scratch.ball_pair_into(g, vp, 2 * dq, dq, &mut domain, &mut centers);
+
+    // Per-query candidate screen over N_{2dQ}(v_p): labels and guards
+    // depend only on the data node, so they are evaluated once here
+    // instead of once per ball — and only inside the neighborhood the
+    // balls can reach, not the whole view. No screen at all means some
+    // query node has no candidate anywhere near v_p — no ball can match.
+    let Some(screen) = candidate_screen_within(q, g, &domain) else {
+        return Vec::new();
+    };
 
     // Optional shared prefilter: the maximum dual simulation on
-    // G_{2dQ}(v_p) contains every ball-restricted relation (balls around
-    // centers in N_dQ(v_p) lie inside N_{2dQ}(v_p)), so non-members can
-    // never match and balls disjoint from it can be skipped. The matched
-    // set is a sorted vector (the relation's native representation);
-    // membership is a binary search.
+    // G_{2dQ}(v_p) contains every ball-restricted relation, so non-members
+    // can never match and balls disjoint from it can be skipped. The
+    // matched set is a sorted vector (the relation's native
+    // representation).
     let matched_filter: Option<Vec<NodeId>> = if prefilter {
-        let uni = ball_nodes(g, vp, 2 * dq);
-        match dual_simulation(q, g, Some(&uni)) {
+        match dual_simulation_screened(q, g, &domain, &screen) {
             Some(d) => Some(d.all_matched()),
             None => return Vec::new(),
         }
@@ -115,38 +117,107 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
         None
     };
 
-    let mut out: FxHashSet<NodeId> = FxHashSet::default();
-    for v0 in centers {
-        let ball = ball_nodes(g, v0, dq);
-        let universe: FxHashSet<NodeId> = match &matched_filter {
-            Some(m) => {
-                let mut u: FxHashSet<NodeId> = ball
-                    .iter()
-                    .copied()
-                    .filter(|v| m.binary_search(v).is_ok())
-                    .collect();
-                if !u.contains(&vp) {
+    let mut out: Vec<NodeId> = Vec::new();
+    let mut ball: Vec<NodeId> = Vec::new();
+
+    match &matched_filter {
+        // Inverted prefiltered evaluation. Every per-center universe is
+        // `m ∩ ball(v0, d_Q)`, and undirected distance is symmetric:
+        // `v ∈ ball(v0, d_Q) ⇔ v0 ∈ ball(v, d_Q)`. So |m| BFS traversals
+        // (one per matched node, recording which centers its ball covers)
+        // produce *every* center's universe — instead of one ball BFS per
+        // center over neighborhoods that are typically orders of magnitude
+        // larger than m. Universes are identical to the direct
+        // intersection, so the answers are too.
+        Some(m) if m.len() <= centers.len() => {
+            let mut per_center: Vec<Vec<NodeId>> = vec![Vec::new(); centers.len()];
+            for &v in m {
+                scratch.ball_into(g, v, dq, &mut ball);
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < ball.len() && j < centers.len() {
+                    match ball[i].cmp(&centers[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            per_center[j].push(v);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            // m is iterated in ascending order, so each universe is sorted.
+            for (j, &v0) in centers.iter().enumerate() {
+                let uni = &mut per_center[j];
+                if uni.binary_search(&vp).is_err() {
                     continue;
                 }
                 // Keep the center in the universe even if unmatched: it is
                 // harmless (it will simply not join the relation).
-                u.insert(v0);
-                u
+                if let Err(pos) = uni.binary_search(&v0) {
+                    uni.insert(pos, v0);
+                }
+                if let Some(rel) = dual_simulation_screened(q, g, uni, &screen) {
+                    out.extend_from_slice(rel.matches(q.uo()));
+                }
             }
-            None => ball,
-        };
-        if let Some(rel) = dual_simulation(q, g, Some(&universe)) {
-            out.extend(rel.matches(q.uo()).iter().copied());
+        }
+        // Per-center evaluation: the unfiltered baseline (`MatchOpt`), and
+        // the prefiltered path when m is so large that per-matched-node
+        // traversals would cost more than per-center ones.
+        _ => {
+            let mut restricted: Vec<NodeId> = Vec::new();
+            for &v0 in &centers {
+                scratch.ball_into(g, v0, dq, &mut ball);
+                let universe: &[NodeId] = match &matched_filter {
+                    Some(m) => {
+                        // Linear sorted merge of ball ∩ matched filter
+                        // (both sorted), tracking v_p / center membership
+                        // on the way.
+                        restricted.clear();
+                        let mut has_vp = false;
+                        let mut has_center = false;
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < ball.len() && j < m.len() {
+                            match ball[i].cmp(&m[j]) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    let v = ball[i];
+                                    restricted.push(v);
+                                    has_vp |= v == vp;
+                                    has_center |= v == v0;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                        if !has_vp {
+                            continue;
+                        }
+                        if !has_center {
+                            let pos = restricted.binary_search(&v0).unwrap_err();
+                            restricted.insert(pos, v0);
+                        }
+                        &restricted
+                    }
+                    None => &ball,
+                };
+                if let Some(rel) = dual_simulation_screened(q, g, universe, &screen) {
+                    out.extend_from_slice(rel.matches(q.uo()));
+                }
+            }
         }
     }
-    let mut res: Vec<NodeId> = out.into_iter().collect();
-    res.sort_unstable();
-    res
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dualsim::dual_simulation;
     use crate::pattern::{fig1_pattern, PatternBuilder};
     use rbq_graph::{GraphBuilder, InducedSubgraph};
 
@@ -221,6 +292,24 @@ mod tests {
         let b2 = ball_nodes(&g, ids[0], 2);
         // + cln-1, cln ; not cc2/cl1 (3 hops away)
         assert_eq!(b2.len(), 7);
+        assert!(b2.windows(2).all(|w| w[0] < w[1]), "balls are sorted");
+    }
+
+    #[test]
+    fn prefilter_center_set_equals_direct_dq_ball() {
+        // The d_Q center set is derived from the 2·d_Q prefilter BFS (one
+        // traversal, depths recorded once); pin that it equals a direct
+        // d_Q-ball for every center and radius.
+        let (g, _) = fig1_graph();
+        let mut scratch = BallScratch::new();
+        let (mut outer, mut inner) = (Vec::new(), Vec::new());
+        for v in g.nodes() {
+            for dq in 0..4usize {
+                scratch.ball_pair_into(&g, v, 2 * dq, dq, &mut outer, &mut inner);
+                assert_eq!(inner, ball_nodes(&g, v, dq), "center {v:?} dq {dq}");
+                assert_eq!(outer, ball_nodes(&g, v, 2 * dq), "center {v:?} dq {dq}");
+            }
+        }
     }
 
     #[test]
@@ -294,5 +383,138 @@ mod tests {
         let q = pb.build().resolve(&g).unwrap();
         assert_eq!(match_opt(&q, &g), vec![a1]);
         assert_eq!(strong_simulation(&q, &g), vec![a1]);
+    }
+
+    // ------------------------------------------------ differential oracles
+
+    use proptest::prelude::*;
+    use rbq_graph::builder::graph_from_edges;
+    use rbq_graph::BallScratch;
+    use rustc_hash::FxHashSet;
+    use std::collections::VecDeque;
+
+    /// The pre-`BallScratch` implementation, kept verbatim as the hash-set
+    /// oracle for the sorted-slice ball evaluation.
+    fn ball_nodes_naive<V: GraphView + ?Sized>(
+        g: &V,
+        center: NodeId,
+        r: usize,
+    ) -> FxHashSet<NodeId> {
+        let mut seen = FxHashSet::default();
+        if !g.contains(center) {
+            return seen;
+        }
+        let mut q = VecDeque::new();
+        seen.insert(center);
+        q.push_back((center, 0usize));
+        while let Some((v, d)) = q.pop_front() {
+            if d == r {
+                continue;
+            }
+            for w in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+                if seen.insert(w) {
+                    q.push_back((w, d + 1));
+                }
+            }
+        }
+        seen
+    }
+
+    fn sorted(set: FxHashSet<NodeId>) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A random digraph with ≤ 24 nodes and 4 labels.
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (2usize..24).prop_flat_map(|n| {
+            let labels = proptest::collection::vec(0u8..4, n);
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+            (labels, edges).prop_map(|(labels, edges)| {
+                let names: Vec<String> = labels.iter().map(|l| format!("L{l}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                graph_from_edges(&refs, &edges)
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Sorted-slice `ball_nodes` equals the hash-set BFS oracle on full
+        /// graphs, for every center and small radius.
+        #[test]
+        fn ball_matches_naive_on_full_graph(g in arb_graph(), r in 0usize..5) {
+            for v in g.nodes() {
+                prop_assert_eq!(ball_nodes(&g, v, r), sorted(ball_nodes_naive(&g, v, r)));
+            }
+        }
+
+        /// ... and on induced (filtered) views, whose adjacency is virtual.
+        #[test]
+        fn ball_matches_naive_on_induced_view(
+            g in arb_graph(),
+            keep in proptest::collection::vec(prop::bool::ANY, 24),
+            r in 0usize..5,
+        ) {
+            let members: Vec<NodeId> = g
+                .nodes()
+                .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+                .collect();
+            let view = InducedSubgraph::new(&g, members);
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    ball_nodes(&view, v, r),
+                    sorted(ball_nodes_naive(&view, v, r))
+                );
+            }
+        }
+
+        /// Epoch reuse: every ball of the graph through ONE scratch agrees
+        /// with a fresh oracle run — no cross-ball contamination.
+        #[test]
+        fn scratch_reuse_matches_naive(g in arb_graph()) {
+            let mut scratch = BallScratch::new();
+            let mut ball = Vec::new();
+            for r in 0..4usize {
+                for v in g.nodes() {
+                    scratch.ball_into(&g, v, r, &mut ball);
+                    prop_assert_eq!(&ball, &sorted(ball_nodes_naive(&g, v, r)));
+                }
+            }
+        }
+
+        /// The prefiltered evaluator (shared 2·d_Q dual simulation, merged
+        /// sorted universes) returns exactly the `MatchOpt` baseline answer
+        /// on random graphs and chain patterns.
+        #[test]
+        fn strong_simulation_equals_match_opt(
+            g in arb_graph(),
+            extra in proptest::collection::vec((0u8..4, prop::bool::ANY), 1..4),
+        ) {
+            let mut pb = PatternBuilder::new();
+            let me = pb.add_node("L0");
+            let mut prev = me;
+            for (l, fwd) in extra {
+                let u = pb.add_node(&format!("L{l}"));
+                if fwd {
+                    pb.add_edge(prev, u);
+                } else {
+                    pb.add_edge(u, prev);
+                }
+                prev = u;
+            }
+            pb.personalized(me).output(prev);
+            let pattern = pb.build();
+            // Anchor at every label-compatible node: each anchor gives one
+            // personalized query.
+            for v in g.nodes() {
+                let Ok(q) = pattern.resolve_with_anchor(&g, v) else {
+                    continue;
+                };
+                prop_assert_eq!(match_opt(&q, &g), strong_simulation(&q, &g));
+            }
+        }
     }
 }

@@ -42,8 +42,7 @@ pub fn vf2_all_output_matches<V: GraphView + ?Sized>(
     g: &V,
     config: Vf2Config,
 ) -> Vf2Outcome {
-    let restrict: Option<FxHashSet<NodeId>> = None;
-    vf2_impl(q, g, config, restrict.as_ref())
+    vf2_impl(q, g, config, None)
 }
 
 /// The paper's `VF2OPT` baseline: VF2 restricted to the `d_Q`-neighborhood
@@ -55,12 +54,12 @@ pub fn vf2_opt(q: &ResolvedPattern, g: &Graph, config: Vf2Config) -> Vf2Outcome 
 }
 
 /// Core backtracking enumerator. `restrict`, when present, confines data
-/// nodes to the given set.
+/// nodes to the given **sorted** id slice (membership is a binary search).
 fn vf2_impl<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
     config: Vf2Config,
-    restrict: Option<&FxHashSet<NodeId>>,
+    restrict: Option<&[NodeId]>,
 ) -> Vf2Outcome {
     let p = q.pattern();
     let n = p.node_count();
@@ -70,7 +69,7 @@ fn vf2_impl<V: GraphView + ?Sized>(
         embeddings: 0,
         truncated: false,
     };
-    let allowed = |v: NodeId| restrict.is_none_or(|r| r.contains(&v));
+    let allowed = |v: NodeId| restrict.is_none_or(|r| r.binary_search(&v).is_ok());
 
     if !g.contains(vp) || g.label(vp) != q.label(q.up()) || !allowed(vp) {
         return outcome;
