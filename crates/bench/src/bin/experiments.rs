@@ -22,7 +22,8 @@
 
 use rbq_bench::*;
 use rbq_core::{
-    pattern_accuracy, rbsim, reachability_accuracy, PickPolicy, ReductionConfig, ResourceBudget,
+    pattern_accuracy, rbsim, rbsim_any_with, rbsim_with, rbsub_scratch, reachability_accuracy,
+    PatternAnswer, PatternScratch, PickPolicy, ReductionConfig, ResourceBudget,
 };
 use rbq_engine::{Answer, BudgetSpec, Engine, EngineConfig, Query};
 use rbq_graph::GraphView;
@@ -195,6 +196,12 @@ fn main() {
 /// its before/after trajectory. Run with `--compare OLD.json` to embed the
 /// old run as `baseline` and report per-bench speedups.
 ///
+/// Schema `rbq-perf-snapshot-v2` (PR 5): adds the `rbsub` and
+/// `engine_batch` rows, and the bounded rows (`rbsim`, `rbsub`,
+/// `rbsim_any`) run through a warm [`PatternScratch`] — the steady-state
+/// serving configuration. The compare path tolerates baselines missing
+/// rows (older schemas): speedups are reported for the intersection.
+///
 /// Convention (ROADMAP "bench snapshots"): run with `--nodes 20000` and
 /// commit the output as `BENCH_pr<N>.json`.
 fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
@@ -211,6 +218,8 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
     );
     let budget = ds.budget_for_paper_alpha(1.6e-5);
     let nq = qs.len() as u32;
+    let mut scratch = PatternScratch::new();
+    let mut ans = PatternAnswer::default();
 
     let mut rows: Vec<(&'static str, Duration)> = Vec::new();
 
@@ -241,12 +250,32 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
             }
         }) / nq,
     ));
-    // The bounded pipeline: reduction + Q(G_Q).
+    // The bounded pipeline: reduction + Q(G_Q), warm scratch (serving).
     rows.push((
         "rbsim",
         time_median(cfg.reps, || {
             for q in &qs {
-                std::hint::black_box(rbsim(&ds.g, &ds.idx, q, &budget));
+                rbsim_with(&ds.g, &ds.idx, q, &budget, &mut scratch, &mut ans);
+                std::hint::black_box(&ans);
+            }
+        }) / nq,
+    ));
+    // Bounded isomorphism: the same reduction under the degree-enriched
+    // guard, then VF2 on G_Q.
+    rows.push((
+        "rbsub",
+        time_median(cfg.reps, || {
+            for q in &qs {
+                rbsub_scratch(
+                    &ds.g,
+                    &ds.idx,
+                    q,
+                    &budget,
+                    vf2_cfg(),
+                    &mut scratch,
+                    &mut ans,
+                );
+                std::hint::black_box(&ans);
             }
         }) / nq,
     ));
@@ -255,16 +284,46 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
         "rbsim_any",
         time_median(cfg.reps, || {
             for q in &qs {
-                std::hint::black_box(rbq_core::rbsim_any(
+                std::hint::black_box(rbsim_any_with(
                     &ds.g,
                     &ds.idx,
                     q.pattern(),
                     &budget,
                     rbq_core::AnyConfig::default(),
+                    &mut scratch,
                 ));
             }
         }) / nq,
     ));
+    // The serving path end to end: the engine's batch scheduler (1 worker,
+    // cache off) over the same simulation queries — scheduler + scratch
+    // pool + canonicalization overhead on top of the bare `rbsim` row.
+    {
+        let engine = Engine::with_indexes(
+            ds.g.clone(),
+            EngineConfig {
+                pattern_budget: BudgetSpec::Units(budget.max_units),
+                vf2: vf2_cfg(),
+                cache_capacity: 0,
+                threads: 1,
+                ..Default::default()
+            },
+            Some(ds.idx.clone()),
+            None,
+        );
+        let batch: Vec<Query> = qs
+            .iter()
+            .map(|q| Query::PatternSim {
+                pattern: q.pattern().clone(),
+            })
+            .collect();
+        rows.push((
+            "engine_batch",
+            time_median(cfg.reps, || {
+                std::hint::black_box(engine.run_batch(&batch));
+            }) / nq,
+        ));
+    }
 
     for (name, d) in &rows {
         println!("{name:<20} {:>12} /query", fmt_dur(*d));
@@ -280,7 +339,7 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"rbq-perf-snapshot-v1\",\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v2\",\n");
     json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
     json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
     json.push_str(&format!("  \"seed\": {},\n", cfg.seed));

@@ -157,31 +157,51 @@ impl<'a> GuardCtx<'a> {
         gq: &DynamicSubgraph<'_>,
         acc: &mut VisitAccount,
     ) -> u32 {
+        let mut out_buf = Vec::new();
+        let mut in_buf = Vec::new();
+        self.cost_with(v, u, gq, acc, &mut out_buf, &mut in_buf)
+    }
+
+    /// [`GuardCtx::cost`] with caller-owned `(label, degree)` scratch
+    /// buffers, so the reduction's `Pick` scoring never allocates.
+    pub fn cost_with(
+        &self,
+        v: NodeId,
+        u: PNode,
+        gq: &DynamicSubgraph<'_>,
+        acc: &mut VisitAccount,
+        out_buf: &mut Vec<(rbq_graph::Label, u32)>,
+        in_buf: &mut Vec<(rbq_graph::Label, u32)>,
+    ) -> u32 {
         let p = self.q.pattern();
         let mut missing = 0u32;
         // Gather (label, degree) of v's neighbors already in G_Q, per
         // direction, in one scan.
-        let out_present: Vec<(rbq_graph::Label, u32)> = {
+        out_buf.clear();
+        {
             let list = self.g.out(v);
             acc.edges(list.len());
-            list.iter()
-                .filter(|w| gq.contains(**w))
-                .map(|&w| (self.g.node_label(w), self.idx.degree(w)))
-                .collect()
-        };
-        let in_present: Vec<(rbq_graph::Label, u32)> = {
+            out_buf.extend(
+                list.iter()
+                    .filter(|w| gq.contains(**w))
+                    .map(|&w| (self.g.node_label(w), self.idx.degree(w))),
+            );
+        }
+        in_buf.clear();
+        {
             let list = self.g.inn(v);
             acc.edges(list.len());
-            list.iter()
-                .filter(|w| gq.contains(**w))
-                .map(|&w| (self.g.node_label(w), self.idx.degree(w)))
-                .collect()
-        };
+            in_buf.extend(
+                list.iter()
+                    .filter(|w| gq.contains(**w))
+                    .map(|&w| (self.g.node_label(w), self.idx.degree(w))),
+            );
+        }
         let need_degree = self.semantics == Semantics::Isomorphism;
         for &uc in p.out(u) {
             let l = self.q.label(uc);
             let d = p.degree(uc) as u32;
-            let ok = out_present
+            let ok = out_buf
                 .iter()
                 .any(|&(lw, dw)| lw == l && (!need_degree || dw >= d));
             if !ok {
@@ -191,7 +211,7 @@ impl<'a> GuardCtx<'a> {
         for &up_ in p.inn(u) {
             let l = self.q.label(up_);
             let d = p.degree(up_) as u32;
-            let ok = in_present
+            let ok = in_buf
                 .iter()
                 .any(|&(lw, dw)| lw == l && (!need_degree || dw >= d));
             if !ok {
@@ -211,23 +231,39 @@ impl<'a> GuardCtx<'a> {
     /// degree threshold (one neighborhood scan).
     pub fn potential(&self, v: NodeId, u: PNode, acc: &mut VisitAccount) -> u32 {
         let p = self.q.pattern();
+        let mut out_labels: Vec<rbq_graph::Label> =
+            p.out(u).iter().map(|&uq| self.q.label(uq)).collect();
+        out_labels.sort_unstable();
+        out_labels.dedup();
+        let mut in_labels: Vec<rbq_graph::Label> =
+            p.inn(u).iter().map(|&uq| self.q.label(uq)).collect();
+        in_labels.sort_unstable();
+        in_labels.dedup();
+        self.potential_with(v, u, &out_labels, &in_labels, acc)
+    }
+
+    /// [`GuardCtx::potential`] with the deduplicated query-neighbor label
+    /// sets of `u` precomputed by the caller (they depend only on the query,
+    /// so the reduction computes them once per query node, not once per
+    /// candidate). The slices are only read under simulation semantics.
+    pub fn potential_with(
+        &self,
+        v: NodeId,
+        u: PNode,
+        out_labels: &[rbq_graph::Label],
+        in_labels: &[rbq_graph::Label],
+        acc: &mut VisitAccount,
+    ) -> u32 {
+        let p = self.q.pattern();
         match self.semantics {
             Semantics::Simulation => {
                 acc.node();
                 let s = self.idx.summary(v);
-                let mut out_labels: Vec<rbq_graph::Label> =
-                    p.out(u).iter().map(|&uq| self.q.label(uq)).collect();
-                out_labels.sort_unstable();
-                out_labels.dedup();
-                let mut in_labels: Vec<rbq_graph::Label> =
-                    p.inn(u).iter().map(|&uq| self.q.label(uq)).collect();
-                in_labels.sort_unstable();
-                in_labels.dedup();
                 let mut total = 0u32;
-                for l in out_labels {
+                for &l in out_labels {
                     total += s.out_count(l);
                 }
-                for l in in_labels {
+                for &l in in_labels {
                     total += s.in_count(l);
                 }
                 total

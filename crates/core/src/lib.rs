@@ -37,10 +37,10 @@ pub use analysis::{eta_profile, min_alpha_for_eta, EtaPoint, ProfiledAlgorithm};
 pub use budget::{ResourceBudget, VisitAccount};
 pub use neighbor_index::NeighborIndex;
 pub use parallel::{batch_pattern_queries, BatchAlgorithm};
-pub use rbsim::rbsim;
-pub use rbsim_any::{rbsim_any, AnyAnswer, AnyConfig};
-pub use rbsub::{rbsub, rbsub_with};
+pub use rbsim::{rbsim, rbsim_with, PatternScratch};
+pub use rbsim_any::{rbsim_any, rbsim_any_with, AnyAnswer, AnyConfig};
+pub use rbsub::{rbsub, rbsub_scratch, rbsub_with};
 pub use reduction::{
-    search_reduced_graph, search_reduced_graph_with, PatternAnswer, PickPolicy, ReductionConfig,
-    ReductionOutcome,
+    search_reduced_graph, search_reduced_graph_scratch, search_reduced_graph_with, PatternAnswer,
+    PickPolicy, ReductionConfig, ReductionOutcome, ReductionScratch,
 };

@@ -9,9 +9,31 @@
 use crate::budget::ResourceBudget;
 use crate::guard::Semantics;
 use crate::neighbor_index::NeighborIndex;
-use crate::reduction::{search_reduced_graph, PatternAnswer};
+use crate::reduction::{
+    search_reduced_graph_scratch, PatternAnswer, ReductionConfig, ReductionScratch,
+};
 use rbq_graph::{Graph, GraphView};
-use rbq_pattern::{strong_simulation_on_view, ResolvedPattern};
+use rbq_pattern::{strong_simulation_on_view_with, ResolvedPattern, StrongSimScratch};
+
+/// Reusable state for a full bounded pattern evaluation: the reduction's
+/// [`ReductionScratch`] plus the evaluation's
+/// [`rbq_pattern::StrongSimScratch`]. One per serving worker; with warm
+/// buffers a repeat [`rbsim_with`] call performs **zero** heap allocations
+/// (pinned by the `alloc_free` integration test).
+#[derive(Debug, Default)]
+pub struct PatternScratch {
+    /// `Search`/`Pick` state.
+    pub reduction: ReductionScratch,
+    /// `Q(G_Q)` evaluation state.
+    pub eval: StrongSimScratch,
+}
+
+impl PatternScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Run RBSim: dynamic reduction followed by strong simulation on `G_Q`.
 ///
@@ -23,17 +45,40 @@ pub fn rbsim(
     q: &ResolvedPattern,
     budget: &ResourceBudget,
 ) -> PatternAnswer {
-    let red = search_reduced_graph(g, idx, q, budget, Semantics::Simulation);
-    let matches = strong_simulation_on_view(q, &red.gq);
-    PatternAnswer {
-        matches,
-        gq_size: red.gq.size(),
-        gq_nodes: red.gq.num_nodes(),
-        visits: red.visits,
-        hit_budget: red.hit_budget,
-        final_b: red.final_b,
-        rounds: red.rounds,
-    }
+    let mut scratch = PatternScratch::new();
+    let mut out = PatternAnswer::default();
+    rbsim_with(g, idx, q, budget, &mut scratch, &mut out);
+    out
+}
+
+/// [`rbsim`] through a reusable [`PatternScratch`], writing the answer into
+/// `out` (its `matches` buffer is recycled). Identical answers to the
+/// one-shot entry point; allocation-free once the scratch is warm.
+pub fn rbsim_with(
+    g: &Graph,
+    idx: &NeighborIndex,
+    q: &ResolvedPattern,
+    budget: &ResourceBudget,
+    scratch: &mut PatternScratch,
+    out: &mut PatternAnswer,
+) {
+    let red = search_reduced_graph_scratch(
+        g,
+        idx,
+        q,
+        budget,
+        Semantics::Simulation,
+        ReductionConfig::default(),
+        &mut scratch.reduction,
+    );
+    strong_simulation_on_view_with(q, &red.gq, &mut scratch.eval, &mut out.matches);
+    out.gq_size = red.gq.size();
+    out.gq_nodes = red.gq.num_nodes();
+    out.visits = red.visits;
+    out.hit_budget = red.hit_budget;
+    out.final_b = red.final_b;
+    out.rounds = red.rounds;
+    scratch.reduction.recycle(red.gq);
 }
 
 #[cfg(test)]

@@ -20,9 +20,10 @@
 use crate::budget::{ResourceBudget, VisitAccount};
 use crate::guard::{GuardCtx, Semantics};
 use crate::neighbor_index::NeighborIndex;
-use crate::reduction::search_reduced_graph;
+use crate::rbsim::PatternScratch;
+use crate::reduction::{search_reduced_graph_scratch, ReductionConfig};
 use rbq_graph::{DynamicSubgraph, Graph, GraphView, NodeId};
-use rbq_pattern::{strong_simulation_on_view, PNode, Pattern};
+use rbq_pattern::{strong_simulation_on_view_with, PNode, Pattern};
 
 /// Knobs for [`rbsim_any`].
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +62,22 @@ pub fn rbsim_any(
     budget: &ResourceBudget,
     config: AnyConfig,
 ) -> AnyAnswer {
+    let mut scratch = PatternScratch::new();
+    rbsim_any_with(g, idx, pattern, budget, config, &mut scratch)
+}
+
+/// [`rbsim_any`] through a reusable [`PatternScratch`]: the per-seed
+/// reductions and evaluations share warm buffers (within the call and, for
+/// serving loops, across calls). Identical answers to the one-shot entry
+/// point.
+pub fn rbsim_any_with(
+    g: &Graph,
+    idx: &NeighborIndex,
+    pattern: &Pattern,
+    budget: &ResourceBudget,
+    config: AnyConfig,
+    scratch: &mut PatternScratch,
+) -> AnyAnswer {
     let mut visits = VisitAccount::default();
 
     // Seed query node: fewest data candidates by label — a constant-time
@@ -88,13 +105,15 @@ pub fn rbsim_any(
         };
     };
 
-    // Guarded, weight-ranked seed candidates.
+    // Guarded, weight-ranked seed candidates. The resolved instance is
+    // also reused (re-anchored in place) for the per-seed reductions:
+    // labels and d_Q are anchor-independent, so one resolve serves all
+    // seeds without per-seed pattern clones.
     let mut scored: Vec<(f64, NodeId)> = Vec::new();
-    {
-        // A resolved instance just for guard evaluation (anchor is
-        // irrelevant to per-node guards).
-        if let Some(&first) = g.nodes_with_label(seed_label).first() {
-            if let Ok(q0) = reanchored.resolve_with_anchor(g, first) {
+    let mut resolved = None;
+    if let Some(&first) = g.nodes_with_label(seed_label).first() {
+        if let Ok(q0) = reanchored.resolve_with_anchor(g, first) {
+            {
                 let ctx = GuardCtx::new(g, idx, &q0, Semantics::Simulation);
                 let empty = DynamicSubgraph::new(g);
                 for &v in g.nodes_with_label(seed_label) {
@@ -105,6 +124,7 @@ pub fn rbsim_any(
                     scored.push((w, v));
                 }
             }
+            resolved = Some(q0);
         }
     }
     scored.sort_unstable_by(|a, b| {
@@ -127,18 +147,30 @@ pub fn rbsim_any(
     // Split the budget evenly; remainder to the first seeds. Per-seed
     // answers are sorted vectors; the union is a sort + dedup at the end
     // (no hash set on the matching path).
+    let mut q = resolved.expect("seeds are non-empty, so resolution succeeded");
     let per_seed = (budget.max_units / seeds.len()).max(1);
     let mut matches: Vec<NodeId> = Vec::new();
+    let mut per_seed_matches: Vec<NodeId> = Vec::new();
     let mut total_gq = 0usize;
     for &seed in &seeds {
-        let Ok(q) = reanchored.resolve_with_anchor(g, seed) else {
+        if !q.set_anchor(g, seed) {
             continue;
-        };
+        }
         let sub_budget = ResourceBudget::from_units(g, per_seed);
-        let red = search_reduced_graph(g, idx, &q, &sub_budget, Semantics::Simulation);
+        let red = search_reduced_graph_scratch(
+            g,
+            idx,
+            &q,
+            &sub_budget,
+            Semantics::Simulation,
+            ReductionConfig::default(),
+            &mut scratch.reduction,
+        );
         visits.add_from(&red.visits);
         total_gq += red.gq.size();
-        matches.extend(strong_simulation_on_view(&q, &red.gq));
+        strong_simulation_on_view_with(&q, &red.gq, &mut scratch.eval, &mut per_seed_matches);
+        matches.extend_from_slice(&per_seed_matches);
+        scratch.reduction.recycle(red.gq);
     }
     matches.sort_unstable();
     matches.dedup();

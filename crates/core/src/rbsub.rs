@@ -8,7 +8,8 @@
 use crate::budget::ResourceBudget;
 use crate::guard::Semantics;
 use crate::neighbor_index::NeighborIndex;
-use crate::reduction::{search_reduced_graph, PatternAnswer};
+use crate::rbsim::PatternScratch;
+use crate::reduction::{search_reduced_graph_scratch, PatternAnswer, ReductionConfig};
 use rbq_graph::{Graph, GraphView};
 use rbq_pattern::{vf2_all_output_matches, ResolvedPattern, Vf2Config};
 
@@ -31,17 +32,42 @@ pub fn rbsub_with(
     budget: &ResourceBudget,
     vf2: Vf2Config,
 ) -> PatternAnswer {
-    let red = search_reduced_graph(g, idx, q, budget, Semantics::Isomorphism);
+    let mut scratch = PatternScratch::new();
+    let mut out = PatternAnswer::default();
+    rbsub_scratch(g, idx, q, budget, vf2, &mut scratch, &mut out);
+    out
+}
+
+/// [`rbsub_with`] through a reusable [`PatternScratch`], writing the answer
+/// into `out`. The reduction half is allocation-free once warm; VF2's
+/// enumeration state remains per-call (its size is embedding-dependent).
+pub fn rbsub_scratch(
+    g: &Graph,
+    idx: &NeighborIndex,
+    q: &ResolvedPattern,
+    budget: &ResourceBudget,
+    vf2: Vf2Config,
+    scratch: &mut PatternScratch,
+    out: &mut PatternAnswer,
+) {
+    let red = search_reduced_graph_scratch(
+        g,
+        idx,
+        q,
+        budget,
+        Semantics::Isomorphism,
+        ReductionConfig::default(),
+        &mut scratch.reduction,
+    );
     let outcome = vf2_all_output_matches(q, &red.gq, vf2);
-    PatternAnswer {
-        matches: outcome.output_matches,
-        gq_size: red.gq.size(),
-        gq_nodes: red.gq.num_nodes(),
-        visits: red.visits,
-        hit_budget: red.hit_budget,
-        final_b: red.final_b,
-        rounds: red.rounds,
-    }
+    out.matches = outcome.output_matches;
+    out.gq_size = red.gq.size();
+    out.gq_nodes = red.gq.num_nodes();
+    out.visits = red.visits;
+    out.hit_budget = red.hit_budget;
+    out.final_b = red.final_b;
+    out.rounds = red.rounds;
+    scratch.reduction.recycle(red.gq);
 }
 
 #[cfg(test)]

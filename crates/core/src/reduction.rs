@@ -14,16 +14,28 @@
 //!
 //! Termination: `|G_Q|` reaching the budget `α·|G|`, exhausting candidates,
 //! or (when configured) blowing the visit cap.
+//!
+//! ## Scratch threading
+//!
+//! All of `Search`'s bookkeeping lives in a reusable [`ReductionScratch`]:
+//! the `G_Q` buffers ([`rbq_graph::SubgraphScratch`]), the traversal stack,
+//! epoch-stamped flat `(query node, data node)` stamp arrays replacing the
+//! former `in_stack`/`expanded` hash sets, `Pick`'s scored-candidate
+//! buffer, and per-query memos of the guard `C(v, u)` and potential
+//! `p(v, u)` (both depend only on the pair, never on `G_Q`, so re-seen
+//! candidates skip the summary probes the Weighted policy used to repeat
+//! every round). [`search_reduced_graph_scratch`] threads the scratch; the
+//! original entry points wrap a fresh one, so results are identical either
+//! way (see the scratch-differential property tests).
 
 use crate::budget::{ResourceBudget, VisitAccount};
 use crate::guard::{GuardCtx, Semantics};
 use crate::neighbor_index::NeighborIndex;
-use rbq_graph::{DynamicSubgraph, Graph, GraphView, NodeId};
+use rbq_graph::{DynamicSubgraph, Graph, GraphView, Label, NodeId, SubgraphScratch};
 use rbq_pattern::{PNode, ResolvedPattern};
-use rustc_hash::FxHashSet;
 
 /// Result of a resource-bounded pattern algorithm (RBSim / RBSub).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PatternAnswer {
     /// Sorted matches of the output node in `G_Q` — the approximate answer
     /// `Q(G_Q)`.
@@ -95,6 +107,200 @@ impl Default for ReductionConfig {
     }
 }
 
+/// Epoch-stamped flat stamp arrays keyed by `(query node, data node)` —
+/// `|V_p|·|V|` u32 slots per array, reused across rounds and queries.
+///
+/// `in_stack`/`expanded` use the per-round epoch (`Search` clears both at
+/// every beam restart; here clearing is one counter bump). The guard and
+/// potential memos use the per-query epoch: both values depend only on the
+/// pair, so within one query every re-seen candidate is a stamp probe
+/// instead of an index-summary walk.
+#[derive(Debug, Clone, Default)]
+struct PairScratch {
+    np: usize,
+    nv: usize,
+    /// Epoch for `in_stack`/`expanded`; bumped per traversal round.
+    round: u32,
+    /// Epoch for the guard/potential memos; bumped per query. Kept below
+    /// `u32::MAX >> 1` so `(query << 1) | bit` packing cannot overflow.
+    query: u32,
+    in_stack: Vec<u32>,
+    expanded: Vec<u32>,
+    /// `(query << 1) | passed` — one array holds both stamp and verdict.
+    guard: Vec<u32>,
+    pot_stamp: Vec<u32>,
+    pot_val: Vec<u32>,
+}
+
+/// Size `buf` to at least `len` slots that all read as zero to epoch
+/// probes. Growth goes through a fresh `vec![0; len]`: that is `calloc`,
+/// and the OS zeroes pages lazily — a budget-bounded search over a huge
+/// graph only ever faults in the pages it actually stamps, so the array's
+/// *touched* footprint stays proportional to the work done, not to
+/// `|V_p|·|V|`. Discarding the old contents is safe at query boundaries:
+/// every stamp is epoch-gated, and zero never matches a live epoch.
+fn zeroed(buf: &mut Vec<u32>, len: usize) {
+    if buf.len() < len {
+        *buf = vec![0u32; len];
+    }
+}
+
+impl PairScratch {
+    fn begin_query(&mut self, np: usize, nv: usize) {
+        let len = np * nv;
+        if nv != self.nv {
+            // The data-graph node count is the pair-index stride: under a
+            // new stride every stored stamp would alias some other pair.
+            // Restart the epochs at zero and make all slots read as
+            // unstamped (force fresh arrays so stale non-zero stamps from
+            // the old stride cannot survive a same-length resize).
+            self.nv = nv;
+            self.round = 0;
+            self.query = 0;
+            for buf in [
+                &mut self.in_stack,
+                &mut self.expanded,
+                &mut self.guard,
+                &mut self.pot_stamp,
+                &mut self.pot_val,
+            ] {
+                buf.clear();
+                zeroed(buf, len);
+            }
+        } else if len > self.in_stack.len() {
+            // A larger pattern on the same graph only needs more slots:
+            // the stride is unchanged, existing stamps stay epoch-stale
+            // (never read as live), and the new tail reads as unstamped.
+            // Smaller patterns reuse the high-water arrays as-is — mixed
+            // pattern sizes in one serving loop never trigger a refill.
+            for buf in [
+                &mut self.in_stack,
+                &mut self.expanded,
+                &mut self.guard,
+                &mut self.pot_stamp,
+                &mut self.pot_val,
+            ] {
+                zeroed(buf, len);
+            }
+        }
+        self.np = np;
+        if self.query >= (u32::MAX >> 1) - 1 {
+            self.guard.fill(0);
+            self.pot_stamp.fill(0);
+            self.query = 0;
+        }
+        self.query += 1;
+    }
+
+    fn begin_round(&mut self) {
+        if self.round == u32::MAX {
+            self.in_stack.fill(0);
+            self.expanded.fill(0);
+            self.round = 0;
+        }
+        self.round += 1;
+    }
+
+    #[inline]
+    fn idx(&self, u: PNode, v: NodeId) -> usize {
+        u.index() * self.nv + v.index()
+    }
+
+    #[inline]
+    fn in_stack_contains(&self, u: PNode, v: NodeId) -> bool {
+        self.in_stack[self.idx(u, v)] == self.round
+    }
+
+    #[inline]
+    fn in_stack_insert(&mut self, u: PNode, v: NodeId) {
+        let i = self.idx(u, v);
+        self.in_stack[i] = self.round;
+    }
+
+    #[inline]
+    fn in_stack_remove(&mut self, u: PNode, v: NodeId) {
+        // `round ≥ 1` always, so 0 can never read as present.
+        let i = self.idx(u, v);
+        self.in_stack[i] = 0;
+    }
+
+    #[inline]
+    fn expanded_contains(&self, u: PNode, v: NodeId) -> bool {
+        self.expanded[self.idx(u, v)] == self.round
+    }
+
+    /// Mark `(u, v)` expanded; `true` if it was not already.
+    #[inline]
+    fn expanded_insert(&mut self, u: PNode, v: NodeId) -> bool {
+        let i = self.idx(u, v);
+        if self.expanded[i] == self.round {
+            false
+        } else {
+            self.expanded[i] = self.round;
+            true
+        }
+    }
+
+    #[inline]
+    fn guard_get(&self, u: PNode, v: NodeId) -> Option<bool> {
+        let s = self.guard[self.idx(u, v)];
+        (s >> 1 == self.query).then_some(s & 1 == 1)
+    }
+
+    #[inline]
+    fn guard_set(&mut self, u: PNode, v: NodeId, pass: bool) {
+        let i = self.idx(u, v);
+        self.guard[i] = (self.query << 1) | pass as u32;
+    }
+
+    #[inline]
+    fn pot_get(&self, u: PNode, v: NodeId) -> Option<u32> {
+        let i = self.idx(u, v);
+        (self.pot_stamp[i] == self.query).then(|| self.pot_val[i])
+    }
+
+    #[inline]
+    fn pot_set(&mut self, u: PNode, v: NodeId, val: u32) {
+        let i = self.idx(u, v);
+        self.pot_stamp[i] = self.query;
+        self.pot_val[i] = val;
+    }
+}
+
+/// Reusable state for the whole `Search`/`Pick` procedure — thread one
+/// through [`search_reduced_graph_scratch`] to make repeated reductions
+/// allocation-free in steady state. Results are identical to the one-shot
+/// entry points for any scratch history.
+#[derive(Debug, Clone, Default)]
+pub struct ReductionScratch {
+    /// `G_Q` buffers; recovered via [`ReductionScratch::recycle`].
+    subgraph: SubgraphScratch,
+    stack: Vec<(PNode, NodeId)>,
+    pairs: PairScratch,
+    scored: Vec<(f64, u32, NodeId)>,
+    picked: Vec<NodeId>,
+    /// Per-query-node deduplicated child / parent label sets (the
+    /// potential's summary lookups).
+    uniq_out: Vec<Vec<Label>>,
+    uniq_in: Vec<Vec<Label>>,
+    cost_out: Vec<(Label, u32)>,
+    cost_in: Vec<(Label, u32)>,
+}
+
+impl ReductionScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a finished `G_Q`'s buffers to the scratch so the next
+    /// reduction reuses them. Skipping this is sound — the next search
+    /// simply starts from cold subgraph buffers.
+    pub fn recycle(&mut self, gq: DynamicSubgraph<'_>) {
+        self.subgraph = gq.into_scratch();
+    }
+}
+
 /// `Search` (Fig. 3): fetch a subgraph `G_Q` with `|G_Q| ≤ budget.max_units`
 /// by guided traversal from `v_p`.
 pub fn search_reduced_graph<'g>(
@@ -116,18 +322,30 @@ pub fn search_reduced_graph_with<'g>(
     semantics: Semantics,
     config: ReductionConfig,
 ) -> ReductionOutcome<'g> {
+    let mut scratch = ReductionScratch::new();
+    search_reduced_graph_scratch(g, idx, q, budget, semantics, config, &mut scratch)
+}
+
+/// [`search_reduced_graph_with`] through a reusable [`ReductionScratch`].
+///
+/// The returned [`ReductionOutcome::gq`] owns the scratch's subgraph
+/// buffers; hand it back with [`ReductionScratch::recycle`] once evaluated
+/// so the next query starts warm.
+pub fn search_reduced_graph_scratch<'g>(
+    g: &'g Graph,
+    idx: &NeighborIndex,
+    q: &ResolvedPattern,
+    budget: &ResourceBudget,
+    semantics: Semantics,
+    config: ReductionConfig,
+    scratch: &mut ReductionScratch,
+) -> ReductionOutcome<'g> {
     let ctx = GuardCtx::new(g, idx, q, semantics);
-    let mut gq = DynamicSubgraph::new(g);
+    let mut gq = std::mem::take(&mut scratch.subgraph).begin(g);
     let mut visits = VisitAccount::default();
     let mut b = config.initial_b;
     let mut rounds = 0u32;
     let mut hit_budget = false;
-
-    // (query node, data node) pairs: the traversal stack, its membership
-    // set, and the pairs already expanded this round.
-    let mut stack: Vec<(PNode, NodeId)> = Vec::new();
-    let mut in_stack: FxHashSet<(u32, u32)> = FxHashSet::default();
-    let mut expanded: FxHashSet<(u32, u32)> = FxHashSet::default();
 
     if budget.max_units == 0 {
         return ReductionOutcome {
@@ -139,55 +357,93 @@ pub fn search_reduced_graph_with<'g>(
         };
     }
 
+    let p = q.pattern();
+    let ReductionScratch {
+        stack,
+        pairs,
+        scored,
+        picked,
+        uniq_out,
+        uniq_in,
+        cost_out,
+        cost_in,
+        ..
+    } = scratch;
+    pairs.begin_query(p.node_count(), g.node_count());
+    // The potential's deduplicated query-neighbor label sets depend only on
+    // the query: computed once here, not once per scored candidate.
+    if uniq_out.len() < p.node_count() {
+        uniq_out.resize_with(p.node_count(), Vec::new);
+        uniq_in.resize_with(p.node_count(), Vec::new);
+    }
+    for u in p.nodes() {
+        let lo = &mut uniq_out[u.index()];
+        lo.clear();
+        lo.extend(p.out(u).iter().map(|&uq| q.label(uq)));
+        lo.sort_unstable();
+        lo.dedup();
+        let li = &mut uniq_in[u.index()];
+        li.clear();
+        li.extend(p.inn(u).iter().map(|&uq| q.label(uq)));
+        li.sort_unstable();
+        li.dedup();
+    }
+
     'rounds: loop {
         rounds += 1;
         let mut changed = false;
+        pairs.begin_round();
         stack.clear();
-        in_stack.clear();
-        expanded.clear();
         stack.push((q.up(), q.vp()));
-        in_stack.insert((q.up().0, q.vp().0));
+        pairs.in_stack_insert(q.up(), q.vp());
 
         while let Some((u, v)) = stack.pop() {
-            in_stack.remove(&(u.0, v.0));
+            pairs.in_stack_remove(u, v);
 
             // Line 5: add v to G_Q if new, charging its node + induced edges
-            // against the budget.
+            // against the budget — one adjacency scan probes and inserts.
             if !gq.contains(v) {
-                let units = peek_add_units(g, &gq, v, &mut visits);
-                if gq.size() + units > budget.max_units {
+                visits.edges(g.out(v).len());
+                visits.edges(g.inn(v).len());
+                let remaining = budget.max_units - gq.size();
+                if gq.try_add_node(v, remaining).is_none() {
                     hit_budget = true;
                     break 'rounds;
                 }
-                gq.add_node(v);
                 visits.node();
                 changed = true;
             }
 
             // Each (u, v) pair expands its query edges once per round
             // (lines 8–10).
-            if !expanded.insert((u.0, v.0)) {
+            if !pairs.expanded_insert(u, v) {
                 continue;
             }
 
             // Children edges (u, u') then parent edges (u', u). Candidates
             // ranked best-last so the best ends on top of the stack.
-            let p = q.pattern();
             for &uc in p.out(u) {
-                let sp = pick(
+                pick(
                     &ctx,
                     uc,
                     v,
                     true,
                     &gq,
-                    &in_stack,
+                    pairs,
                     b,
                     config.pick_policy,
                     &mut visits,
+                    scored,
+                    picked,
+                    uniq_out,
+                    uniq_in,
+                    cost_out,
+                    cost_in,
                 );
-                for &v2 in sp.iter().rev() {
+                for k in (0..picked.len()).rev() {
+                    let v2 = picked[k];
                     stack.push((uc, v2));
-                    in_stack.insert((uc.0, v2.0));
+                    pairs.in_stack_insert(uc, v2);
                 }
                 // Continue the traversal through neighbors already in G_Q:
                 // they consume no candidate slot and no budget, but their
@@ -195,39 +451,46 @@ pub fn search_reduced_graph_with<'g>(
                 // (with larger b) can reach deeper unexplored regions.
                 for &v2 in ctx.g.out(v) {
                     if gq.contains(v2)
-                        && !expanded.contains(&(uc.0, v2.0))
-                        && !in_stack.contains(&(uc.0, v2.0))
-                        && ctx.guard(v2, uc, &mut visits)
+                        && !pairs.expanded_contains(uc, v2)
+                        && !pairs.in_stack_contains(uc, v2)
+                        && guard_memo(&ctx, pairs, v2, uc, &mut visits)
                     {
                         stack.push((uc, v2));
-                        in_stack.insert((uc.0, v2.0));
+                        pairs.in_stack_insert(uc, v2);
                     }
                 }
             }
             for &up_ in p.inn(u) {
-                let sp = pick(
+                pick(
                     &ctx,
                     up_,
                     v,
                     false,
                     &gq,
-                    &in_stack,
+                    pairs,
                     b,
                     config.pick_policy,
                     &mut visits,
+                    scored,
+                    picked,
+                    uniq_out,
+                    uniq_in,
+                    cost_out,
+                    cost_in,
                 );
-                for &v2 in sp.iter().rev() {
+                for k in (0..picked.len()).rev() {
+                    let v2 = picked[k];
                     stack.push((up_, v2));
-                    in_stack.insert((up_.0, v2.0));
+                    pairs.in_stack_insert(up_, v2);
                 }
                 for &v2 in ctx.g.inn(v) {
                     if gq.contains(v2)
-                        && !expanded.contains(&(up_.0, v2.0))
-                        && !in_stack.contains(&(up_.0, v2.0))
-                        && ctx.guard(v2, up_, &mut visits)
+                        && !pairs.expanded_contains(up_, v2)
+                        && !pairs.in_stack_contains(up_, v2)
+                        && guard_memo(&ctx, pairs, v2, up_, &mut visits)
                     {
                         stack.push((up_, v2));
-                        in_stack.insert((up_.0, v2.0));
+                        pairs.in_stack_insert(up_, v2);
                     }
                 }
             }
@@ -254,41 +517,32 @@ pub fn search_reduced_graph_with<'g>(
     }
 }
 
-/// Units `add_node(v)` would consume: 1 for the node plus 1 per induced
-/// edge between `v` and current members (both directions, self-loop once).
-fn peek_add_units(
-    g: &Graph,
-    gq: &DynamicSubgraph<'_>,
+/// The guard `C(v, u)` through the per-query memo: evaluated (and charged
+/// to `visits`) at most once per pair.
+fn guard_memo(
+    ctx: &GuardCtx<'_>,
+    pairs: &mut PairScratch,
     v: NodeId,
+    u: PNode,
     visits: &mut VisitAccount,
-) -> usize {
-    let mut units = 1usize;
-    let outs = g.out(v);
-    visits.edges(outs.len());
-    for &w in outs {
-        // A self-loop becomes an induced edge the moment `v` joins, even
-        // though `v` is not a member yet at peek time.
-        if w == v || gq.contains(w) {
-            units += 1;
-        }
+) -> bool {
+    if let Some(hit) = pairs.guard_get(u, v) {
+        return hit;
     }
-    let ins = g.inn(v);
-    visits.edges(ins.len());
-    for &w in ins {
-        if w != v && gq.contains(w) {
-            units += 1;
-        }
-    }
-    units
+    let pass = ctx.guard(v, u, visits);
+    pairs.guard_set(u, v, pass);
+    pass
 }
 
 /// `Pick`: the top-`b` new candidates for query node `u2` among the
 /// neighbors of `v` in the given direction (`out = true` follows the query
-/// edge `(u, u2)`, i.e. children of `v`), ranked by weight `p/(c+1)`.
+/// edge `(u, u2)`, i.e. children of `v`), ranked by weight `p/(c+1)`,
+/// written best-first into `picked`.
 ///
 /// Nodes already in `G_Q` or already on the stack for the same query node
-/// are skipped; candidates failing the guarded condition are filtered.
-/// Returned best-first.
+/// are skipped; candidates failing the guarded condition are filtered. The
+/// potential `p(v2, u2)` is served from the per-query memo (it never
+/// depends on `G_Q`); the cost is recomputed, as it must be.
 #[allow(clippy::too_many_arguments)]
 fn pick(
     ctx: &GuardCtx<'_>,
@@ -296,24 +550,47 @@ fn pick(
     v: NodeId,
     out: bool,
     gq: &DynamicSubgraph<'_>,
-    in_stack: &FxHashSet<(u32, u32)>,
+    pairs: &mut PairScratch,
     b: u32,
     policy: PickPolicy,
     visits: &mut VisitAccount,
-) -> Vec<NodeId> {
+    scored: &mut Vec<(f64, u32, NodeId)>,
+    picked: &mut Vec<NodeId>,
+    uniq_out: &[Vec<Label>],
+    uniq_in: &[Vec<Label>],
+    cost_out: &mut Vec<(Label, u32)>,
+    cost_in: &mut Vec<(Label, u32)>,
+) {
     let neighbors = if out { ctx.g.out(v) } else { ctx.g.inn(v) };
     visits.edges(neighbors.len());
 
-    let mut scored: Vec<(f64, u32, NodeId)> = Vec::new();
+    scored.clear();
     for &v2 in neighbors {
-        if gq.contains(v2) || in_stack.contains(&(u2.0, v2.0)) {
+        if gq.contains(v2) || pairs.in_stack_contains(u2, v2) {
             continue;
         }
-        if !ctx.guard(v2, u2, visits) {
+        if !guard_memo(ctx, pairs, v2, u2, visits) {
             continue;
         }
         let key = match policy {
-            PickPolicy::Weighted => ctx.weight(v2, u2, gq, visits),
+            PickPolicy::Weighted => {
+                let pot = match pairs.pot_get(u2, v2) {
+                    Some(p) => p,
+                    None => {
+                        let p = ctx.potential_with(
+                            v2,
+                            u2,
+                            &uniq_out[u2.index()],
+                            &uniq_in[u2.index()],
+                            visits,
+                        );
+                        pairs.pot_set(u2, v2, p);
+                        p
+                    }
+                };
+                let c = ctx.cost_with(v2, u2, gq, visits, cost_out, cost_in);
+                pot as f64 / (c as f64 + 1.0)
+            }
             PickPolicy::Fifo => 0.0,
             PickPolicy::Random => {
                 // Deterministic hash-based score; no weight computation.
@@ -339,7 +616,8 @@ fn pick(
         }
     }
     scored.truncate(b as usize);
-    scored.into_iter().map(|(_, _, v2)| v2).collect()
+    picked.clear();
+    picked.extend(scored.iter().map(|&(_, _, v2)| v2));
 }
 
 #[cfg(test)]
@@ -533,5 +811,75 @@ mod tests {
             "visits {} vs d_G·α|G| = {bound}",
             out.visits.total()
         );
+    }
+
+    #[test]
+    fn scratch_reuse_across_mixed_pattern_sizes_is_identical_to_fresh() {
+        // Alternating pattern sizes through one scratch: the pair arrays
+        // only zero-extend at the high-water mark (the index stride is
+        // |V|, which is unchanged), and results must match fresh runs.
+        let (g, _, _) = example_graph(8, 16);
+        let idx = NeighborIndex::build(&g);
+        let q4 = fig1_pattern().resolve(&g).unwrap();
+        let mut pb = rbq_pattern::PatternBuilder::new();
+        let m = pb.add_node("Michael");
+        let cc = pb.add_node("CC");
+        pb.add_edge(m, cc).personalized(m).output(cc);
+        let q2 = pb.build().resolve(&g).unwrap();
+        let mut scratch = ReductionScratch::new();
+        let budget = ResourceBudget::from_units(&g, 20);
+        for _ in 0..3 {
+            for q in [&q2, &q4] {
+                let fresh = search_reduced_graph(&g, &idx, q, &budget, Semantics::Simulation);
+                let warm = search_reduced_graph_scratch(
+                    &g,
+                    &idx,
+                    q,
+                    &budget,
+                    Semantics::Simulation,
+                    ReductionConfig::default(),
+                    &mut scratch,
+                );
+                assert_eq!(warm.gq.members(), fresh.gq.members());
+                assert_eq!(warm.visits, fresh.visits);
+                assert_eq!(warm.final_b, fresh.final_b);
+                scratch.recycle(warm.gq);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh_runs() {
+        let (g, _, _) = example_graph(12, 24);
+        let idx = NeighborIndex::build(&g);
+        let q = fig1_pattern().resolve(&g).unwrap();
+        let mut scratch = ReductionScratch::new();
+        for units in [1usize, 3, 8, 16, 40, 200, 8, 3] {
+            let budget = ResourceBudget::from_units(&g, units);
+            for policy in [PickPolicy::Weighted, PickPolicy::Fifo, PickPolicy::Random] {
+                let config = ReductionConfig {
+                    pick_policy: policy,
+                    ..Default::default()
+                };
+                let fresh =
+                    search_reduced_graph_with(&g, &idx, &q, &budget, Semantics::Simulation, config);
+                let warm = search_reduced_graph_scratch(
+                    &g,
+                    &idx,
+                    &q,
+                    &budget,
+                    Semantics::Simulation,
+                    config,
+                    &mut scratch,
+                );
+                assert_eq!(warm.gq.members(), fresh.gq.members(), "{units} {policy:?}");
+                assert_eq!(warm.gq.size(), fresh.gq.size());
+                assert_eq!(warm.visits, fresh.visits);
+                assert_eq!(warm.hit_budget, fresh.hit_budget);
+                assert_eq!(warm.final_b, fresh.final_b);
+                assert_eq!(warm.rounds, fresh.rounds);
+                scratch.recycle(warm.gq);
+            }
+        }
     }
 }

@@ -5,7 +5,9 @@ use crate::cache::{CacheKey, CachedAnswer, ReductionCache};
 use crate::canonical::canonical_pattern;
 use crate::{Answer, Query, QueryClass, QueryResult};
 use rbq_core::guard::Semantics;
-use rbq_core::{rbsim, rbsub_with, NeighborIndex, ResourceBudget};
+use rbq_core::{
+    rbsim_with, rbsub_scratch, NeighborIndex, PatternAnswer, PatternScratch, ResourceBudget,
+};
 use rbq_graph::{Graph, NodeId};
 use rbq_pattern::{Pattern, Vf2Config};
 use rbq_reach::HierarchicalIndex;
@@ -230,6 +232,19 @@ pub struct Engine {
     reach: OnceLock<Arc<HierarchicalIndex>>,
     cache: Mutex<ReductionCache>,
     totals: Mutex<EngineStats>,
+    /// Warm per-worker evaluation scratches. Each batch worker checks one
+    /// out for its whole run (no contention on the hot path) and returns
+    /// it afterwards, so steady-state serving reuses warm buffers across
+    /// batches instead of allocating per query.
+    scratches: Mutex<Vec<WorkerScratch>>,
+}
+
+/// One worker's reusable evaluation state: the pattern scratch plus the
+/// recycled answer buffer.
+#[derive(Default)]
+struct WorkerScratch {
+    pattern: PatternScratch,
+    answer: PatternAnswer,
 }
 
 impl Engine {
@@ -250,7 +265,23 @@ impl Engine {
             reach: OnceLock::new(),
             cache,
             totals: Mutex::new(EngineStats::default()),
+            scratches: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Check out a warm worker scratch (or a fresh one when the pool is
+    /// dry — first use, or more workers than ever before).
+    fn take_scratch(&self) -> WorkerScratch {
+        self.scratches
+            .lock()
+            .expect("scratch lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a worker scratch to the pool, keeping its warm buffers.
+    fn put_scratch(&self, s: WorkerScratch) {
+        self.scratches.lock().expect("scratch lock").push(s);
     }
 
     /// Like [`Engine::new`], but seeding pre-built indexes so callers that
@@ -321,7 +352,9 @@ impl Engine {
 
     /// Answer one query (no aggregate-budget settlement).
     pub fn run(&self, q: &Query) -> QueryResult {
-        let (result, class, latency) = self.run_one(q);
+        let mut scratch = self.take_scratch();
+        let (result, class, latency) = self.run_one(q, &mut scratch);
+        self.put_scratch(scratch);
         let mut totals = self.totals.lock().expect("stats lock");
         record(&mut totals, &result, class, latency);
         totals.charged_visits += if result.answer.is_ok() {
@@ -347,9 +380,11 @@ impl Engine {
         results.resize_with(n, || None);
 
         if threads <= 1 {
+            let mut scratch = self.take_scratch();
             for (i, q) in queries.iter().enumerate() {
-                results[i] = Some(self.run_one(q));
+                results[i] = Some(self.run_one(q, &mut scratch));
             }
+            self.put_scratch(scratch);
         } else {
             let cursor = AtomicUsize::new(0);
             let mut shards: Vec<Vec<(usize, Evaluated)>> = Vec::with_capacity(threads);
@@ -358,14 +393,19 @@ impl Engine {
                     .map(|_| {
                         let cursor = &cursor;
                         scope.spawn(move || {
+                            // One warm scratch per worker for the whole
+                            // batch: no cross-thread contention on the
+                            // evaluation hot path.
+                            let mut scratch = self.take_scratch();
                             let mut out = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 if i >= n {
                                     break;
                                 }
-                                out.push((i, self.run_one(&queries[i])));
+                                out.push((i, self.run_one(&queries[i], &mut scratch)));
                             }
+                            self.put_scratch(scratch);
                             out
                         })
                     })
@@ -425,12 +465,16 @@ impl Engine {
         t.max(1).min(n.max(1))
     }
 
-    fn run_one(&self, q: &Query) -> Evaluated {
+    fn run_one(&self, q: &Query, scratch: &mut WorkerScratch) -> Evaluated {
         let start = Instant::now();
         let result = match q {
             Query::Reach { source, target } => self.run_reach(*source, *target),
-            Query::PatternSim { pattern } => self.run_pattern(pattern, Semantics::Simulation),
-            Query::PatternIso { pattern } => self.run_pattern(pattern, Semantics::Isomorphism),
+            Query::PatternSim { pattern } => {
+                self.run_pattern(pattern, Semantics::Simulation, scratch)
+            }
+            Query::PatternIso { pattern } => {
+                self.run_pattern(pattern, Semantics::Isomorphism, scratch)
+            }
         };
         (result, q.class(), start.elapsed())
     }
@@ -456,7 +500,12 @@ impl Engine {
         }
     }
 
-    fn run_pattern(&self, pattern: &Pattern, sem: Semantics) -> QueryResult {
+    fn run_pattern(
+        &self,
+        pattern: &Pattern,
+        sem: Semantics,
+        scratch: &mut WorkerScratch,
+    ) -> QueryResult {
         // Evaluate the canonical relabeling: isomorphic queries then run the
         // byte-identical computation, so cache hits equal cold answers.
         let (canon, signature) = canonical_pattern(pattern);
@@ -489,12 +538,18 @@ impl Engine {
             };
         }
         let idx = self.neighbor_index();
-        let ans = match sem {
-            Semantics::Simulation => rbsim(&self.g, &idx, &resolved, &budget),
-            Semantics::Isomorphism => rbsub_with(&self.g, &idx, &resolved, &budget, self.cfg.vf2),
+        let WorkerScratch {
+            pattern: ps,
+            answer: ans,
+        } = scratch;
+        match sem {
+            Semantics::Simulation => rbsim_with(&self.g, &idx, &resolved, &budget, ps, ans),
+            Semantics::Isomorphism => {
+                rbsub_scratch(&self.g, &idx, &resolved, &budget, self.cfg.vf2, ps, ans)
+            }
         };
         let answer = Answer::Pattern {
-            matches: ans.matches,
+            matches: ans.matches.clone(),
             gq_size: ans.gq_size,
             gq_nodes: ans.gq_nodes,
             hit_budget: ans.hit_budget,

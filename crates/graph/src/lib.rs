@@ -48,6 +48,6 @@ pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use labels::LabelInterner;
 pub use neighborhood::BallScratch;
-pub use subgraph::{DynamicSubgraph, InducedSubgraph};
+pub use subgraph::{DynamicSubgraph, InducedSubgraph, SubgraphScratch};
 pub use types::{Label, NodeId};
 pub use view::{GraphView, Neighbors, NodeIds};

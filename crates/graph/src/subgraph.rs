@@ -7,7 +7,9 @@
 //! * [`DynamicSubgraph`] — an incrementally grown subgraph used as the
 //!   reduced graph `G_Q` by the dynamic-reduction procedures (§3): nodes and
 //!   induced edges are added one node at a time while the resource budget is
-//!   charged for each addition.
+//!   charged for each addition. Its state lives in a reusable
+//!   [`SubgraphScratch`], so a serving loop evaluating many queries pays no
+//!   per-query allocation once the buffers are warm.
 
 use crate::graph::Graph;
 use crate::types::{Label, NodeId};
@@ -67,7 +69,7 @@ impl<'g> InducedSubgraph<'g> {
     ///
     /// Returns the new graph and the mapping `new id -> old id`.
     pub fn materialize(&self) -> (Graph, Vec<NodeId>) {
-        materialize(self.base, &self.nodes, &self.members)
+        materialize(self.base, &self.nodes, |v| self.members.contains(&v))
     }
 }
 
@@ -111,38 +113,113 @@ impl GraphView for InducedSubgraph<'_> {
     }
 }
 
+/// Reusable state behind [`DynamicSubgraph`]: dense per-node-id membership
+/// stamps plus a pool of recycled adjacency buffers.
+///
+/// The dynamic reduction builds one `G_Q` per query; a fresh hash-set /
+/// hash-map subgraph per query made membership probes (the innermost test of
+/// `Search`/`Pick`) hash lookups and its growth a stream of small
+/// allocations. The scratch keeps:
+///
+/// * `member_stamp[v] == epoch` ⇔ `v` is a member — starting the next
+///   subgraph is one epoch bump, no clearing;
+/// * `member_slot[v]` — the member's dense slot, indexing the adjacency
+///   pool;
+/// * per-slot adjacency `Vec`s, recycled across queries (cleared on slot
+///   reuse, capacity kept).
+///
+/// Obtain a subgraph with [`SubgraphScratch::begin`] and recover the
+/// buffers with [`DynamicSubgraph::into_scratch`]:
+///
+/// ```
+/// use rbq_graph::{builder::graph_from_edges, subgraph::SubgraphScratch, NodeId};
+/// let g = graph_from_edges(&["A"; 3], &[(0, 1), (1, 2)]);
+/// let mut gq = SubgraphScratch::new().begin(&g);
+/// gq.add_node(NodeId(0));
+/// gq.add_node(NodeId(1));
+/// let scratch = gq.into_scratch(); // warm buffers, ready for the next query
+/// assert_eq!(scratch.begin(&g).num_nodes(), 0);
+/// use rbq_graph::GraphView;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubgraphScratch {
+    /// `member_stamp[v] == epoch` marks `v` a member of the current
+    /// subgraph. Slots are zero-initialized and `epoch ≥ 1` after `begin`,
+    /// so fresh slots read as absent.
+    member_stamp: Vec<u32>,
+    /// Dense slot of a member node; garbage unless `member_stamp` matches.
+    member_slot: Vec<u32>,
+    epoch: u32,
+    /// Members in insertion order.
+    nodes: Vec<NodeId>,
+    /// Members in ascending id order (maintained incrementally).
+    sorted_nodes: Vec<NodeId>,
+    /// Per-slot adjacency, recycled. `out_adj[member_slot[v]]` are the
+    /// children of `v` within the subgraph.
+    out_adj: Vec<Vec<NodeId>>,
+    in_adj: Vec<Vec<NodeId>>,
+}
+
+impl SubgraphScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start an empty [`DynamicSubgraph`] of `base`, reusing warm buffers.
+    pub fn begin(mut self, base: &Graph) -> DynamicSubgraph<'_> {
+        // Epoch wrap: hard-reset the stamps so marks from a previous epoch 1
+        // cannot alias the new epoch 1. Once per 2^32 - 1 subgraphs.
+        if self.epoch == u32::MAX {
+            self.member_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.member_stamp.len() < base.node_count() {
+            self.member_stamp.resize(base.node_count(), 0);
+            self.member_slot.resize(base.node_count(), 0);
+        }
+        self.nodes.clear();
+        self.sorted_nodes.clear();
+        DynamicSubgraph {
+            base,
+            s: self,
+            num_edges: 0,
+        }
+    }
+}
+
 /// An incrementally grown subgraph of a base graph — the reduced graph `G_Q`.
 ///
-/// Invariant maintained by [`DynamicSubgraph::add_node`]: the edge set is
-/// exactly the base graph's edges induced by the current node set, so
-/// [`GraphView::size`] is the `|G_Q|` the resource bound `α|G|` constrains
-/// (§3, and Example 2's "14 nodes and edges").
+/// Invariant maintained by [`DynamicSubgraph::add_node`] /
+/// [`DynamicSubgraph::try_add_node`]: the edge set is exactly the base
+/// graph's edges induced by the current node set, so [`GraphView::size`] is
+/// the `|G_Q|` the resource bound `α|G|` constrains (§3, and Example 2's
+/// "14 nodes and edges").
+///
+/// State lives in a [`SubgraphScratch`]; [`DynamicSubgraph::new`] wraps a
+/// fresh one for one-shot use.
 #[derive(Debug, Clone)]
 pub struct DynamicSubgraph<'g> {
     base: &'g Graph,
-    members: FxHashSet<NodeId>,
-    nodes: Vec<NodeId>,
-    out_adj: FxHashMap<NodeId, Vec<NodeId>>,
-    in_adj: FxHashMap<NodeId, Vec<NodeId>>,
+    s: SubgraphScratch,
     num_edges: usize,
 }
 
 impl<'g> DynamicSubgraph<'g> {
-    /// Create an empty subgraph of `base`.
+    /// Create an empty subgraph of `base` over a fresh scratch.
     pub fn new(base: &'g Graph) -> Self {
-        DynamicSubgraph {
-            base,
-            members: FxHashSet::default(),
-            nodes: Vec::new(),
-            out_adj: FxHashMap::default(),
-            in_adj: FxHashMap::default(),
-            num_edges: 0,
-        }
+        SubgraphScratch::new().begin(base)
     }
 
     /// The base graph.
     pub fn base(&self) -> &'g Graph {
         self.base
+    }
+
+    /// Recover the scratch buffers for reuse by the next subgraph.
+    pub fn into_scratch(self) -> SubgraphScratch {
+        self.s
     }
 
     /// Add `v` and all base-graph edges between `v` and current members.
@@ -151,61 +228,119 @@ impl<'g> DynamicSubgraph<'g> {
     /// induced edge), or 0 if `v` was already present. The caller charges
     /// this against the resource budget.
     pub fn add_node(&mut self, v: NodeId) -> usize {
+        self.try_add_node(v, usize::MAX)
+            .expect("unbounded add cannot exceed the budget")
+    }
+
+    /// Add `v` if its size units (1 + induced edges) fit within `remaining`
+    /// budget units, in **one** adjacency scan — the fold of the former
+    /// `peek_add_units` probe and `add_node` insertion, so each admitted
+    /// node scans its base adjacency once, not twice.
+    ///
+    /// Returns `Some(units)` on admission (0 if `v` was already present) or
+    /// `None` — with the subgraph unchanged — when `units > remaining`.
+    pub fn try_add_node(&mut self, v: NodeId, remaining: usize) -> Option<usize> {
         debug_assert!(v.index() < self.base.node_count(), "node outside base");
-        if !self.members.insert(v) {
-            return 0;
+        if self.contains(v) {
+            return Some(0);
         }
-        self.nodes.push(v);
-        let mut added = 1usize;
-        // Induced edges v -> w and w -> v for members w (v itself included,
-        // covering self-loops exactly once).
-        let mut out_list: Vec<NodeId> = Vec::new();
+        // Optimistically register v so the scans see it as a member (a
+        // self-loop becomes an induced edge the moment v joins).
+        let slot = self.s.nodes.len();
+        self.s.member_stamp[v.index()] = self.s.epoch;
+        self.s.member_slot[v.index()] = slot as u32;
+        self.s.nodes.push(v);
+        if slot == self.s.out_adj.len() {
+            self.s.out_adj.push(Vec::new());
+            self.s.in_adj.push(Vec::new());
+        }
+        self.s.out_adj[slot].clear();
+        self.s.in_adj[slot].clear();
+
+        let mut units = 1usize;
         for &w in self.base.out(v) {
-            if self.members.contains(&w) {
-                out_list.push(w);
-                self.in_adj.entry(w).or_default().push(v);
-                added += 1;
-                self.num_edges += 1;
+            if self.contains(w) {
+                let ws = self.s.member_slot[w.index()] as usize;
+                self.s.out_adj[slot].push(w);
+                self.s.in_adj[ws].push(v);
+                units += 1;
             }
         }
-        let mut in_list: Vec<NodeId> = Vec::new();
         for &w in self.base.inn(v) {
             if w == v {
                 // Self-loop fully handled by the out scan (both adjacency
                 // directions were registered there).
                 continue;
             }
-            if self.members.contains(&w) {
-                in_list.push(w);
-                self.out_adj.entry(w).or_default().push(v);
-                added += 1;
-                self.num_edges += 1;
+            if self.contains(w) {
+                let ws = self.s.member_slot[w.index()] as usize;
+                self.s.in_adj[slot].push(w);
+                self.s.out_adj[ws].push(v);
+                units += 1;
             }
         }
-        self.out_adj.entry(v).or_default().extend(out_list);
-        self.in_adj.entry(v).or_default().extend(in_list);
-        added
+
+        if units > remaining {
+            // Roll back in reverse scan order. `v` is the most recent push
+            // on every *other* member's list it touched; its own lists are
+            // cleared on slot reuse. Undo the in-scan first (it ran last),
+            // then the out-scan — for a self-loop, the out-scan pushed onto
+            // v's own `in_adj`, which needs no undo.
+            for i in (0..self.s.in_adj[slot].len()).rev() {
+                let w = self.s.in_adj[slot][i];
+                if w != v {
+                    let ws = self.s.member_slot[w.index()] as usize;
+                    self.s.out_adj[ws].pop();
+                }
+            }
+            for i in (0..self.s.out_adj[slot].len()).rev() {
+                let w = self.s.out_adj[slot][i];
+                if w != v {
+                    let ws = self.s.member_slot[w.index()] as usize;
+                    self.s.in_adj[ws].pop();
+                }
+            }
+            self.s.nodes.pop();
+            // epoch ≥ 1 always, so 0 can never read as a member.
+            self.s.member_stamp[v.index()] = 0;
+            return None;
+        }
+
+        let pos = self.s.sorted_nodes.binary_search(&v).unwrap_err();
+        self.s.sorted_nodes.insert(pos, v);
+        self.num_edges += units - 1;
+        Some(units)
     }
 
     /// Member nodes in insertion order.
     pub fn members(&self) -> &[NodeId] {
-        &self.nodes
+        &self.s.nodes
+    }
+
+    #[inline]
+    fn slot(&self, v: NodeId) -> Option<usize> {
+        if self.contains(v) {
+            Some(self.s.member_slot[v.index()] as usize)
+        } else {
+            None
+        }
     }
 
     /// Copy into a standalone [`Graph`] with remapped dense ids.
     ///
     /// Returns the new graph and the mapping `new id -> old id`.
     pub fn materialize(&self) -> (Graph, Vec<NodeId>) {
-        let mut sorted = self.nodes.clone();
-        sorted.sort_unstable();
-        materialize(self.base, &sorted, &self.members)
+        materialize(self.base, &self.s.sorted_nodes, |v| self.contains(v))
     }
 }
 
 impl GraphView for DynamicSubgraph<'_> {
     #[inline]
     fn contains(&self, v: NodeId) -> bool {
-        self.members.contains(&v)
+        self.s
+            .member_stamp
+            .get(v.index())
+            .is_some_and(|&st| st == self.s.epoch)
     }
 
     #[inline]
@@ -215,29 +350,27 @@ impl GraphView for DynamicSubgraph<'_> {
 
     #[inline]
     fn out_neighbors(&self, v: NodeId) -> Neighbors<'_> {
-        match self.out_adj.get(&v) {
-            Some(list) => Neighbors::slice(list),
+        match self.slot(v) {
+            Some(i) => Neighbors::slice(&self.s.out_adj[i]),
             None => Neighbors::empty(),
         }
     }
 
     #[inline]
     fn in_neighbors(&self, v: NodeId) -> Neighbors<'_> {
-        match self.in_adj.get(&v) {
-            Some(list) => Neighbors::slice(list),
+        match self.slot(v) {
+            Some(i) => Neighbors::slice(&self.s.in_adj[i]),
             None => Neighbors::empty(),
         }
     }
 
     fn node_ids(&self) -> NodeIds<'_> {
-        let mut ids = self.nodes.clone();
-        ids.sort_unstable();
-        NodeIds::Owned(ids.into_iter())
+        NodeIds::Slice(self.s.sorted_nodes.iter())
     }
 
     #[inline]
     fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.s.nodes.len()
     }
 
     #[inline]
@@ -247,11 +380,11 @@ impl GraphView for DynamicSubgraph<'_> {
 }
 
 /// Shared materialization: copy the subgraph induced by `sorted_nodes` (with
-/// membership set `members`) of `base` into a fresh graph.
+/// membership predicate `is_member`) of `base` into a fresh graph.
 fn materialize(
     base: &Graph,
     sorted_nodes: &[NodeId],
-    members: &FxHashSet<NodeId>,
+    is_member: impl Fn(NodeId) -> bool,
 ) -> (Graph, Vec<NodeId>) {
     let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
     remap.reserve(sorted_nodes.len());
@@ -265,7 +398,7 @@ fn materialize(
     for &v in sorted_nodes {
         let nv = remap[&v];
         for &w in base.out(v) {
-            if members.contains(&w) {
+            if is_member(w) {
                 b.add_edge(nv, remap[&w]);
             }
         }
@@ -370,6 +503,88 @@ mod tests {
         assert_eq!(outs, vec![NodeId(0)]);
         let ins: Vec<_> = d.in_neighbors(NodeId(0)).collect();
         assert_eq!(ins, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn try_add_node_rejects_over_budget_without_mutation() {
+        let g = graph_from_edges(
+            &["A", "B", "C", "D"],
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (0, 3)],
+        );
+        let mut d = DynamicSubgraph::new(&g);
+        assert_eq!(d.try_add_node(NodeId(0), 1), Some(1));
+        assert_eq!(d.try_add_node(NodeId(1), 10), Some(3)); // node + 0->1, 1->0
+                                                            // Node 3 would cost 1 + edges 2->? none yet.. 3 edges: 3->1, 0->3.
+        assert_eq!(d.try_add_node(NodeId(3), 2), None);
+        // The rejection must leave the subgraph byte-identical.
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.num_edges(), 2);
+        assert!(!d.contains(NodeId(3)));
+        let outs: Vec<_> = d.out_neighbors(NodeId(0)).collect();
+        assert_eq!(outs, vec![NodeId(1)]);
+        let ins: Vec<_> = d.in_neighbors(NodeId(1)).collect();
+        assert_eq!(ins, vec![NodeId(0)]);
+        // With enough budget the same node is admitted with the same units.
+        assert_eq!(d.try_add_node(NodeId(3), 3), Some(3));
+        assert_eq!(d.num_edges(), 4);
+    }
+
+    #[test]
+    fn try_add_node_rollback_with_self_loop() {
+        let g = graph_from_edges(&["A", "B"], &[(0, 0), (0, 1), (1, 0)]);
+        let mut d = DynamicSubgraph::new(&g);
+        assert_eq!(d.add_node(NodeId(1)), 1);
+        // Node 0 costs 1 (node) + 1 (self loop) + 2 (0<->1) = 4.
+        assert_eq!(d.try_add_node(NodeId(0), 3), None);
+        assert_eq!(d.num_nodes(), 1);
+        assert_eq!(d.num_edges(), 0);
+        assert!(d.in_neighbors(NodeId(1)).next().is_none());
+        assert!(d.out_neighbors(NodeId(1)).next().is_none());
+        assert_eq!(d.try_add_node(NodeId(0), 4), Some(4));
+        assert_eq!(d.num_edges(), 3);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_subgraphs() {
+        let g = graph_from_edges(
+            &["A", "B", "C", "D"],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],
+        );
+        let mut scratch = SubgraphScratch::new();
+        for round in 0..300u32 {
+            // Alternate member sets so stale state would be caught.
+            let picks: &[NodeId] = if round % 2 == 0 {
+                &[NodeId(0), NodeId(1), NodeId(3)]
+            } else {
+                &[NodeId(2), NodeId(1)]
+            };
+            let mut d = scratch.begin(&g);
+            for &v in picks {
+                d.add_node(v);
+            }
+            let ind = InducedSubgraph::new(&g, picks.iter().copied());
+            assert_eq!(d.num_nodes(), ind.num_nodes(), "round {round}");
+            assert_eq!(d.num_edges(), ind.num_edges(), "round {round}");
+            let got: Vec<NodeId> = d.node_ids().collect();
+            assert_eq!(got, ind.members(), "round {round}");
+            for v in g.nodes() {
+                assert_eq!(d.contains(v), ind.contains(v), "round {round} {v:?}");
+            }
+            scratch = d.into_scratch();
+        }
+    }
+
+    #[test]
+    fn node_ids_are_sorted_regardless_of_insertion_order() {
+        let g = path5();
+        let mut d = DynamicSubgraph::new(&g);
+        for v in [4u32, 0, 2, 3, 1] {
+            d.add_node(NodeId(v));
+        }
+        let ids: Vec<NodeId> = d.node_ids().collect();
+        assert_eq!(ids, (0..5).map(NodeId).collect::<Vec<_>>());
+        // members() stays in insertion order.
+        assert_eq!(d.members()[0], NodeId(4));
     }
 
     #[test]

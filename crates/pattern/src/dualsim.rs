@@ -25,6 +25,19 @@
 //!
 //! The naive iterated-pruning fixpoint is retained under `#[cfg(test)]` as
 //! the differential oracle for the property tests below.
+//!
+//! ## Scratch threading
+//!
+//! Every per-call allocation of the fixpoint (candidate lists, alive masks,
+//! counters, membership bitmaps, the worklist, the result vectors) lives in
+//! a reusable [`DualSimScratch`]. The `_with` entry points
+//! ([`dual_simulation_with`], [`dual_simulation_screened_with`]) borrow the
+//! scratch and return a borrowed [`DualSimRef`] — strong simulation holds
+//! one scratch per query and evaluates hundreds of balls through it with
+//! zero steady-state allocation, the way [`rbq_graph::BallScratch`] already
+//! serves the ball BFS. The original [`dual_simulation`] /
+//! [`dual_simulation_screened`] remain as one-shot conveniences over a
+//! fresh scratch.
 
 use crate::pattern::{PNode, ResolvedPattern};
 use rbq_graph::{GraphView, NodeId};
@@ -153,15 +166,43 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
     g: &V,
     universe: Option<&[NodeId]>,
 ) -> Option<DualSim> {
+    let mut scratch = DualSimScratch::new();
+    let rel = dual_simulation_with(q, g, universe, &mut scratch)?;
+    Some(rel.to_dual_sim())
+}
+
+/// [`dual_simulation`] through a reusable [`DualSimScratch`]: identical
+/// answers, zero steady-state allocation. The returned [`DualSimRef`]
+/// borrows the scratch's result buffers.
+pub fn dual_simulation_with<'s, V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    universe: Option<&[NodeId]>,
+    scratch: &'s mut DualSimScratch,
+) -> Option<DualSimRef<'s>> {
     debug_assert!(
         universe.is_none_or(|u| u.windows(2).all(|w| w[0] < w[1])),
         "universe must be sorted and deduplicated"
     );
-    let screen = match universe {
-        None => candidate_screen(q, g)?,
-        Some(uni) => candidate_screen_within(q, g, uni)?,
-    };
-    fixpoint_from_candidates(q, g, screen.per_node)
+    let n = q.pattern().node_count();
+    {
+        let DualSimScratch {
+            cand,
+            by_label,
+            req_out,
+            req_in,
+            ..
+        } = scratch;
+        if !screen_into(q, g, universe, cand, by_label, req_out, req_in) {
+            return None;
+        }
+    }
+    if !fixpoint_scratch(q, g, scratch) {
+        return None;
+    }
+    Some(DualSimRef {
+        sim: &scratch.sim[..n],
+    })
 }
 
 /// Retain only the guard-passing candidates of query node `u`: a candidate
@@ -204,9 +245,11 @@ fn guard_screen<V: GraphView + ?Sized>(
 /// intersects it with each ball, instead of re-labeling and re-guarding
 /// every ball member for every center (the dominant cost of per-ball
 /// evaluation once the BFS itself is cheap).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CandidateScreen {
     /// Sorted guarded candidates per query node (`[v_p]` for `u_p`).
+    /// Buffers are recycled by [`candidate_screen_within_into`]; entries
+    /// beyond the current pattern's node count are stale pool slots.
     per_node: Vec<Vec<NodeId>>,
 }
 
@@ -225,28 +268,9 @@ pub fn candidate_screen<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
 ) -> Option<CandidateScreen> {
-    if !g.contains(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
-        return None;
-    }
-    let p = q.pattern();
-    let mut per_node: Vec<Vec<NodeId>> = Vec::with_capacity(p.node_count());
-    let mut req_out: Vec<rbq_graph::Label> = Vec::new();
-    let mut req_in: Vec<rbq_graph::Label> = Vec::new();
-    for u in p.nodes() {
-        if u == q.up() {
-            per_node.push(vec![q.vp()]);
-            continue;
-        }
-        // Label partitions are emitted in ascending id order.
-        let mut list: Vec<NodeId> = Vec::new();
-        g.for_each_node_with_label(q.label(u), &mut |v| list.push(v));
-        guard_screen(q, g, u, &mut list, &mut req_out, &mut req_in);
-        if list.is_empty() {
-            return None;
-        }
-        per_node.push(list);
-    }
-    Some(CandidateScreen { per_node })
+    let mut screen = CandidateScreen::default();
+    let mut scratch = DualSimScratch::new();
+    candidate_screen_within_into(q, g, None, &mut screen, &mut scratch).then_some(screen)
 }
 
 /// [`candidate_screen`] restricted to a **sorted** node `domain` — only
@@ -264,48 +288,109 @@ pub fn candidate_screen_within<V: GraphView + ?Sized>(
     g: &V,
     domain: &[NodeId],
 ) -> Option<CandidateScreen> {
+    let mut screen = CandidateScreen::default();
+    let mut scratch = DualSimScratch::new();
+    candidate_screen_within_into(q, g, Some(domain), &mut screen, &mut scratch).then_some(screen)
+}
+
+/// Rebuild `screen` in place (recycling its per-query-node buffers) from
+/// `domain` — `None` screens the whole view, `Some` a sorted node set. The
+/// `scratch` lends the label-table and requirement buffers. Returns `false`
+/// when some query node has no candidate (then `screen`'s contents are
+/// unspecified and must not be read).
+pub fn candidate_screen_within_into<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    domain: Option<&[NodeId]>,
+    screen: &mut CandidateScreen,
+    scratch: &mut DualSimScratch,
+) -> bool {
+    let DualSimScratch {
+        by_label,
+        req_out,
+        req_in,
+        ..
+    } = scratch;
+    screen_into(
+        q,
+        g,
+        domain,
+        &mut screen.per_node,
+        by_label,
+        req_out,
+        req_in,
+    )
+}
+
+/// The shared screening core: fill `per_node[..n]` (recycled buffers) with
+/// the sorted, guard-passing candidates of each query node, `[v_p]` at
+/// `u_p`. Returns `false` as soon as some query node has no candidate.
+fn screen_into<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    domain: Option<&[NodeId]>,
+    per_node: &mut Vec<Vec<NodeId>>,
+    by_label: &mut Vec<(rbq_graph::Label, usize)>,
+    req_out: &mut Vec<rbq_graph::Label>,
+    req_in: &mut Vec<rbq_graph::Label>,
+) -> bool {
     debug_assert!(
-        domain.windows(2).all(|w| w[0] < w[1]),
+        domain.is_none_or(|d| d.windows(2).all(|w| w[0] < w[1])),
         "domain must be sorted and deduplicated"
     );
-    if !g.contains(q.vp())
-        || domain.binary_search(&q.vp()).is_err()
-        || g.label(q.vp()) != q.label(q.up())
-    {
-        return None;
+    if !g.contains(q.vp()) || g.label(q.vp()) != q.label(q.up()) {
+        return false;
+    }
+    if let Some(d) = domain {
+        if d.binary_search(&q.vp()).is_err() {
+            return false;
+        }
     }
     let p = q.pattern();
     let n = p.node_count();
-    let mut per_node: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    per_node[q.up().index()] = vec![q.vp()];
-    let by_label: Vec<(rbq_graph::Label, usize)> = p
-        .nodes()
-        .filter(|&u| u != q.up())
-        .map(|u| (q.label(u), u.index()))
-        .collect();
-    for &v in domain {
-        if !g.contains(v) {
-            continue;
+    reuse_pool(per_node, n);
+    per_node[q.up().index()].push(q.vp());
+    match domain {
+        Some(d) => {
+            by_label.clear();
+            by_label.extend(
+                p.nodes()
+                    .filter(|&u| u != q.up())
+                    .map(|u| (q.label(u), u.index())),
+            );
+            for &v in d {
+                if !g.contains(v) {
+                    continue;
+                }
+                let lv = g.label(v);
+                for &(l, ui) in by_label.iter() {
+                    if l == lv {
+                        per_node[ui].push(v);
+                    }
+                }
+            }
         }
-        let lv = g.label(v);
-        for &(l, ui) in &by_label {
-            if l == lv {
-                per_node[ui].push(v);
+        None => {
+            // Label partitions are emitted in ascending id order.
+            for u in p.nodes() {
+                if u == q.up() {
+                    continue;
+                }
+                let list = &mut per_node[u.index()];
+                g.for_each_node_with_label(q.label(u), &mut |v| list.push(v));
             }
         }
     }
-    let mut req_out: Vec<rbq_graph::Label> = Vec::new();
-    let mut req_in: Vec<rbq_graph::Label> = Vec::new();
     for u in p.nodes() {
         if u == q.up() {
             continue;
         }
-        guard_screen(q, g, u, &mut per_node[u.index()], &mut req_out, &mut req_in);
+        guard_screen(q, g, u, &mut per_node[u.index()], req_out, req_in);
         if per_node[u.index()].is_empty() {
-            return None;
+            return false;
         }
     }
-    Some(CandidateScreen { per_node })
+    true
 }
 
 /// [`dual_simulation`] restricted to `universe`, seeded from a prebuilt
@@ -322,6 +407,22 @@ pub fn dual_simulation_screened<V: GraphView + ?Sized>(
     universe: &[NodeId],
     screen: &CandidateScreen,
 ) -> Option<DualSim> {
+    let mut scratch = DualSimScratch::new();
+    let rel = dual_simulation_screened_with(q, g, universe, screen, &mut scratch)?;
+    Some(rel.to_dual_sim())
+}
+
+/// [`dual_simulation_screened`] through a reusable [`DualSimScratch`] —
+/// the per-ball hot path of strong simulation. Identical answers; the
+/// intersection lists, fixpoint state, and result vectors are all recycled
+/// scratch buffers.
+pub fn dual_simulation_screened_with<'s, V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    universe: &[NodeId],
+    screen: &CandidateScreen,
+    scratch: &'s mut DualSimScratch,
+) -> Option<DualSimRef<'s>> {
     debug_assert!(
         universe.windows(2).all(|w| w[0] < w[1]),
         "universe must be sorted and deduplicated"
@@ -331,8 +432,9 @@ pub fn dual_simulation_screened<V: GraphView + ?Sized>(
     }
     let p = q.pattern();
     let n = p.node_count();
-    let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    cand[q.up().index()] = vec![q.vp()];
+    let cand = &mut scratch.cand;
+    reuse_pool(cand, n);
+    cand[q.up().index()].push(q.vp());
     for u in p.nodes() {
         if u == q.up() {
             continue;
@@ -355,28 +457,155 @@ pub fn dual_simulation_screened<V: GraphView + ?Sized>(
             return None;
         }
     }
-    fixpoint_from_candidates(q, g, cand)
+    if !fixpoint_scratch(q, g, scratch) {
+        return None;
+    }
+    Some(DualSimRef {
+        sim: &scratch.sim[..n],
+    })
 }
 
-/// The counter-based worklist fixpoint over prepared candidate lists
-/// (sorted, guard-screened, `[v_p]` at `u_p`) — the shared core of
-/// [`dual_simulation`] and [`dual_simulation_screened`].
-fn fixpoint_from_candidates<V: GraphView + ?Sized>(
+/// Reusable state for the dual-simulation fixpoint and candidate screening:
+/// candidate lists, alive masks, per-edge counters, membership bitmaps, the
+/// removal worklist, and the result vectors, all recycled across calls.
+///
+/// One scratch serves any sequence of queries, views, and universes; every
+/// buffer is (re)sized per call, so results are identical to fresh
+/// construction (see the scratch-differential property tests).
+#[derive(Debug, Clone, Default)]
+pub struct DualSimScratch {
+    /// Candidate lists per query node — the fixpoint's working relation.
+    cand: Vec<Vec<NodeId>>,
+    /// Alive mask per query node, parallel to `cand`.
+    alive: Vec<Vec<bool>>,
+    /// Live count per query node.
+    alive_count: Vec<usize>,
+    /// Removal worklist of (query node index, candidate position).
+    worklist: Vec<(usize, usize)>,
+    /// Flat membership bitmaps over the initial candidate sets.
+    member_flat: Vec<u64>,
+    /// Per-query-edge matched-successor counters.
+    succ_cnt: Vec<Vec<u32>>,
+    /// Per-query-edge matched-predecessor counters.
+    pred_cnt: Vec<Vec<u32>>,
+    /// Edge indices with each query node as source.
+    edges_out: Vec<Vec<usize>>,
+    /// Edge indices with each query node as target.
+    edges_in: Vec<Vec<usize>>,
+    /// Result match sets (what [`DualSimRef`] borrows).
+    sim: Vec<Vec<NodeId>>,
+    /// Screening: label → query-node table for the one-pass domain seeding.
+    by_label: Vec<(rbq_graph::Label, usize)>,
+    /// Screening: sorted required child labels.
+    req_out: Vec<rbq_graph::Label>,
+    /// Screening: sorted required parent labels.
+    req_in: Vec<rbq_graph::Label>,
+}
+
+impl DualSimScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A maximum dual simulation borrowed from a [`DualSimScratch`] — valid
+/// until the scratch's next use. Match sets are sorted slices, exactly as
+/// in the owned [`DualSim`].
+#[derive(Debug)]
+pub struct DualSimRef<'s> {
+    sim: &'s [Vec<NodeId>],
+}
+
+impl<'s> DualSimRef<'s> {
+    /// Matches of query node `u`, sorted ascending.
+    #[inline]
+    pub fn matches(&self, u: PNode) -> &'s [NodeId] {
+        &self.sim[u.index()]
+    }
+
+    /// Alias of [`DualSimRef::matches`], mirroring [`DualSim`].
+    #[inline]
+    pub fn matches_sorted(&self, u: PNode) -> &'s [NodeId] {
+        self.matches(u)
+    }
+
+    /// Whether `(u, v)` is in the relation.
+    pub fn contains(&self, u: PNode, v: NodeId) -> bool {
+        self.sim[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// All data nodes participating in the relation, sorted and
+    /// deduplicated, written into `out` (cleared first).
+    pub fn all_matched_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        for s in self.sim {
+            out.extend_from_slice(s);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Copy into an owned [`DualSim`].
+    pub fn to_dual_sim(&self) -> DualSim {
+        DualSim {
+            sim: self.sim.to_vec(),
+        }
+    }
+}
+
+/// Grow `pool` to at least `n` entries and clear the first `n` — the
+/// shared reset idiom for every recycled `Vec<Vec<_>>` buffer in the
+/// pattern crate.
+pub(crate) fn reuse_pool<T>(pool: &mut Vec<Vec<T>>, n: usize) {
+    if pool.len() < n {
+        pool.resize_with(n, Vec::new);
+    }
+    for v in pool[..n].iter_mut() {
+        v.clear();
+    }
+}
+
+/// The counter-based worklist fixpoint over the scratch's prepared
+/// candidate lists (sorted, guard-screened, `[v_p]` at `u_p`) — the shared
+/// core of [`dual_simulation_with`] and [`dual_simulation_screened_with`].
+/// Returns `false` when no total relation exists; on `true` the result is
+/// in `scratch.sim[..n]`.
+fn fixpoint_scratch<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
-    cand: Vec<Vec<NodeId>>,
-) -> Option<DualSim> {
+    scratch: &mut DualSimScratch,
+) -> bool {
     let p = q.pattern();
     let n = p.node_count();
+    let DualSimScratch {
+        cand,
+        alive,
+        alive_count,
+        worklist,
+        member_flat,
+        succ_cnt,
+        pred_cnt,
+        edges_out,
+        edges_in,
+        sim,
+        ..
+    } = scratch;
+    let cand = &cand[..n];
 
     // Alive mask + live count per query node; the relation is
     // `{(u, cand[u][i]) : alive[u][i]}` throughout.
-    let mut alive: Vec<Vec<bool>> = cand.iter().map(|c| vec![true; c.len()]).collect();
-    let mut alive_count: Vec<usize> = cand.iter().map(Vec::len).collect();
+    reuse_pool(alive, n);
+    let alive = &mut alive[..n];
+    for (a, c) in alive.iter_mut().zip(cand) {
+        a.resize(c.len(), true);
+    }
+    alive_count.clear();
+    alive_count.extend(cand.iter().map(Vec::len));
 
     // Removal worklist of (query node index, candidate position). `kill`
     // retires a pair at most once; `false` means some match set emptied.
-    let mut worklist: Vec<(usize, usize)> = Vec::new();
+    worklist.clear();
     fn kill(
         u: usize,
         i: usize,
@@ -398,8 +627,8 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
     // (edge, candidate, neighbor) and must not pay a binary search each
     // time. Bitmaps stay fixed; liveness is tracked by `alive`. Indexing
     // is offset by the smallest candidate id so ball-restricted calls
-    // (localized but high ids) allocate for the candidate id *range*, not
-    // the base graph's whole id space.
+    // (localized but high ids) size for the candidate id *range*, not the
+    // base graph's whole id space. One flat buffer holds all n bitmaps.
     let min_id = cand
         .iter()
         .filter_map(|c| c.first())
@@ -412,10 +641,9 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
         .map(|v| v.index())
         .max()
         .unwrap_or(0);
-    // One flat allocation for all n bitmaps (not n small ones): per-ball
-    // calls construct and drop this on every center.
     let words_per = ((max_id - min_id) >> 6) + 1;
-    let mut member_flat: Vec<u64> = vec![0u64; words_per * n];
+    member_flat.clear();
+    member_flat.resize(words_per * n, 0);
     for (u, c) in cand.iter().enumerate() {
         let words = &mut member_flat[u * words_per..(u + 1) * words_per];
         for &v in c {
@@ -432,39 +660,39 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
     // Candidates already killed by an earlier edge keep a zero counter:
     // dead pairs' counters are never consulted again.
     let edges = p.edges();
-    let mut succ_cnt: Vec<Vec<u32>> = Vec::with_capacity(edges.len());
-    let mut pred_cnt: Vec<Vec<u32>> = Vec::with_capacity(edges.len());
-    for &(a, b) in edges {
+    reuse_pool(succ_cnt, edges.len());
+    reuse_pool(pred_cnt, edges.len());
+    for (e, &(a, b)) in edges.iter().enumerate() {
         let (ai, bi) = (a.index(), b.index());
-        let mut sc = vec![0u32; cand[ai].len()];
+        let sc = &mut succ_cnt[e];
+        sc.resize(cand[ai].len(), 0);
         for (i, &v) in cand[ai].iter().enumerate() {
             if !alive[ai][i] {
                 continue;
             }
             let c = count_members(g.out_neighbors(v), member(bi), min_id);
             sc[i] = c;
-            if c == 0 && !kill(ai, i, &mut alive, &mut alive_count, &mut worklist) {
-                return None;
+            if c == 0 && !kill(ai, i, alive, alive_count, worklist) {
+                return false;
             }
         }
-        succ_cnt.push(sc);
-        let mut pc = vec![0u32; cand[bi].len()];
+        let pc = &mut pred_cnt[e];
+        pc.resize(cand[bi].len(), 0);
         for (i, &v) in cand[bi].iter().enumerate() {
             if !alive[bi][i] {
                 continue;
             }
             let c = count_members(g.in_neighbors(v), member(ai), min_id);
             pc[i] = c;
-            if c == 0 && !kill(bi, i, &mut alive, &mut alive_count, &mut worklist) {
-                return None;
+            if c == 0 && !kill(bi, i, alive, alive_count, worklist) {
+                return false;
             }
         }
-        pred_cnt.push(pc);
     }
 
     // Incidence lists: which edge indices have `u` as source / target.
-    let mut edges_out: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut edges_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    reuse_pool(edges_out, n);
+    reuse_pool(edges_in, n);
     for (e, &(a, b)) in edges.iter().enumerate() {
         edges_out[a.index()].push(e);
         edges_in[b.index()].push(e);
@@ -486,10 +714,8 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
                 if let Some(j) = pos(&cand[ai], x) {
                     if alive[ai][j] {
                         succ_cnt[e][j] -= 1;
-                        if succ_cnt[e][j] == 0
-                            && !kill(ai, j, &mut alive, &mut alive_count, &mut worklist)
-                        {
-                            return None;
+                        if succ_cnt[e][j] == 0 && !kill(ai, j, alive, alive_count, worklist) {
+                            return false;
                         }
                     }
                 }
@@ -504,10 +730,8 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
                 if let Some(j) = pos(&cand[bi], x) {
                     if alive[bi][j] {
                         pred_cnt[e][j] -= 1;
-                        if pred_cnt[e][j] == 0
-                            && !kill(bi, j, &mut alive, &mut alive_count, &mut worklist)
-                        {
-                            return None;
+                        if pred_cnt[e][j] == 0 && !kill(bi, j, alive, alive_count, worklist) {
+                            return false;
                         }
                     }
                 }
@@ -517,20 +741,14 @@ fn fixpoint_from_candidates<V: GraphView + ?Sized>(
 
     // The personalized pair must have survived.
     if !alive[q.up().index()][0] {
-        return None;
+        return false;
     }
 
-    let sim: Vec<Vec<NodeId>> = cand
-        .iter()
-        .zip(&alive)
-        .map(|(c, a)| {
-            c.iter()
-                .zip(a)
-                .filter_map(|(&v, &al)| al.then_some(v))
-                .collect()
-        })
-        .collect();
-    Some(DualSim { sim })
+    reuse_pool(sim, n);
+    for ((s, c), a) in sim[..n].iter_mut().zip(cand).zip(alive.iter()) {
+        s.extend(c.iter().zip(a).filter_map(|(&v, &al)| al.then_some(v)));
+    }
+    true
 }
 
 /// The pre-worklist fixpoint, kept verbatim as a `#[cfg(test)]` oracle: the

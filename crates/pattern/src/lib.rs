@@ -27,10 +27,14 @@ pub mod strongsim;
 pub mod vf2;
 
 pub use dualsim::{
-    candidate_screen, candidate_screen_within, dual_simulation, dual_simulation_screened,
-    CandidateScreen, DualSim,
+    candidate_screen, candidate_screen_within, candidate_screen_within_into, dual_simulation,
+    dual_simulation_screened, dual_simulation_screened_with, dual_simulation_with, CandidateScreen,
+    DualSim, DualSimRef, DualSimScratch,
 };
 pub use pattern::{PNode, Pattern, PatternBuilder, ResolveError, ResolvedPattern};
 pub use simcompress::{bisimulation_compress, SimCompressed};
-pub use strongsim::{match_opt, strong_simulation, strong_simulation_on_view};
+pub use strongsim::{
+    match_opt, strong_simulation, strong_simulation_on_view, strong_simulation_on_view_with,
+    StrongSimScratch,
+};
 pub use vf2::{vf2_all_output_matches, vf2_opt, Vf2Config};

@@ -197,6 +197,7 @@ impl Pattern {
             return Err(ResolveError::NoPersonalizedMatch);
         }
         Ok(ResolvedPattern {
+            dq: self.undirected_diameter(),
             pattern: self.clone(),
             labels,
             vp: v_anchor,
@@ -220,6 +221,7 @@ impl Pattern {
             _ => return Err(ResolveError::AmbiguousPersonalizedMatch),
         };
         Ok(ResolvedPattern {
+            dq: self.undirected_diameter(),
             pattern: self.clone(),
             labels,
             vp,
@@ -266,6 +268,9 @@ pub struct ResolvedPattern {
     pattern: Pattern,
     labels: Vec<Label>,
     vp: NodeId,
+    /// Cached `d_Q` — strong simulation reads it per ball, and recomputing
+    /// the diameter BFS there would put allocations back on the warm path.
+    dq: usize,
 }
 
 impl ResolvedPattern {
@@ -300,7 +305,21 @@ impl ResolvedPattern {
 
     /// Ball radius `d_Q` used for locality.
     pub fn dq(&self) -> usize {
-        self.pattern.undirected_diameter()
+        self.dq
+    }
+
+    /// Re-anchor at `v` in place: only `v_p` changes — labels and `d_Q`
+    /// are anchor-independent, so enumerating candidate anchors (the §7
+    /// anonymous-pattern evaluation) needs one resolve plus one cheap
+    /// `set_anchor` per candidate instead of a full pattern clone each.
+    /// Returns `false` (and leaves the anchor unchanged) when `v` does not
+    /// carry the personalized node's label.
+    pub fn set_anchor(&mut self, g: &Graph, v: NodeId) -> bool {
+        if g.node_label(v) != self.labels[self.pattern.personalized().index()] {
+            return false;
+        }
+        self.vp = v;
+        true
     }
 }
 

@@ -15,7 +15,9 @@
 //! the prefilter relation) while skipping doomed balls early; the reduced
 //! graph `G_Q` is evaluated with the same code.
 
-use crate::dualsim::{candidate_screen_within, dual_simulation_screened};
+use crate::dualsim::{
+    candidate_screen_within_into, dual_simulation_screened_with, CandidateScreen, DualSimScratch,
+};
 use crate::pattern::ResolvedPattern;
 use rbq_graph::{BallScratch, Graph, GraphView, NodeId};
 
@@ -37,19 +39,41 @@ pub fn ball_nodes<V: GraphView + ?Sized>(g: &V, center: NodeId, r: usize) -> Vec
 ///
 /// Returns the sorted matches of the output node.
 pub fn match_opt(q: &ResolvedPattern, g: &Graph) -> Vec<NodeId> {
-    strong_sim_impl(q, g, false)
+    let mut scratch = StrongSimScratch::new();
+    let mut out = Vec::new();
+    strong_sim_impl(q, g, false, &mut scratch, &mut out);
+    out
 }
 
 /// Optimized strong simulation on a full graph: identical answers to
 /// [`match_opt`], with a shared prefilter.
 pub fn strong_simulation(q: &ResolvedPattern, g: &Graph) -> Vec<NodeId> {
-    strong_sim_impl(q, g, true)
+    let mut scratch = StrongSimScratch::new();
+    let mut out = Vec::new();
+    strong_sim_impl(q, g, true, &mut scratch, &mut out);
+    out
 }
 
 /// Strong simulation over any [`GraphView`] — used to evaluate `Q(G_Q)` on
 /// the reduced graph produced by dynamic reduction.
 pub fn strong_simulation_on_view<V: GraphView + ?Sized>(q: &ResolvedPattern, g: &V) -> Vec<NodeId> {
-    strong_sim_impl(q, g, true)
+    let mut scratch = StrongSimScratch::new();
+    let mut out = Vec::new();
+    strong_sim_impl(q, g, true, &mut scratch, &mut out);
+    out
+}
+
+/// [`strong_simulation_on_view`] through a reusable [`StrongSimScratch`]:
+/// identical answers, written into `out` (cleared first), with zero
+/// steady-state allocation. This is the evaluation half of the warm
+/// `rbsim` serving path.
+pub fn strong_simulation_on_view_with<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    scratch: &mut StrongSimScratch,
+    out: &mut Vec<NodeId>,
+) {
+    strong_sim_impl(q, g, true, scratch, out);
 }
 
 /// Strong simulation for a pattern **without** a personalized node (the
@@ -60,10 +84,13 @@ pub fn strong_simulation_anonymous(pattern: &crate::pattern::Pattern, g: &Graph)
     let Some(anchor_label) = g.labels().get(pattern.label_str(pattern.personalized())) else {
         return Vec::new();
     };
+    let mut scratch = StrongSimScratch::new();
+    let mut per_anchor: Vec<NodeId> = Vec::new();
     let mut out: Vec<NodeId> = Vec::new();
     for &v in g.nodes_with_label(anchor_label) {
         if let Ok(q) = pattern.resolve_with_anchor(g, v) {
-            out.extend(strong_simulation(&q, g));
+            strong_sim_impl(&q, g, true, &mut scratch, &mut per_anchor);
+            out.extend_from_slice(&per_anchor);
         }
     }
     out.sort_unstable();
@@ -71,56 +98,92 @@ pub fn strong_simulation_anonymous(pattern: &crate::pattern::Pattern, g: &Graph)
     out
 }
 
+/// Reusable state for one strong-simulation evaluation loop: the ball
+/// scratch, the center/domain/ball buffers, the per-query candidate
+/// screen, the dual-simulation scratch, and the per-center universes —
+/// everything [`strong_simulation_on_view_with`] touches per query.
+///
+/// One scratch serves any sequence of queries and views; results are
+/// identical to fresh construction.
+#[derive(Debug, Default)]
+pub struct StrongSimScratch {
+    balls: BallScratch,
+    centers: Vec<NodeId>,
+    domain: Vec<NodeId>,
+    ball: Vec<NodeId>,
+    restricted: Vec<NodeId>,
+    matched: Vec<NodeId>,
+    per_center: Vec<Vec<NodeId>>,
+    screen: CandidateScreen,
+    dual: DualSimScratch,
+}
+
+impl StrongSimScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 fn strong_sim_impl<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
     prefilter: bool,
-) -> Vec<NodeId> {
+    scratch: &mut StrongSimScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
     let vp = q.vp();
     if !g.contains(vp) || g.label(vp) != q.label(q.up()) {
-        return Vec::new();
+        return;
     }
     let dq = q.dq();
-
-    // One scratch for every BFS of this query: the candidate-center /
-    // screen-domain balls around v_p and the per-center balls below.
-    let mut scratch = BallScratch::new();
+    let StrongSimScratch {
+        balls,
+        centers,
+        domain,
+        ball,
+        restricted,
+        matched,
+        per_center,
+        screen,
+        dual,
+    } = scratch;
 
     // One traversal yields both the candidate centers (balls must contain
     // v_p, i.e. centers within d_Q undirected hops of v_p) and the
     // 2·d_Q-neighborhood every per-center ball lies inside — the centers
     // are the depth-≤-d_Q prefix of the same BFS.
-    let mut centers: Vec<NodeId> = Vec::new();
-    let mut domain: Vec<NodeId> = Vec::new();
-    scratch.ball_pair_into(g, vp, 2 * dq, dq, &mut domain, &mut centers);
+    balls.ball_pair_into(g, vp, 2 * dq, dq, domain, centers);
 
     // Per-query candidate screen over N_{2dQ}(v_p): labels and guards
     // depend only on the data node, so they are evaluated once here
     // instead of once per ball — and only inside the neighborhood the
     // balls can reach, not the whole view. No screen at all means some
     // query node has no candidate anywhere near v_p — no ball can match.
-    let Some(screen) = candidate_screen_within(q, g, &domain) else {
-        return Vec::new();
-    };
+    if !candidate_screen_within_into(q, g, Some(domain), screen, dual) {
+        return;
+    }
 
     // Optional shared prefilter: the maximum dual simulation on
     // G_{2dQ}(v_p) contains every ball-restricted relation, so non-members
     // can never match and balls disjoint from it can be skipped. The
     // matched set is a sorted vector (the relation's native
-    // representation).
-    let matched_filter: Option<Vec<NodeId>> = if prefilter {
-        match dual_simulation_screened(q, g, &domain, &screen) {
-            Some(d) => Some(d.all_matched()),
-            None => return Vec::new(),
+    // representation), copied out of the dual scratch so the per-ball
+    // evaluations below can reuse it.
+    let use_filter = if prefilter {
+        match dual_simulation_screened_with(q, g, domain, screen, dual) {
+            Some(rel) => {
+                rel.all_matched_into(matched);
+                true
+            }
+            None => return,
         }
     } else {
-        None
+        false
     };
 
-    let mut out: Vec<NodeId> = Vec::new();
-    let mut ball: Vec<NodeId> = Vec::new();
-
-    match &matched_filter {
+    match use_filter {
         // Inverted prefiltered evaluation. Every per-center universe is
         // `m ∩ ball(v0, d_Q)`, and undirected distance is symmetric:
         // `v ∈ ball(v0, d_Q) ⇔ v0 ∈ ball(v, d_Q)`. So |m| BFS traversals
@@ -129,10 +192,10 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
         // center over neighborhoods that are typically orders of magnitude
         // larger than m. Universes are identical to the direct
         // intersection, so the answers are too.
-        Some(m) if m.len() <= centers.len() => {
-            let mut per_center: Vec<Vec<NodeId>> = vec![Vec::new(); centers.len()];
-            for &v in m {
-                scratch.ball_into(g, v, dq, &mut ball);
+        true if matched.len() <= centers.len() => {
+            crate::dualsim::reuse_pool(per_center, centers.len());
+            for &v in matched.iter() {
+                balls.ball_into(g, v, dq, ball);
                 let (mut i, mut j) = (0usize, 0usize);
                 while i < ball.len() && j < centers.len() {
                     match ball[i].cmp(&centers[j]) {
@@ -157,7 +220,7 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
                 if let Err(pos) = uni.binary_search(&v0) {
                     uni.insert(pos, v0);
                 }
-                if let Some(rel) = dual_simulation_screened(q, g, uni, &screen) {
+                if let Some(rel) = dual_simulation_screened_with(q, g, uni, screen, dual) {
                     out.extend_from_slice(rel.matches(q.uo()));
                 }
             }
@@ -166,44 +229,43 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
         // the prefiltered path when m is so large that per-matched-node
         // traversals would cost more than per-center ones.
         _ => {
-            let mut restricted: Vec<NodeId> = Vec::new();
-            for &v0 in &centers {
-                scratch.ball_into(g, v0, dq, &mut ball);
-                let universe: &[NodeId] = match &matched_filter {
-                    Some(m) => {
-                        // Linear sorted merge of ball ∩ matched filter
-                        // (both sorted), tracking v_p / center membership
-                        // on the way.
-                        restricted.clear();
-                        let mut has_vp = false;
-                        let mut has_center = false;
-                        let (mut i, mut j) = (0usize, 0usize);
-                        while i < ball.len() && j < m.len() {
-                            match ball[i].cmp(&m[j]) {
-                                std::cmp::Ordering::Less => i += 1,
-                                std::cmp::Ordering::Greater => j += 1,
-                                std::cmp::Ordering::Equal => {
-                                    let v = ball[i];
-                                    restricted.push(v);
-                                    has_vp |= v == vp;
-                                    has_center |= v == v0;
-                                    i += 1;
-                                    j += 1;
-                                }
+            for &v0 in centers.iter() {
+                balls.ball_into(g, v0, dq, ball);
+                let universe: &[NodeId] = if use_filter {
+                    // Linear sorted merge of ball ∩ matched filter
+                    // (both sorted), tracking v_p / center membership
+                    // on the way.
+                    let m = &*matched;
+                    restricted.clear();
+                    let mut has_vp = false;
+                    let mut has_center = false;
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < ball.len() && j < m.len() {
+                        match ball[i].cmp(&m[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                let v = ball[i];
+                                restricted.push(v);
+                                has_vp |= v == vp;
+                                has_center |= v == v0;
+                                i += 1;
+                                j += 1;
                             }
                         }
-                        if !has_vp {
-                            continue;
-                        }
-                        if !has_center {
-                            let pos = restricted.binary_search(&v0).unwrap_err();
-                            restricted.insert(pos, v0);
-                        }
-                        &restricted
                     }
-                    None => &ball,
+                    if !has_vp {
+                        continue;
+                    }
+                    if !has_center {
+                        let pos = restricted.binary_search(&v0).unwrap_err();
+                        restricted.insert(pos, v0);
+                    }
+                    restricted
+                } else {
+                    ball
                 };
-                if let Some(rel) = dual_simulation_screened(q, g, universe, &screen) {
+                if let Some(rel) = dual_simulation_screened_with(q, g, universe, screen, dual) {
                     out.extend_from_slice(rel.matches(q.uo()));
                 }
             }
@@ -211,7 +273,6 @@ fn strong_sim_impl<V: GraphView + ?Sized>(
     }
     out.sort_unstable();
     out.dedup();
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+//! PR-5 acceptance: a warm repeat `rbsim` query performs **zero** heap
+//! allocations. A counting `#[global_allocator]` wraps the system
+//! allocator; after two warm-up calls populate every scratch buffer, the
+//! third identical call must not touch the allocator at all — pinning the
+//! "steady-state, allocation-free serving" property the scratch threading
+//! exists for.
+//!
+//! This file deliberately holds a single `#[test]`: the allocator counter
+//! is process-global, and a concurrently running sibling test would
+//! pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rbq::rbq_core::{rbsim_with, NeighborIndex, PatternAnswer, PatternScratch, ResourceBudget};
+use rbq::rbq_workload::{extract_pattern, youtube_like, PatternSpec};
+
+/// System allocator with an allocation counter (deallocations are not
+/// counted: returning warm buffers is free, acquiring new ones is not).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_rbsim_repeat_query_is_allocation_free() {
+    // A graph large enough to exercise the real paths (multi-round search,
+    // non-trivial balls) and several distinct queries, so the property is
+    // not an artifact of one tiny pattern.
+    let g = youtube_like(4_000, 42);
+    let idx = NeighborIndex::build(&g);
+    let queries: Vec<_> = (0..200u64)
+        .filter_map(|s| extract_pattern(&g, PatternSpec::new(4, 8), s))
+        .filter_map(|p| p.resolve(&g).ok())
+        .take(3)
+        .collect();
+    assert!(!queries.is_empty(), "no extractable patterns");
+    let budget = ResourceBudget::from_units(&g, 300);
+
+    let mut scratch = PatternScratch::new();
+    let mut ans = PatternAnswer::default();
+    for q in &queries {
+        // Two warm-ups: the first grows every buffer, the second catches
+        // anything sized lazily on the first pass.
+        rbsim_with(&g, &idx, q, &budget, &mut scratch, &mut ans);
+        rbsim_with(&g, &idx, q, &budget, &mut scratch, &mut ans);
+        let cold_matches = ans.matches.clone();
+
+        let before = ALLOCS.load(Ordering::SeqCst);
+        rbsim_with(&g, &idx, q, &budget, &mut scratch, &mut ans);
+        let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+        assert_eq!(ans.matches, cold_matches, "warm answer changed");
+        assert_eq!(
+            delta, 0,
+            "warm rbsim allocated {delta} times on a repeat query"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Scratch-reuse differential oracles (PR 5): every scratch-threaded entry
+//! point must return results **identical** to fresh construction, for any
+//! history of prior queries through the same scratch. The scratches under
+//! test: `rbq_graph::SubgraphScratch` (the `G_Q` buffers),
+//! `rbq_pattern::DualSimScratch` (the fixpoint state), and
+//! `rbq_core::PatternScratch` (the full `Search`/`Pick` + evaluation path,
+//! including the epoch-stamped pair arrays and guard/potential memos).
+
+use proptest::prelude::*;
+use rbq::rbq_core::guard::Semantics;
+use rbq::rbq_core::{
+    rbsim, rbsim_with, search_reduced_graph_scratch, search_reduced_graph_with, NeighborIndex,
+    PatternAnswer, PatternScratch, PickPolicy, ReductionConfig, ReductionScratch, ResourceBudget,
+};
+use rbq::rbq_graph::builder::graph_from_edges;
+use rbq::rbq_graph::{DynamicSubgraph, Graph, GraphView, NodeId, SubgraphScratch};
+use rbq::rbq_pattern::{dual_simulation, dual_simulation_with, DualSimScratch, PatternBuilder};
+
+/// A random digraph (≤ 24 nodes, ≤ 4 labels) where node 0 is the unique
+/// "ME", plus a random chain pattern anchored at ME.
+fn arb_graph_and_pattern() -> impl Strategy<Value = (Graph, rbq::rbq_pattern::Pattern)> {
+    (3usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..4, n - 1);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        let extra = proptest::collection::vec((0u8..4, prop::bool::ANY), 1..5);
+        (labels, edges, extra).prop_map(|(labels, edges, extra)| {
+            let names: Vec<String> = std::iter::once("ME".to_string())
+                .chain(labels.iter().map(|l| format!("L{l}")))
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let g = graph_from_edges(&refs, &edges);
+            let mut pb = PatternBuilder::new();
+            let me = pb.add_node("ME");
+            let mut prev = me;
+            for (l, fwd) in extra {
+                let u = pb.add_node(&format!("L{l}"));
+                if fwd {
+                    pb.add_edge(prev, u);
+                } else {
+                    pb.add_edge(u, prev);
+                }
+                prev = u;
+            }
+            pb.personalized(me).output(prev);
+            (g, pb.build())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A `SubgraphScratch` reused across randomized add sequences (with
+    /// budget-rejected `try_add_node` probes interleaved) builds subgraphs
+    /// identical to fresh `DynamicSubgraph::new` construction.
+    #[test]
+    fn subgraph_scratch_reuse_equals_fresh(
+        (g, _) in arb_graph_and_pattern(),
+        seqs in proptest::collection::vec(
+            proptest::collection::vec((0u32..24, 0usize..8), 0..12),
+            1..6,
+        ),
+    ) {
+        let mut scratch = SubgraphScratch::new();
+        for seq in &seqs {
+            let mut warm = scratch.begin(&g);
+            let mut fresh = DynamicSubgraph::new(&g);
+            for &(raw, rem) in seq {
+                let v = NodeId(raw % g.node_count() as u32);
+                let a = warm.try_add_node(v, rem);
+                let b = fresh.try_add_node(v, rem);
+                prop_assert_eq!(a, b, "admission diverged at {:?}", v);
+            }
+            prop_assert_eq!(warm.members(), fresh.members());
+            prop_assert_eq!(warm.num_edges(), fresh.num_edges());
+            let wa: Vec<NodeId> = warm.node_ids().collect();
+            let fa: Vec<NodeId> = fresh.node_ids().collect();
+            prop_assert_eq!(wa, fa);
+            for v in g.nodes() {
+                prop_assert_eq!(warm.contains(v), fresh.contains(v));
+                let wo: Vec<NodeId> = warm.out_neighbors(v).collect();
+                let fo: Vec<NodeId> = fresh.out_neighbors(v).collect();
+                prop_assert_eq!(wo, fo, "out lists differ at {:?}", v);
+                let wi: Vec<NodeId> = warm.in_neighbors(v).collect();
+                let fi: Vec<NodeId> = fresh.in_neighbors(v).collect();
+                prop_assert_eq!(wi, fi, "in lists differ at {:?}", v);
+            }
+            scratch = warm.into_scratch();
+        }
+    }
+
+    /// A `DualSimScratch` reused across a randomized sequence of universes
+    /// computes the same maximum dual simulation as the fresh-scratch
+    /// convenience wrapper.
+    #[test]
+    fn dualsim_scratch_reuse_equals_fresh(
+        (g, p) in arb_graph_and_pattern(),
+        keeps in proptest::collection::vec(
+            proptest::collection::vec(prop::bool::ANY, 24),
+            1..6,
+        ),
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let mut scratch = DualSimScratch::new();
+        // Full-graph first, then the universe sequence, all on one scratch.
+        let warm_full = dual_simulation_with(&q, &g, None, &mut scratch).map(|r| r.to_dual_sim());
+        let fresh_full = dual_simulation(&q, &g, None);
+        match (&warm_full, &fresh_full) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                for u in p.nodes() {
+                    prop_assert_eq!(a.matches_sorted(u), b.matches_sorted(u));
+                }
+            }
+            _ => prop_assert!(false, "existence mismatch on full graph"),
+        }
+        for keep in &keeps {
+            let mut uni: Vec<NodeId> = g
+                .nodes()
+                .filter(|v| keep.get(v.index()).copied().unwrap_or(false))
+                .chain(std::iter::once(q.vp()))
+                .collect();
+            uni.sort_unstable();
+            uni.dedup();
+            let warm = dual_simulation_with(&q, &g, Some(&uni), &mut scratch)
+                .map(|r| r.to_dual_sim());
+            let fresh = dual_simulation(&q, &g, Some(&uni));
+            match (warm, fresh) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    for u in p.nodes() {
+                        prop_assert_eq!(a.matches_sorted(u), b.matches_sorted(u));
+                    }
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "existence mismatch: warm={} fresh={}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+
+    /// `Search` through a reused `ReductionScratch` produces the same
+    /// `G_Q`, visit account, and termination data as fresh construction,
+    /// across random query sequences, budgets, and pick policies.
+    #[test]
+    fn search_scratch_reuse_equals_fresh(
+        (g, p) in arb_graph_and_pattern(),
+        units in proptest::collection::vec(0usize..80, 1..5),
+        policy_pick in 0u8..3,
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let policy = match policy_pick {
+            0 => PickPolicy::Weighted,
+            1 => PickPolicy::Fifo,
+            _ => PickPolicy::Random,
+        };
+        let config = ReductionConfig { pick_policy: policy, ..Default::default() };
+        let mut scratch = ReductionScratch::new();
+        for &u in &units {
+            let budget = ResourceBudget::from_units(&g, u);
+            let fresh = search_reduced_graph_with(
+                &g, &idx, &q, &budget, Semantics::Simulation, config,
+            );
+            let warm = search_reduced_graph_scratch(
+                &g, &idx, &q, &budget, Semantics::Simulation, config, &mut scratch,
+            );
+            prop_assert_eq!(warm.gq.members(), fresh.gq.members());
+            prop_assert_eq!(warm.gq.num_edges(), fresh.gq.num_edges());
+            prop_assert_eq!(warm.visits, fresh.visits);
+            prop_assert_eq!(warm.hit_budget, fresh.hit_budget);
+            prop_assert_eq!(warm.final_b, fresh.final_b);
+            prop_assert_eq!(warm.rounds, fresh.rounds);
+            scratch.recycle(warm.gq);
+        }
+    }
+
+    /// The full warm `rbsim` pipeline (reduction + evaluation through one
+    /// `PatternScratch`) answers exactly like the one-shot entry point,
+    /// across random query sequences.
+    #[test]
+    fn rbsim_scratch_reuse_equals_fresh(
+        (g, p) in arb_graph_and_pattern(),
+        units in proptest::collection::vec(0usize..80, 1..5),
+    ) {
+        let Ok(q) = p.resolve(&g) else { return Ok(()); };
+        let idx = NeighborIndex::build(&g);
+        let mut scratch = PatternScratch::new();
+        let mut warm = PatternAnswer::default();
+        for &u in &units {
+            let budget = ResourceBudget::from_units(&g, u);
+            let fresh = rbsim(&g, &idx, &q, &budget);
+            rbsim_with(&g, &idx, &q, &budget, &mut scratch, &mut warm);
+            prop_assert_eq!(&warm.matches, &fresh.matches);
+            prop_assert_eq!(warm.gq_size, fresh.gq_size);
+            prop_assert_eq!(warm.gq_nodes, fresh.gq_nodes);
+            prop_assert_eq!(warm.visits, fresh.visits);
+            prop_assert_eq!(warm.hit_budget, fresh.hit_budget);
+            prop_assert_eq!(warm.final_b, fresh.final_b);
+            prop_assert_eq!(warm.rounds, fresh.rounds);
+        }
+    }
+}
