@@ -14,7 +14,8 @@
 //! default 3 — raise on noisy machines), `--seed N`,
 //! `--synthetic-scale N` (largest synthetic |V|, default 1000000),
 //! `--out PATH` / `--compare PATH` (perf-snapshot JSON output and
-//! optional baseline to diff against).
+//! optional baseline to diff against), `--demo-nodes N` (perf-snapshot
+//! only: adds a large multi-shard router demo row on an N-node graph).
 //!
 //! Paper α values are converted to our graph sizes by holding the absolute
 //! budget `α·|G|` fixed (see `rbq-bench` crate docs); every row prints
@@ -31,6 +32,7 @@ use rbq_pattern::{match_opt, strong_simulation, vf2_opt, ResolvedPattern, Vf2Con
 use rbq_reach::{
     bfs_query, BfsOptIndex, HierarchicalIndex, IndexParams, LandmarkVectors, SelectionStrategy,
 };
+use rbq_router::{Router, SccPartitioner};
 use rbq_workload::{
     reachability_ground_truth, sample_hard_reachability_queries, sample_mixed_workload,
     MixedWorkloadSpec, PatternSpec,
@@ -85,6 +87,7 @@ fn main() {
     // are written deliberately via --out, never by omission.
     let mut out_path = String::from("bench-snapshot.json");
     let mut compare_path: Option<String> = None;
+    let mut demo_nodes = 0usize;
     let mut exps: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -120,6 +123,10 @@ fn main() {
             "--compare" => {
                 i += 1;
                 compare_path = Some(args[i].clone());
+            }
+            "--demo-nodes" => {
+                i += 1;
+                demo_nodes = args[i].parse().expect("--demo-nodes N");
             }
             other => exps.push(other.to_string()),
         }
@@ -184,7 +191,7 @@ fn main() {
     }
     // Explicit-only (not part of `all`): it writes a snapshot file.
     if exps.iter().any(|e| e == "perf-snapshot") {
-        perf_snapshot(&cfg, &out_path, compare_path.as_deref());
+        perf_snapshot(&cfg, &out_path, compare_path.as_deref(), demo_nodes);
     }
 }
 
@@ -196,15 +203,20 @@ fn main() {
 /// its before/after trajectory. Run with `--compare OLD.json` to embed the
 /// old run as `baseline` and report per-bench speedups.
 ///
-/// Schema `rbq-perf-snapshot-v2` (PR 5): adds the `rbsub` and
-/// `engine_batch` rows, and the bounded rows (`rbsim`, `rbsub`,
-/// `rbsim_any`) run through a warm [`PatternScratch`] — the steady-state
-/// serving configuration. The compare path tolerates baselines missing
-/// rows (older schemas): speedups are reported for the intersection.
+/// Schema `rbq-perf-snapshot-v3` (PR 6): adds the mixed-workload serving
+/// rows — `engine_mixed` (one engine, the pre-sharding serving path) and
+/// `router_shards{1,2,4,8}` (the same batch through a [`Router`] with the
+/// SCC partitioner), so router overhead is tracked per PR — plus an
+/// optional `demo` record (`--demo-nodes N`) running the sharded path on a
+/// large graph. v2 (PR 5) added the `rbsub` and `engine_batch` rows, and
+/// the bounded rows (`rbsim`, `rbsub`, `rbsim_any`) run through a warm
+/// [`PatternScratch`] — the steady-state serving configuration. The
+/// compare path tolerates baselines missing rows (older schemas):
+/// speedups are reported for the intersection.
 ///
 /// Convention (ROADMAP "bench snapshots"): run with `--nodes 20000` and
 /// commit the output as `BENCH_pr<N>.json`.
-fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
+fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_nodes: usize) {
     println!("\n== perf-snapshot: dual-simulation-dominated suite ==");
     let ds = PatternDataset::youtube(cfg);
     let qs = ds.patterns_min_nbh(PatternSpec::new(4, 8), 8, cfg.seed, 300);
@@ -324,10 +336,120 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
             }) / nq,
         ));
     }
+    // Sharded serving: one mixed workload through a single engine
+    // (`engine_mixed`) and through routers at increasing shard counts.
+    // Router overhead per query = `router_shardsK` − `engine_mixed`;
+    // answers are byte-identical across rows (pinned by the differential
+    // suite in `rbq_router`). The cache stays off so every repetition
+    // measures the same work.
+    {
+        let workload = sample_mixed_workload(
+            &ds.g,
+            &MixedWorkloadSpec {
+                count: 200,
+                repeat_fraction: 0.3,
+                ..Default::default()
+            },
+            cfg.seed,
+        );
+        let nw = workload.len() as u32;
+        let mixed_cfg = EngineConfig {
+            pattern_budget: BudgetSpec::Units(300),
+            reach_alpha: 0.05,
+            threads: 4,
+            cache_capacity: 0,
+            vf2: vf2_cfg(),
+            ..Default::default()
+        };
+        let reach_idx = Arc::new(HierarchicalIndex::build(&ds.g, 0.05));
+        let engine = Engine::with_indexes(
+            ds.g.clone(),
+            mixed_cfg.clone(),
+            Some(ds.idx.clone()),
+            Some(reach_idx),
+        );
+        rows.push((
+            "engine_mixed",
+            time_median(cfg.reps, || {
+                std::hint::black_box(engine.run_batch(&workload));
+            }) / nw,
+        ));
+        for (shards, name) in [
+            (1usize, "router_shards1"),
+            (2, "router_shards2"),
+            (4, "router_shards4"),
+            (8, "router_shards8"),
+        ] {
+            let router = Router::new(ds.g.clone(), mixed_cfg.clone(), shards, &SccPartitioner)
+                .expect("router");
+            rows.push((
+                name,
+                time_median(cfg.reps, || {
+                    std::hint::black_box(router.run_batch(&workload));
+                }) / nw,
+            ));
+        }
+    }
 
     for (name, d) in &rows {
         println!("{name:<20} {:>12} /query", fmt_dur(*d));
     }
+
+    // Optional large-graph demo: the sharded path end to end on an
+    // N-node graph (SCC partitioner, 4 shards), recorded in the snapshot
+    // as a `demo` object — coverage that sharding works at scale, not a
+    // per-PR comparison row.
+    let demo = (demo_nodes > 0).then(|| {
+        println!("\n-- demo: {demo_nodes}-node graph through a 4-shard scc router --");
+        let g = Arc::new(rbq_workload::youtube_like(demo_nodes, cfg.seed));
+        let workload = sample_mixed_workload(
+            &g,
+            &MixedWorkloadSpec {
+                count: 400,
+                repeat_fraction: 0.3,
+                ..Default::default()
+            },
+            cfg.seed,
+        );
+        let demo_cfg = EngineConfig {
+            pattern_budget: BudgetSpec::Units(300),
+            reach_alpha: 1e-3,
+            cache_capacity: 0,
+            vf2: vf2_cfg(),
+            ..Default::default()
+        };
+        let t_build = Instant::now();
+        let router = Router::new(g.clone(), demo_cfg, 4, &SccPartitioner).expect("router");
+        let build = t_build.elapsed();
+        let pstats = router.partition_stats();
+        let t = Instant::now();
+        let report = router.run_batch(&workload);
+        let wall = t.elapsed();
+        let (bmax, bmin) = pstats.balance();
+        println!(
+            "|V| = {}, |E| = {}; build {} (indexes + partition), {:.2}% edges cut, balance {bmin}..{bmax} nodes",
+            g.node_count(),
+            g.edge_count(),
+            fmt_dur(build),
+            pstats.cut_fraction() * 100.0
+        );
+        println!(
+            "{} queries in {} ({:.0} q/s), {} charged visits, {} denied",
+            workload.len(),
+            fmt_dur(wall),
+            workload.len() as f64 / wall.as_secs_f64().max(1e-9),
+            report.stats.charged_visits,
+            report.stats.denied
+        );
+        (
+            g.node_count(),
+            g.edge_count(),
+            workload.len(),
+            build,
+            wall,
+            pstats.cut_fraction(),
+        )
+    });
 
     let baseline = compare.and_then(|p| match std::fs::read_to_string(p) {
         Ok(s) => Some(parse_snapshot_benches(&s)),
@@ -339,7 +461,7 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"rbq-perf-snapshot-v2\",\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v3\",\n");
     json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
     json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
     json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
@@ -357,6 +479,28 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>) {
         ));
     }
     json.push_str("  }");
+    if let Some((nodes, edges, queries, build, wall, cut)) = &demo {
+        json.push_str(",\n  \"demo\": {\n");
+        json.push_str(&format!("    \"nodes\": {nodes},\n"));
+        json.push_str(&format!("    \"edges\": {edges},\n"));
+        json.push_str("    \"shards\": 4,\n");
+        json.push_str("    \"partitioner\": \"scc\",\n");
+        json.push_str(&format!("    \"queries\": {queries},\n"));
+        json.push_str(&format!(
+            "    \"build_ms\": {:.1},\n",
+            build.as_secs_f64() * 1e3
+        ));
+        json.push_str(&format!(
+            "    \"wall_ms\": {:.1},\n",
+            wall.as_secs_f64() * 1e3
+        ));
+        json.push_str(&format!(
+            "    \"per_query_us\": {:.1},\n",
+            wall.as_secs_f64() * 1e6 / (*queries).max(1) as f64
+        ));
+        json.push_str(&format!("    \"cut_fraction\": {cut:.4}\n"));
+        json.push_str("  }");
+    }
     if let Some(base) = &baseline {
         json.push_str(",\n  \"baseline\": {\n");
         for (i, (name, us)) in base.iter().enumerate() {

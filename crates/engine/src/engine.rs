@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheKey, CachedAnswer, ReductionCache};
 use crate::canonical::canonical_pattern;
+use crate::error::EngineError;
 use crate::{Answer, Query, QueryClass, QueryResult};
 use rbq_core::guard::Semantics;
 use rbq_core::{
@@ -61,25 +62,123 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Validate ranges, returning a message suitable for CLI `exit 2`.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate ranges. The typed error renders the same message the old
+    /// `Result<_, String>` API produced, so CLI output is unchanged.
+    pub fn validate(&self) -> Result<(), EngineError> {
         if let BudgetSpec::Ratio(a) = self.pattern_budget {
             if !(a.is_finite() && a > 0.0 && a <= 1.0) {
-                return Err(format!("pattern alpha must lie in (0, 1], got {a}"));
+                return Err(EngineError::InvalidAlpha {
+                    what: "pattern alpha",
+                    got: a,
+                });
             }
         }
         if !(self.reach_alpha.is_finite() && self.reach_alpha > 0.0 && self.reach_alpha <= 1.0) {
-            return Err(format!(
-                "reach alpha must lie in (0, 1], got {}",
-                self.reach_alpha
-            ));
+            return Err(EngineError::InvalidAlpha {
+                what: "reach alpha",
+                got: self.reach_alpha,
+            });
         }
         if let Some(c) = self.visit_coefficient {
             if !(c.is_finite() && c > 0.0) {
-                return Err(format!("visit coefficient must be positive, got {c}"));
+                return Err(EngineError::InvalidVisitCoefficient(c));
             }
         }
         Ok(())
+    }
+
+    /// Start building a configuration. Prefer this over struct-literal
+    /// construction: the builder validates every knob at
+    /// [`EngineConfigBuilder::build`] instead of panicking later inside
+    /// [`Engine::new`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+            explicit_zero_threads: false,
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`] — the supported way for front ends to
+/// assemble a configuration. Setters record intent; [`build`] validates
+/// everything at once (`α ∈ (0, 1]`, positive visit coefficient, explicit
+/// thread counts ≥ 1) and returns a typed [`EngineError`] on violation.
+///
+/// [`build`]: EngineConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+    explicit_zero_threads: bool,
+}
+
+impl EngineConfigBuilder {
+    /// Per-query pattern budget as a resource ratio `α ∈ (0, 1]`.
+    pub fn pattern_alpha(mut self, alpha: f64) -> Self {
+        self.cfg.pattern_budget = BudgetSpec::Ratio(alpha);
+        self
+    }
+
+    /// Per-query pattern budget as an absolute unit count.
+    pub fn pattern_units(mut self, units: usize) -> Self {
+        self.cfg.pattern_budget = BudgetSpec::Units(units);
+        self
+    }
+
+    /// Visit coefficient `c` (per-query visit cap `α·c·|G|`).
+    pub fn visit_coefficient(mut self, c: f64) -> Self {
+        self.cfg.visit_coefficient = Some(c);
+        self
+    }
+
+    /// Resource ratio for the reachability index, `(0, 1]`.
+    pub fn reach_alpha(mut self, alpha: f64) -> Self {
+        self.cfg.reach_alpha = alpha;
+        self
+    }
+
+    /// Explicit worker thread count, ≥ 1 (an explicit 0 is rejected at
+    /// [`build`]; see [`EngineConfigBuilder::auto_threads`] for the
+    /// default).
+    ///
+    /// [`build`]: EngineConfigBuilder::build
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self.explicit_zero_threads = threads == 0;
+        self
+    }
+
+    /// Use the machine's available parallelism (the default).
+    pub fn auto_threads(mut self) -> Self {
+        self.cfg.threads = 0;
+        self.explicit_zero_threads = false;
+        self
+    }
+
+    /// Reduction-cache capacity in entries; 0 disables caching.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cfg.cache_capacity = entries;
+        self
+    }
+
+    /// Aggregate visit budget per batch (None = unlimited).
+    pub fn aggregate_visit_budget(mut self, budget: Option<usize>) -> Self {
+        self.cfg.aggregate_visit_budget = budget;
+        self
+    }
+
+    /// VF2 knobs for isomorphism queries.
+    pub fn vf2(mut self, vf2: Vf2Config) -> Self {
+        self.cfg.vf2 = vf2;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        if self.explicit_zero_threads {
+            return Err(EngineError::InvalidThreads);
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -421,32 +520,16 @@ impl Engine {
             }
         }
 
-        // Input-order settlement: deterministic regardless of scheduling.
         let mut stats = EngineStats::default();
-        let mut remaining = self.cfg.aggregate_visit_budget;
         let mut final_results = Vec::with_capacity(n);
         for slot in results {
-            let (mut result, class, latency) = slot.expect("every query evaluated");
+            let (result, class, latency) = slot.expect("every query evaluated");
             record(&mut stats, &result, class, latency);
-            if result.answer.is_ok() {
-                match remaining.as_mut() {
-                    Some(rem) if result.visits > *rem => {
-                        stats.denied += 1;
-                        result.answer = Answer::Denied {
-                            needed: result.visits,
-                            remaining: *rem,
-                        };
-                    }
-                    other => {
-                        if let Some(rem) = other {
-                            *rem -= result.visits;
-                        }
-                        stats.charged_visits += result.visits;
-                    }
-                }
-            }
             final_results.push(result);
         }
+        let settlement = settle_aggregate(&mut final_results, self.cfg.aggregate_visit_budget);
+        stats.denied += settlement.denied;
+        stats.charged_visits += settlement.charged_visits;
         self.totals.lock().expect("stats lock").merge(&stats);
         BatchReport {
             results: final_results,
@@ -568,6 +651,51 @@ impl Engine {
             cached: false,
         }
     }
+}
+
+/// Outcome of aggregate-budget settlement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateSettlement {
+    /// Delivered answers converted to [`Answer::Denied`].
+    pub denied: usize,
+    /// Visit cost charged for the answers that were delivered.
+    pub charged_visits: usize,
+}
+
+/// Settle a batch's delivered answers against an aggregate visit budget,
+/// in input order (deterministic regardless of evaluation scheduling).
+///
+/// Each delivered (non-error, non-denied) answer is considered in order:
+/// if its canonical visit cost fits the remaining budget it is charged,
+/// otherwise it is replaced by [`Answer::Denied`] recording what it needed
+/// and what remained. With `budget = None` everything is delivered and the
+/// full cost charged. This is the single settlement routine shared by
+/// [`Engine::run_batch`] and the sharded router, so a batch settles
+/// identically whether it ran on one engine or was fanned out and merged.
+pub fn settle_aggregate(results: &mut [QueryResult], budget: Option<usize>) -> AggregateSettlement {
+    let mut out = AggregateSettlement::default();
+    let mut remaining = budget;
+    for result in results {
+        if !result.answer.is_ok() {
+            continue;
+        }
+        match remaining.as_mut() {
+            Some(rem) if result.visits > *rem => {
+                out.denied += 1;
+                result.answer = Answer::Denied {
+                    needed: result.visits,
+                    remaining: *rem,
+                };
+            }
+            other => {
+                if let Some(rem) = other {
+                    *rem -= result.visits;
+                }
+                out.charged_visits += result.visits;
+            }
+        }
+    }
+    out
 }
 
 fn record(stats: &mut EngineStats, result: &QueryResult, class: QueryClass, latency: Duration) {
@@ -757,6 +885,75 @@ mod tests {
         let report = engine.run_batch(&[]);
         assert!(report.results.is_empty());
         assert_eq!(report.stats.queries, 0);
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let cfg = EngineConfig::builder()
+            .pattern_alpha(0.5)
+            .reach_alpha(0.2)
+            .threads(3)
+            .cache_capacity(16)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.pattern_budget, BudgetSpec::Ratio(0.5));
+        assert_eq!(cfg.threads, 3);
+
+        assert!(matches!(
+            EngineConfig::builder().pattern_alpha(2.0).build(),
+            Err(EngineError::InvalidAlpha {
+                what: "pattern alpha",
+                ..
+            })
+        ));
+        assert!(matches!(
+            EngineConfig::builder().threads(0).build(),
+            Err(EngineError::InvalidThreads)
+        ));
+        assert!(EngineConfig::builder().auto_threads().build().is_ok());
+        assert!(matches!(
+            EngineConfig::builder().visit_coefficient(-1.0).build(),
+            Err(EngineError::InvalidVisitCoefficient(_))
+        ));
+    }
+
+    #[test]
+    fn settle_aggregate_matches_inline_settlement() {
+        let mk = |visits| QueryResult {
+            answer: Answer::Reach {
+                reachable: true,
+                certified: true,
+            },
+            visits,
+            cached: false,
+        };
+        let mut rs = vec![
+            mk(4),
+            QueryResult {
+                answer: Answer::Error("x".into()),
+                visits: 0,
+                cached: false,
+            },
+            mk(5),
+            mk(1),
+        ];
+        let s = settle_aggregate(&mut rs, Some(6));
+        assert_eq!(s.denied, 1);
+        assert_eq!(s.charged_visits, 5);
+        assert!(rs[0].answer.is_ok());
+        assert!(matches!(rs[1].answer, Answer::Error(_)));
+        assert_eq!(
+            rs[2].answer,
+            Answer::Denied {
+                needed: 5,
+                remaining: 2
+            }
+        );
+        assert!(rs[3].answer.is_ok());
+
+        let mut unlimited = vec![mk(7), mk(9)];
+        let s = settle_aggregate(&mut unlimited, None);
+        assert_eq!((s.denied, s.charged_visits), (0, 16));
     }
 
     #[test]

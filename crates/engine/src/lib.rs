@@ -29,9 +29,16 @@
 pub mod cache;
 pub mod canonical;
 pub mod engine;
+pub mod error;
 pub mod query;
+pub mod wire;
 
 pub use cache::{CacheKey, CachedAnswer, ReductionCache};
 pub use canonical::canonical_pattern;
-pub use engine::{BatchReport, BudgetSpec, ClassStats, Engine, EngineConfig, EngineStats};
+pub use engine::{
+    settle_aggregate, AggregateSettlement, BatchReport, BudgetSpec, ClassStats, Engine,
+    EngineConfig, EngineConfigBuilder, EngineStats,
+};
+pub use error::{EngineError, QueryParseError};
 pub use query::{Answer, Query, QueryClass, QueryResult};
+pub use wire::{WireWriteError, ANSWER_FILE_HEADER, QUERY_FILE_HEADER, WIRE_VERSION};

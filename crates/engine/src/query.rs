@@ -1,5 +1,6 @@
 //! The unified query and answer types served by the engine.
 
+use crate::error::QueryParseError;
 use rbq_graph::NodeId;
 use rbq_pattern::{Pattern, PatternBuilder};
 use std::fmt;
@@ -59,7 +60,7 @@ impl Query {
     /// Pattern labels must not contain whitespace or commas (the generated
     /// workloads' labels never do); [`Query::to_line`] returns an error for
     /// labels that would not round-trip.
-    pub fn to_line(&self) -> Result<String, String> {
+    pub fn to_line(&self) -> Result<String, QueryParseError> {
         match self {
             Query::Reach { source, target } => Ok(format!("r {} {}", source.0, target.0)),
             Query::PatternSim { pattern } => pattern_line('s', pattern),
@@ -68,15 +69,15 @@ impl Query {
     }
 
     /// Parse one non-empty, non-comment line of the query-file format.
-    pub fn parse_line(line: &str) -> Result<Query, String> {
+    pub fn parse_line(line: &str) -> Result<Query, QueryParseError> {
         let mut parts = line.split_whitespace();
-        let kind = parts.next().ok_or("empty query line")?;
+        let kind = parts.next().ok_or(QueryParseError::EmptyLine)?;
         match kind {
             "r" => {
                 let s: u32 = parse_field(parts.next(), "source id")?;
                 let t: u32 = parse_field(parts.next(), "target id")?;
                 if parts.next().is_some() {
-                    return Err(format!("trailing tokens on reach line {line:?}"));
+                    return Err(QueryParseError::TrailingTokens(line.to_owned()));
                 }
                 Ok(Query::Reach {
                     source: NodeId(s),
@@ -86,10 +87,12 @@ impl Query {
             "s" | "i" => {
                 let up: usize = parse_field(parts.next(), "personalized index")?;
                 let uo: usize = parse_field(parts.next(), "output index")?;
-                let labels = parts.next().ok_or("missing label list")?;
+                let labels = parts
+                    .next()
+                    .ok_or(QueryParseError::MissingField("label list"))?;
                 let edges = parts.next().unwrap_or("");
                 if parts.next().is_some() {
-                    return Err(format!("trailing tokens on pattern line {line:?}"));
+                    return Err(QueryParseError::TrailingTokens(line.to_owned()));
                 }
                 let pattern = parse_pattern(up, uo, labels, edges)?;
                 Ok(if kind == "s" {
@@ -98,24 +101,30 @@ impl Query {
                     Query::PatternIso { pattern }
                 })
             }
-            other => Err(format!("unknown query kind {other:?} (want r|s|i)")),
+            other => Err(QueryParseError::UnknownKind(other.to_owned())),
         }
     }
 }
 
-fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String> {
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &'static str,
+) -> Result<T, QueryParseError> {
     field
-        .ok_or_else(|| format!("missing {what}"))?
+        .ok_or(QueryParseError::MissingField(what))?
         .parse()
-        .map_err(|_| format!("bad {what} {:?}", field.unwrap_or("")))
+        .map_err(|_| QueryParseError::BadField {
+            what,
+            token: field.unwrap_or("").to_owned(),
+        })
 }
 
-fn pattern_line(kind: char, p: &Pattern) -> Result<String, String> {
+fn pattern_line(kind: char, p: &Pattern) -> Result<String, QueryParseError> {
     let mut labels = Vec::with_capacity(p.node_count());
     for u in p.nodes() {
         let l = p.label_str(u);
         if l.is_empty() || l.contains(',') || l.chars().any(char::is_whitespace) {
-            return Err(format!("label {l:?} does not round-trip the line format"));
+            return Err(QueryParseError::UnserializableLabel(l.to_owned()));
         }
         labels.push(l.to_owned());
     }
@@ -137,30 +146,40 @@ fn pattern_line(kind: char, p: &Pattern) -> Result<String, String> {
     ))
 }
 
-fn parse_pattern(up: usize, uo: usize, labels: &str, edges: &str) -> Result<Pattern, String> {
+fn parse_pattern(
+    up: usize,
+    uo: usize,
+    labels: &str,
+    edges: &str,
+) -> Result<Pattern, QueryParseError> {
     let mut b = PatternBuilder::new();
     let mut ids = Vec::new();
     for l in labels.split(',') {
         if l.is_empty() {
-            return Err("empty pattern label".into());
+            return Err(QueryParseError::EmptyLabel);
         }
         ids.push(b.add_node(l));
     }
     if up >= ids.len() || uo >= ids.len() {
-        return Err(format!(
-            "personalized/output index out of range ({up}/{uo} of {})",
-            ids.len()
-        ));
+        return Err(QueryParseError::AnchorOutOfRange {
+            up,
+            uo,
+            len: ids.len(),
+        });
     }
     if !(edges.is_empty() || edges == "-") {
         for e in edges.split(',') {
             let (u, v) = e
                 .split_once('-')
-                .ok_or_else(|| format!("bad edge {e:?}, expected U-V"))?;
-            let u: usize = u.parse().map_err(|_| format!("bad edge endpoint {u:?}"))?;
-            let v: usize = v.parse().map_err(|_| format!("bad edge endpoint {v:?}"))?;
+                .ok_or_else(|| QueryParseError::BadEdge(e.to_owned()))?;
+            let u: usize = u
+                .parse()
+                .map_err(|_| QueryParseError::BadEdge(e.to_owned()))?;
+            let v: usize = v
+                .parse()
+                .map_err(|_| QueryParseError::BadEdge(e.to_owned()))?;
             if u >= ids.len() || v >= ids.len() {
-                return Err(format!("edge {e:?} references missing node"));
+                return Err(QueryParseError::EdgeOutOfRange(e.to_owned()));
             }
             b.add_edge(ids[u], ids[v]);
         }

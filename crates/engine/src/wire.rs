@@ -1,0 +1,449 @@
+//! The versioned wire format: query files and answer lines.
+//!
+//! Queries and answers cross process boundaries — batch files on disk
+//! today, router ↔ shard payloads tomorrow — so both directions are
+//! versioned:
+//!
+//! * **Query files** start with the header `#rbq-queries v1`, followed by
+//!   one [`Query::to_line`] per line (blank lines and `#` comments
+//!   ignored). Headerless files are accepted as v1 for backward
+//!   compatibility, with [`QueryFile::headerless`] set so front ends can
+//!   warn; a header declaring a version this build does not speak is an
+//!   error, not a silent misparse.
+//! * **Answer files** start with `#rbq-answers v1`, followed by one
+//!   [`answer_to_line`] per line. The answer line format is the
+//!   router↔shard payload: every [`Answer`] variant round-trips exactly
+//!   (pinned by proptests), except that newlines inside error messages are
+//!   flattened to spaces (the format is line-oriented).
+
+use crate::error::QueryParseError;
+use crate::{Answer, Query};
+use rbq_graph::NodeId;
+use std::io::Write;
+
+/// The wire version this build reads and writes.
+pub const WIRE_VERSION: u32 = 1;
+/// First line of a versioned query file.
+pub const QUERY_FILE_HEADER: &str = "#rbq-queries v1";
+/// First line of a versioned answer file.
+pub const ANSWER_FILE_HEADER: &str = "#rbq-answers v1";
+
+/// A parsed query file.
+#[derive(Debug, Clone)]
+pub struct QueryFile {
+    /// The queries, in file order.
+    pub queries: Vec<Query>,
+    /// Declared wire version (1 when headerless).
+    pub version: u32,
+    /// Whether the file lacked the `#rbq-queries` header (legacy format,
+    /// treated as v1 — front ends should warn).
+    pub headerless: bool,
+}
+
+/// Parse the version token of a `#rbq-<kind> v<N>` header line.
+fn parse_header_version(line: &str, kind: &str) -> Result<u32, QueryParseError> {
+    let rest = line
+        .strip_prefix(&format!("#rbq-{kind}"))
+        .expect("caller checked prefix")
+        .trim();
+    let v: u32 = rest
+        .strip_prefix('v')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| QueryParseError::UnsupportedVersion(rest.to_owned()))?;
+    if v != WIRE_VERSION {
+        return Err(QueryParseError::UnsupportedVersion(rest.to_owned()));
+    }
+    Ok(v)
+}
+
+/// Parse a whole query file (see [`QUERY_FILE_HEADER`]).
+///
+/// Errors carry their 1-based line number via
+/// [`QueryParseError::AtLine`].
+pub fn parse_query_file(text: &str) -> Result<QueryFile, QueryParseError> {
+    let mut queries = Vec::new();
+    let mut version = None;
+    let mut headerless = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if line.starts_with("#rbq-queries") {
+                if version.is_some() || !queries.is_empty() {
+                    // A header anywhere but the top is a stray comment.
+                    continue;
+                }
+                version = Some(
+                    parse_header_version(line, "queries")
+                        .map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?,
+                );
+            }
+            continue;
+        }
+        if version.is_none() && queries.is_empty() {
+            headerless = true;
+        }
+        queries.push(
+            Query::parse_line(line).map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?,
+        );
+    }
+    Ok(QueryFile {
+        queries,
+        version: version.unwrap_or(WIRE_VERSION),
+        headerless: headerless && version.is_none(),
+    })
+}
+
+/// Write a versioned query file: header plus one line per query.
+pub fn write_query_file<W: Write>(w: &mut W, queries: &[Query]) -> Result<(), WireWriteError> {
+    writeln!(w, "{QUERY_FILE_HEADER}")?;
+    for q in queries {
+        writeln!(w, "{}", q.to_line()?)?;
+    }
+    Ok(())
+}
+
+/// Serialize one [`Answer`] to its versioned one-line form:
+///
+/// ```text
+/// reach <0|1 reachable> <0|1 certified>
+/// pattern <gq_size> <gq_nodes> <0|1 hit_budget> <m0,m1,...|->
+/// denied <needed> <remaining>
+/// error <message...>
+/// ```
+///
+/// Infallible (unlike queries, answers contain no free-form labels);
+/// newlines in error messages are flattened to spaces.
+pub fn answer_to_line(a: &Answer) -> String {
+    match a {
+        Answer::Reach {
+            reachable,
+            certified,
+        } => format!("reach {} {}", *reachable as u8, *certified as u8),
+        Answer::Pattern {
+            matches,
+            gq_size,
+            gq_nodes,
+            hit_budget,
+        } => {
+            let ms = if matches.is_empty() {
+                "-".to_owned()
+            } else {
+                matches
+                    .iter()
+                    .map(|v| v.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!("pattern {gq_size} {gq_nodes} {} {ms}", *hit_budget as u8)
+        }
+        Answer::Denied { needed, remaining } => format!("denied {needed} {remaining}"),
+        Answer::Error(msg) => format!("error {}", msg.replace(['\n', '\r'], " ")),
+    }
+}
+
+/// Parse one answer line written by [`answer_to_line`].
+pub fn answer_from_line(line: &str) -> Result<Answer, QueryParseError> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let mut fields = rest.split_whitespace();
+    let mut next = |what: &'static str| -> Result<&str, QueryParseError> {
+        fields.next().ok_or(QueryParseError::MissingField(what))
+    };
+    let parse_bool = |what: &'static str, tok: &str| -> Result<bool, QueryParseError> {
+        match tok {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(QueryParseError::BadField {
+                what,
+                token: tok.to_owned(),
+            }),
+        }
+    };
+    let parse_num = |what: &'static str, tok: &str| -> Result<usize, QueryParseError> {
+        tok.parse().map_err(|_| QueryParseError::BadField {
+            what,
+            token: tok.to_owned(),
+        })
+    };
+    match kind {
+        "" => Err(QueryParseError::EmptyLine),
+        "reach" => {
+            let reachable = parse_bool("reachable flag", next("reachable flag")?)?;
+            let certified = parse_bool("certified flag", next("certified flag")?)?;
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            Ok(Answer::Reach {
+                reachable,
+                certified,
+            })
+        }
+        "pattern" => {
+            let gq_size = parse_num("gq size", next("gq size")?)?;
+            let gq_nodes = parse_num("gq nodes", next("gq nodes")?)?;
+            let hit_budget = parse_bool("budget flag", next("budget flag")?)?;
+            let ms = next("match list")?;
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            let mut matches = Vec::new();
+            if ms != "-" {
+                for tok in ms.split(',') {
+                    let id: u32 = tok.parse().map_err(|_| QueryParseError::BadField {
+                        what: "match id",
+                        token: tok.to_owned(),
+                    })?;
+                    matches.push(NodeId(id));
+                }
+            }
+            Ok(Answer::Pattern {
+                matches,
+                gq_size,
+                gq_nodes,
+                hit_budget,
+            })
+        }
+        "denied" => {
+            let needed = parse_num("needed visits", next("needed visits")?)?;
+            let remaining = parse_num("remaining budget", next("remaining budget")?)?;
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            Ok(Answer::Denied { needed, remaining })
+        }
+        "error" => Ok(Answer::Error(rest.to_owned())),
+        other => Err(QueryParseError::UnknownAnswerKind(other.to_owned())),
+    }
+}
+
+/// A parsed answer file.
+#[derive(Debug, Clone)]
+pub struct AnswerFile {
+    /// The answers, in file order.
+    pub answers: Vec<Answer>,
+    /// Declared wire version (1 when headerless).
+    pub version: u32,
+    /// Whether the file lacked the `#rbq-answers` header.
+    pub headerless: bool,
+}
+
+/// Parse a whole answer file (see [`ANSWER_FILE_HEADER`]).
+pub fn parse_answer_file(text: &str) -> Result<AnswerFile, QueryParseError> {
+    let mut answers = Vec::new();
+    let mut version = None;
+    let mut headerless = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if line.starts_with("#rbq-answers") && version.is_none() && answers.is_empty() {
+                version = Some(
+                    parse_header_version(line, "answers")
+                        .map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?,
+                );
+            }
+            continue;
+        }
+        if version.is_none() && answers.is_empty() {
+            headerless = true;
+        }
+        answers
+            .push(answer_from_line(line).map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?);
+    }
+    Ok(AnswerFile {
+        answers,
+        version: version.unwrap_or(WIRE_VERSION),
+        headerless: headerless && version.is_none(),
+    })
+}
+
+/// Write a versioned answer file: header plus one line per answer.
+pub fn write_answer_file<W: Write>(w: &mut W, answers: &[Answer]) -> Result<(), WireWriteError> {
+    writeln!(w, "{ANSWER_FILE_HEADER}")?;
+    for a in answers {
+        writeln!(w, "{}", answer_to_line(a))?;
+    }
+    Ok(())
+}
+
+/// Errors writing a wire file: a query that cannot round-trip, or I/O.
+#[derive(Debug)]
+pub enum WireWriteError {
+    /// The payload cannot be serialized (see
+    /// [`QueryParseError::UnserializableLabel`]).
+    Format(QueryParseError),
+    /// The underlying writer failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireWriteError::Format(e) => write!(f, "{e}"),
+            WireWriteError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireWriteError::Format(e) => Some(e),
+            WireWriteError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryParseError> for WireWriteError {
+    fn from(e: QueryParseError) -> Self {
+        WireWriteError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for WireWriteError {
+    fn from(e: std::io::Error) -> Self {
+        WireWriteError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbq_pattern::pattern::fig1_pattern;
+
+    fn answers() -> Vec<Answer> {
+        vec![
+            Answer::Reach {
+                reachable: true,
+                certified: true,
+            },
+            Answer::Reach {
+                reachable: false,
+                certified: false,
+            },
+            Answer::Pattern {
+                matches: vec![NodeId(3), NodeId(9)],
+                gq_size: 14,
+                gq_nodes: 6,
+                hit_budget: true,
+            },
+            Answer::Pattern {
+                matches: vec![],
+                gq_size: 0,
+                gq_nodes: 0,
+                hit_budget: false,
+            },
+            Answer::Denied {
+                needed: 120,
+                remaining: 7,
+            },
+            Answer::Error("node id out of range (9 or 10 >= 4)".into()),
+        ]
+    }
+
+    #[test]
+    fn answer_lines_round_trip() {
+        for a in answers() {
+            let line = answer_to_line(&a);
+            let back = answer_from_line(&line).expect(&line);
+            assert_eq!(a, back, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn answer_file_round_trips() {
+        let aa = answers();
+        let mut buf = Vec::new();
+        write_answer_file(&mut buf, &aa).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(ANSWER_FILE_HEADER));
+        let parsed = parse_answer_file(&text).unwrap();
+        assert_eq!(parsed.answers, aa);
+        assert_eq!(parsed.version, WIRE_VERSION);
+        assert!(!parsed.headerless);
+    }
+
+    #[test]
+    fn query_file_round_trips_with_header() {
+        let qs = vec![
+            Query::Reach {
+                source: NodeId(7),
+                target: NodeId(42),
+            },
+            Query::PatternSim {
+                pattern: fig1_pattern(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_query_file(&mut buf, &qs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(QUERY_FILE_HEADER));
+        let parsed = parse_query_file(&text).unwrap();
+        assert_eq!(parsed.queries.len(), 2);
+        assert!(!parsed.headerless);
+        assert_eq!(
+            parsed.queries[0].to_line().unwrap(),
+            qs[0].to_line().unwrap()
+        );
+        assert_eq!(
+            parsed.queries[1].to_line().unwrap(),
+            qs[1].to_line().unwrap()
+        );
+    }
+
+    #[test]
+    fn headerless_query_file_accepted_as_v1() {
+        let parsed = parse_query_file("# legacy comment\nr 0 1\n").unwrap();
+        assert_eq!(parsed.queries.len(), 1);
+        assert_eq!(parsed.version, WIRE_VERSION);
+        assert!(parsed.headerless);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let err = parse_query_file("#rbq-queries v2\nr 0 1\n").unwrap_err();
+        assert!(
+            matches!(&err, QueryParseError::AtLine(1, e)
+                if matches!(**e, QueryParseError::UnsupportedVersion(_))),
+            "{err}"
+        );
+        assert!(parse_answer_file("#rbq-answers v9\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_query_file("#rbq-queries v1\nr 0 1\nx bogus\n").unwrap_err();
+        assert!(matches!(err, QueryParseError::AtLine(3, _)), "{err}");
+    }
+
+    #[test]
+    fn error_message_newlines_flattened() {
+        let a = Answer::Error("two\nlines".into());
+        let line = answer_to_line(&a);
+        assert_eq!(
+            answer_from_line(&line).unwrap(),
+            Answer::Error("two lines".into())
+        );
+    }
+
+    #[test]
+    fn malformed_answer_lines_rejected() {
+        for bad in [
+            "",
+            "reach 1",
+            "reach 2 0",
+            "reach 1 0 extra",
+            "pattern 3 2 1",
+            "pattern 3 2 1 a,b",
+            "denied 5",
+            "bogus 1 2",
+        ] {
+            assert!(answer_from_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`scc`] — Tarjan strongly connected components, and [`condense`] —
 //!   reachability-preserving DAG condensation (the first half of the
 //!   query-preserving compression of §5);
+//! * [`partition`] — node-to-shard assignments (label-hash and
+//!   SCC/community-aware) with boundary bookkeeping, the substrate for
+//!   sharded serving;
 //! * [`topo`] — topological ranks `v.r` on DAGs (auxiliary info of §5.1);
 //! * [`subgraph`] — induced subgraphs and the incrementally grown
 //!   [`subgraph::DynamicSubgraph`] used for `G_Q`;
@@ -36,6 +39,7 @@ pub mod graph;
 pub mod io;
 pub mod labels;
 pub mod neighborhood;
+pub mod partition;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
@@ -48,6 +52,7 @@ pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use labels::LabelInterner;
 pub use neighborhood::BallScratch;
+pub use partition::{PartitionStats, ShardAssignment};
 pub use subgraph::{DynamicSubgraph, InducedSubgraph, SubgraphScratch};
 pub use types::{Label, NodeId};
 pub use view::{GraphView, Neighbors, NodeIds};

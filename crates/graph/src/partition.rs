@@ -1,0 +1,364 @@
+//! Node-to-shard partitions for distributed (sharded) serving.
+//!
+//! The paper notes its resource-bounded techniques "adapt readily to
+//! distributed settings"; the first step is deciding which shard *owns*
+//! each node of `G`. This module provides the partition data structure and
+//! two construction policies:
+//!
+//! * [`partition_by_label_hash`] — every node of a label lands on the shard
+//!   `hash(label) mod k`. Since anchored pattern queries are routed by
+//!   their personalized node's label, a router can map a pattern query to
+//!   its owner shard from the query text alone (exact label-based shard
+//!   pruning, no graph lookup).
+//! * [`partition_by_scc`] — community-aware: whole strongly connected
+//!   components (via [`crate::condense`]) are assigned to shards as
+//!   contiguous runs of the reverse-topological component order, balanced
+//!   by member count. Mutually reachable nodes never straddle a shard
+//!   boundary, and shard boundaries align with the DAG structure the
+//!   reachability index is built over.
+//!
+//! A [`ShardAssignment`] also provides the boundary bookkeeping a router
+//! needs to reason about locality: which nodes have edges crossing into
+//! another shard, and how many edges are cut ([`PartitionStats`]).
+
+use crate::condense::condense;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rustc_hash::FxHasher;
+use std::hash::Hasher;
+
+/// An assignment of every node of a graph to one of `k` shards.
+///
+/// Stored both as a dense `node -> shard` map and as a CSR partition
+/// (`owned(s)` is a sorted slice), mirroring the label partition of
+/// [`Graph`].
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    shard_of: Vec<u32>,
+    shards: usize,
+    owned_offsets: Vec<usize>,
+    owned_nodes: Vec<NodeId>,
+}
+
+impl ShardAssignment {
+    /// Build from a dense `node -> shard` map. Panics if any entry is out
+    /// of `0..shards` or `shards == 0`.
+    pub fn new(shard_of: Vec<u32>, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        // Counting-sort node ids by shard; ascending visit order keeps each
+        // owned slice sorted (same construction as the label partition).
+        let mut owned_offsets = vec![0usize; shards + 1];
+        for &s in &shard_of {
+            assert!((s as usize) < shards, "shard id {s} out of range");
+            owned_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..shards {
+            owned_offsets[i + 1] += owned_offsets[i];
+        }
+        let mut owned_nodes = vec![NodeId(0); shard_of.len()];
+        let mut cursor = owned_offsets.clone();
+        for (i, &s) in shard_of.iter().enumerate() {
+            owned_nodes[cursor[s as usize]] = NodeId::new(i);
+            cursor[s as usize] += 1;
+        }
+        ShardAssignment {
+            shard_of,
+            shards,
+            owned_offsets,
+            owned_nodes,
+        }
+    }
+
+    /// Number of shards `k`.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes assigned (the graph's `|V|`).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning node `v`, or `None` when `v` is out of range.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> Option<u32> {
+        self.shard_of.get(v.index()).copied()
+    }
+
+    /// Nodes owned by shard `s`, as a sorted slice.
+    #[inline]
+    pub fn owned(&self, s: usize) -> &[NodeId] {
+        &self.owned_nodes[self.owned_offsets[s]..self.owned_offsets[s + 1]]
+    }
+
+    /// Boundary bookkeeping for this assignment over `g`.
+    ///
+    /// A node is a *boundary node* if it has an out- or in-edge whose other
+    /// endpoint lives on a different shard; such edges are *cut*. Runs in
+    /// `O(|V| + |E|)`.
+    pub fn boundary_stats(&self, g: &Graph) -> PartitionStats {
+        assert_eq!(g.node_count(), self.shard_of.len(), "assignment size");
+        let mut cut_edges = 0usize;
+        let mut is_boundary = vec![false; g.node_count()];
+        for (u, v) in g.edges() {
+            if self.shard_of[u.index()] != self.shard_of[v.index()] {
+                cut_edges += 1;
+                is_boundary[u.index()] = true;
+                is_boundary[v.index()] = true;
+            }
+        }
+        let mut boundary_per_shard = vec![0usize; self.shards];
+        for (i, b) in is_boundary.iter().enumerate() {
+            if *b {
+                boundary_per_shard[self.shard_of[i] as usize] += 1;
+            }
+        }
+        let nodes_per_shard: Vec<usize> = (0..self.shards).map(|s| self.owned(s).len()).collect();
+        PartitionStats {
+            shards: self.shards,
+            cut_edges,
+            total_edges: g.edge_count(),
+            boundary_nodes: boundary_per_shard.iter().sum(),
+            boundary_per_shard,
+            nodes_per_shard,
+        }
+    }
+}
+
+/// Locality statistics of a [`ShardAssignment`] over a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Edges whose endpoints live on different shards.
+    pub cut_edges: usize,
+    /// Total edges of the graph (denominator for the cut fraction).
+    pub total_edges: usize,
+    /// Nodes with at least one cut edge.
+    pub boundary_nodes: usize,
+    /// Boundary nodes owned by each shard.
+    pub boundary_per_shard: Vec<usize>,
+    /// Nodes owned by each shard.
+    pub nodes_per_shard: Vec<usize>,
+}
+
+impl PartitionStats {
+    /// Fraction of edges cut, in `[0, 1]`; 0 for an edgeless graph.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Largest / smallest shard node counts (balance indicator).
+    pub fn balance(&self) -> (usize, usize) {
+        let max = self.nodes_per_shard.iter().copied().max().unwrap_or(0);
+        let min = self.nodes_per_shard.iter().copied().min().unwrap_or(0);
+        (max, min)
+    }
+}
+
+/// Stable shard of a label string: `fxhash(bytes) mod k`.
+///
+/// Hashing the *string* (not the interned id) keeps the mapping stable
+/// across processes and graph builds, which is what lets a router compute a
+/// pattern query's owner shard from the query text alone.
+pub fn label_shard(label: &str, shards: usize) -> u32 {
+    assert!(shards >= 1, "need at least one shard");
+    let mut h = FxHasher::default();
+    h.write(label.as_bytes());
+    (h.finish() % shards as u64) as u32
+}
+
+/// Partition by label hash: node `v` goes to `label_shard(label(v), k)`.
+///
+/// All candidates of a label share a shard, so label-based routing is
+/// exact; balance depends on the label distribution (skewed labels give
+/// skewed shards — see [`PartitionStats::balance`]).
+pub fn partition_by_label_hash(g: &Graph, shards: usize) -> ShardAssignment {
+    assert!(shards >= 1, "need at least one shard");
+    // One hash per *label*, not per node.
+    let by_label: Vec<u32> = (0..g.labels().len() as u32)
+        .map(|l| label_shard(g.labels().name(crate::types::Label(l)), shards))
+        .collect();
+    let shard_of: Vec<u32> = g
+        .nodes()
+        .map(|v| by_label[g.node_label(v).index()])
+        .collect();
+    ShardAssignment::new(shard_of, shards)
+}
+
+/// Community-aware partition: whole SCCs, assigned as contiguous runs of
+/// the reverse-topological component order, balanced by member count.
+///
+/// Mutually reachable nodes always share a shard, and each shard covers a
+/// contiguous band of the condensation DAG's topological order — the
+/// locality that keeps reachability traffic intra-shard.
+pub fn partition_by_scc(g: &Graph, shards: usize) -> ShardAssignment {
+    assert!(shards >= 1, "need at least one shard");
+    let cond = condense(g);
+    let k = cond.partition.count;
+    let mut comp_size = vec![0usize; k];
+    for v in g.nodes() {
+        comp_size[cond.partition.component_of(v) as usize] += 1;
+    }
+    // Greedy balanced contiguous partition of the component sequence:
+    // cut when the current shard reaches its fair share of the remaining
+    // nodes (never leaving later shards starved).
+    let mut comp_shard = vec![0u32; k];
+    let mut remaining_nodes = g.node_count();
+    let mut remaining_shards = shards;
+    let mut shard = 0usize;
+    let mut in_shard = 0usize;
+    // Fair share of the current shard, fixed when the shard starts.
+    let mut target = remaining_nodes.div_ceil(remaining_shards.max(1));
+    for c in 0..k {
+        comp_shard[c] = shard as u32;
+        in_shard += comp_size[c];
+        remaining_nodes -= comp_size[c];
+        if in_shard >= target && shard + 1 < shards {
+            shard += 1;
+            remaining_shards -= 1;
+            in_shard = 0;
+            target = remaining_nodes.div_ceil(remaining_shards.max(1));
+        }
+    }
+    let shard_of: Vec<u32> = g
+        .nodes()
+        .map(|v| comp_shard[cond.partition.component_of(v) as usize])
+        .collect();
+    ShardAssignment::new(shard_of, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::scc::tarjan_scc;
+
+    fn sample() -> Graph {
+        // Two 2-cycles bridged, plus a tail.
+        graph_from_edges(
+            &["A", "B", "A", "B", "C", "C"],
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)],
+        )
+    }
+
+    fn assert_covers(a: &ShardAssignment, n: usize) {
+        // Every node exactly once across the owned slices, each sorted.
+        let mut seen = vec![false; n];
+        for s in 0..a.shards() {
+            let owned = a.owned(s);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]), "unsorted shard {s}");
+            for &v in owned {
+                assert!(!seen[v.index()], "node {v:?} owned twice");
+                seen[v.index()] = true;
+                assert_eq!(a.shard_of(v), Some(s as u32));
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some node unowned");
+    }
+
+    #[test]
+    fn label_hash_covers_and_groups_labels() {
+        let g = sample();
+        for k in [1usize, 2, 3, 8] {
+            let a = partition_by_label_hash(&g, k);
+            assert_covers(&a, g.node_count());
+            // All nodes of a label share a shard, and it is the one
+            // `label_shard` names from the string alone.
+            for v in g.nodes() {
+                assert_eq!(
+                    a.shard_of(v),
+                    Some(label_shard(g.node_label_str(v), k)),
+                    "node {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scc_covers_and_keeps_components_whole() {
+        let g = sample();
+        let scc = tarjan_scc(&g);
+        for k in [1usize, 2, 3, 8] {
+            let a = partition_by_scc(&g, k);
+            assert_covers(&a, g.node_count());
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if scc.same(u, v) {
+                        assert_eq!(a.shard_of(u), a.shard_of(v), "{u:?} {v:?} split");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scc_partition_is_roughly_balanced() {
+        // 100 singleton components -> every shard gets ~25 nodes.
+        let labels = vec!["A"; 100];
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(&labels, &edges);
+        let a = partition_by_scc(&g, 4);
+        let stats = a.boundary_stats(&g);
+        let (max, min) = stats.balance();
+        assert!(max <= 26 && min >= 24, "balance {max}/{min}");
+    }
+
+    #[test]
+    fn boundary_stats_count_cut_edges() {
+        let g = graph_from_edges(&["A", "B"], &[(0, 1)]);
+        // Force the two nodes onto different shards.
+        let a = ShardAssignment::new(vec![0, 1], 2);
+        let stats = a.boundary_stats(&g);
+        assert_eq!(stats.cut_edges, 1);
+        assert_eq!(stats.boundary_nodes, 2);
+        assert_eq!(stats.boundary_per_shard, vec![1, 1]);
+        assert_eq!(stats.nodes_per_shard, vec![1, 1]);
+        assert!((stats.cut_fraction() - 1.0).abs() < 1e-12);
+        // Same-shard assignment cuts nothing.
+        let a1 = ShardAssignment::new(vec![0, 0], 2);
+        let s1 = a1.boundary_stats(&g);
+        assert_eq!(s1.cut_edges, 0);
+        assert_eq!(s1.boundary_nodes, 0);
+        assert_eq!(s1.cut_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = sample();
+        for a in [partition_by_label_hash(&g, 1), partition_by_scc(&g, 1)] {
+            assert_eq!(a.owned(0).len(), g.node_count());
+            assert_eq!(a.boundary_stats(&g).cut_edges, 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = crate::builder::GraphBuilder::new().build();
+        for a in [partition_by_label_hash(&g, 3), partition_by_scc(&g, 3)] {
+            assert_eq!(a.node_count(), 0);
+            for s in 0..3 {
+                assert!(a.owned(s).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_none() {
+        let g = sample();
+        let a = partition_by_label_hash(&g, 2);
+        assert_eq!(a.shard_of(NodeId(999)), None);
+    }
+
+    #[test]
+    fn label_shard_is_deterministic() {
+        assert_eq!(label_shard("ME", 8), label_shard("ME", 8));
+        assert!(label_shard("ME", 3) < 3);
+    }
+}

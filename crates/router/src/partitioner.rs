@@ -1,0 +1,106 @@
+//! Partitioning policies: how a router splits node ownership across shards.
+
+use rbq_graph::partition::{partition_by_label_hash, partition_by_scc};
+use rbq_graph::{Graph, ShardAssignment};
+
+/// A policy assigning every node of `G` to one of `k` shards.
+///
+/// Implementations must be deterministic — the router builds the
+/// assignment once at construction and routes against it for its whole
+/// lifetime, and differential testing replays the same assignment.
+pub trait Partitioner {
+    /// Short stable name, for reports and CLI round-trips.
+    fn name(&self) -> &'static str;
+
+    /// Assign every node of `g` to one of `shards` shards.
+    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment;
+}
+
+/// Label-hash partitioning: all nodes of a label share the shard
+/// `fxhash(label) mod k` (see
+/// [`rbq_graph::partition::partition_by_label_hash`]).
+///
+/// Pattern routing under this policy needs no graph lookup at all — the
+/// owner shard is a pure function of the personalized node's label string —
+/// though the router's label → node routing works for any policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelHashPartitioner;
+
+impl Partitioner for LabelHashPartitioner {
+    fn name(&self) -> &'static str {
+        "label"
+    }
+
+    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+        partition_by_label_hash(g, shards)
+    }
+}
+
+/// SCC/community-aware partitioning: whole strongly connected components,
+/// in contiguous reverse-topological runs balanced by node count (see
+/// [`rbq_graph::partition::partition_by_scc`]).
+///
+/// Mutually reachable nodes never straddle shards, so reachability traffic
+/// stays landmark-local to its owner shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SccPartitioner;
+
+impl Partitioner for SccPartitioner {
+    fn name(&self) -> &'static str {
+        "scc"
+    }
+
+    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+        partition_by_scc(g, shards)
+    }
+}
+
+/// The built-in policies, as a value front ends can parse and pass around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// [`LabelHashPartitioner`].
+    LabelHash,
+    /// [`SccPartitioner`].
+    Scc,
+}
+
+impl Partitioner for PartitionerKind {
+    fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::LabelHash => LabelHashPartitioner.name(),
+            PartitionerKind::Scc => SccPartitioner.name(),
+        }
+    }
+
+    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+        match self {
+            PartitionerKind::LabelHash => LabelHashPartitioner.partition(g, shards),
+            PartitionerKind::Scc => SccPartitioner.partition(g, shards),
+        }
+    }
+}
+
+impl std::str::FromStr for PartitionerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "label" | "label-hash" => Ok(PartitionerKind::LabelHash),
+            "scc" => Ok(PartitionerKind::Scc),
+            other => Err(format!("unknown partitioner {other:?} (want label|scc)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in [PartitionerKind::LabelHash, PartitionerKind::Scc] {
+            assert_eq!(kind.name().parse::<PartitionerKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<PartitionerKind>().is_err());
+    }
+}

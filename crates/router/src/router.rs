@@ -1,0 +1,446 @@
+//! The router: shard construction, per-query routing, deterministic merge.
+
+use crate::partitioner::Partitioner;
+use rbq_core::NeighborIndex;
+use rbq_engine::{
+    settle_aggregate, Engine, EngineConfig, EngineError, EngineStats, Query, QueryResult,
+};
+use rbq_graph::{Graph, PartitionStats, ShardAssignment};
+use rbq_reach::HierarchicalIndex;
+use std::sync::{Arc, Mutex};
+
+/// Errors constructing or operating a [`Router`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterError {
+    /// A shard count of zero.
+    InvalidShards,
+    /// The engine configuration was rejected (wrapped losslessly).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::InvalidShards => write!(f, "shard count must be >= 1"),
+            RouterError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Engine(e) => Some(e),
+            RouterError::InvalidShards => None,
+        }
+    }
+}
+
+impl From<EngineError> for RouterError {
+    fn from(e: EngineError) -> Self {
+        RouterError::Engine(e)
+    }
+}
+
+/// Result of [`Router::run_batch`]: input-order answers, merged statistics,
+/// and the per-shard breakdown.
+#[derive(Debug, Clone)]
+pub struct RouterReport {
+    /// One result per input query, in input order — byte-identical to what
+    /// a single [`Engine`] would return for the same batch.
+    pub results: Vec<QueryResult>,
+    /// Statistics merged across shards, with the aggregate budget settled
+    /// at the router (so `denied` / `charged_visits` match a single
+    /// engine's settlement exactly).
+    pub stats: EngineStats,
+    /// Per-shard breakdown, one entry per shard (including idle ones).
+    pub per_shard: Vec<ShardReport>,
+}
+
+/// One shard's share of a routed batch.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Queries routed to this shard.
+    pub routed: usize,
+    /// The shard engine's statistics for its sub-batch (settlement
+    /// happens at the router, so `denied` is always 0 here).
+    pub stats: EngineStats,
+}
+
+/// A sharded serving front: `k` engine replicas over `Arc`-shared
+/// immutable structures, one owner shard per query.
+///
+/// Construction pays the offline cost once — the partition and both
+/// offline indexes (§4.1 neighbor index, §5.1 reachability index) are
+/// built eagerly and shared by every shard — so shards are cheap replicas
+/// and routing is the only per-query work the router adds.
+pub struct Router {
+    g: Arc<Graph>,
+    assignment: ShardAssignment,
+    shards: Vec<Engine>,
+    partitioner: &'static str,
+    /// The front-door aggregate budget; shard engines run unbudgeted and
+    /// the router settles once, in input order.
+    aggregate_visit_budget: Option<usize>,
+    totals: Mutex<EngineStats>,
+}
+
+impl Router {
+    /// A router over `g` with `shards` shards assigned by `partitioner`.
+    ///
+    /// `cfg` is the front-door configuration: every shard engine inherits
+    /// it, except that the aggregate visit budget is held back and settled
+    /// at the router, and worker threads are divided across shards (each
+    /// shard gets `max(1, threads / k)` so a fanned-out batch uses about
+    /// the configured parallelism in total).
+    pub fn new(
+        g: Arc<Graph>,
+        cfg: EngineConfig,
+        shards: usize,
+        partitioner: &dyn Partitioner,
+    ) -> Result<Router, RouterError> {
+        if shards == 0 {
+            return Err(RouterError::InvalidShards);
+        }
+        cfg.validate()?;
+        let assignment = partitioner.partition(&g, shards);
+
+        // Offline once, shared everywhere: identical Arc'd indexes are what
+        // make shard answers byte-identical to a standalone engine's.
+        let nbr = Arc::new(NeighborIndex::build(&g));
+        let reach = Arc::new(HierarchicalIndex::build(&g, cfg.reach_alpha));
+
+        let base_threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let shard_cfg = EngineConfig {
+            aggregate_visit_budget: None,
+            threads: (base_threads / shards).max(1),
+            ..cfg.clone()
+        };
+        let engines = (0..shards)
+            .map(|_| {
+                Engine::with_indexes(
+                    g.clone(),
+                    shard_cfg.clone(),
+                    Some(nbr.clone()),
+                    Some(reach.clone()),
+                )
+            })
+            .collect();
+        Ok(Router {
+            g,
+            assignment,
+            shards: engines,
+            partitioner: partitioner.name(),
+            aggregate_visit_budget: cfg.aggregate_visit_budget,
+            totals: Mutex::new(EngineStats::default()),
+        })
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Name of the partitioning policy in effect.
+    pub fn partitioner(&self) -> &'static str {
+        self.partitioner
+    }
+
+    /// The node → shard assignment routing runs against.
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
+    }
+
+    /// Boundary/balance statistics of the partition over the graph.
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.assignment.boundary_stats(&self.g)
+    }
+
+    /// Lifetime statistics merged across every batch served.
+    pub fn stats(&self) -> EngineStats {
+        self.totals.lock().expect("stats lock").clone()
+    }
+
+    /// The shard that owns `q` — the only shard that will evaluate it.
+    ///
+    /// * Reachability routes to the owner of the **source** node: under the
+    ///   SCC partitioner the whole source component (and its landmarks) is
+    ///   local to that shard, so the index probe stays shard-local.
+    /// * Patterns route to the owner of the unique match of the
+    ///   personalized node, found from its label alone (label-based shard
+    ///   pruning; under the label-hash partitioner this is a pure function
+    ///   of the query text).
+    /// * Queries that cannot be located (out-of-range id, unknown label,
+    ///   zero or ambiguous anchor matches) route to shard 0, which
+    ///   reproduces exactly the error a single engine would return — the
+    ///   router never answers anything itself.
+    pub fn route(&self, q: &Query) -> usize {
+        match q {
+            Query::Reach { source, .. } => self.assignment.shard_of(*source).unwrap_or(0) as usize,
+            Query::PatternSim { pattern } | Query::PatternIso { pattern } => {
+                let name = pattern.label_str(pattern.personalized());
+                let Some(label) = self.g.labels().get(name) else {
+                    return 0;
+                };
+                match self.g.nodes_with_label(label) {
+                    [vp] => self.assignment.shard_of(*vp).unwrap_or(0) as usize,
+                    _ => 0,
+                }
+            }
+        }
+    }
+
+    /// Answer one query by routing it to its owner shard (no
+    /// aggregate-budget settlement, mirroring [`Engine::run`]).
+    pub fn run(&self, q: &Query) -> QueryResult {
+        let result = self.shards[self.route(q)].run(q);
+        let mut totals = self.totals.lock().expect("stats lock");
+        totals.queries += 1;
+        totals.total_visits += result.visits;
+        result
+    }
+
+    /// Answer a batch of heterogeneous queries across the shards.
+    ///
+    /// Each query is routed to its owner shard; non-empty sub-batches run
+    /// concurrently (one scoped thread per shard, each shard scheduling
+    /// its own workers); results scatter back to input order; and the
+    /// aggregate visit budget is settled once at the router in input
+    /// order. Answers, visit counts, denials and charged visits are all
+    /// byte-identical to a single engine running the same batch — for any
+    /// shard count and any partitioner.
+    pub fn run_batch(&self, queries: &[Query]) -> RouterReport {
+        let k = self.shards.len();
+        let mut sub: Vec<Vec<Query>> = vec![Vec::new(); k];
+        let mut origin: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, q) in queries.iter().enumerate() {
+            let s = self.route(q);
+            sub[s].push(q.clone());
+            origin[s].push(i);
+        }
+
+        let mut reports: Vec<Option<rbq_engine::BatchReport>> = Vec::new();
+        reports.resize_with(k, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sub
+                .iter()
+                .enumerate()
+                .filter(|(_, batch)| !batch.is_empty())
+                .map(|(s, batch)| (s, scope.spawn(move || self.shards[s].run_batch(batch))))
+                .collect();
+            for (s, h) in handles {
+                reports[s] = Some(h.join().expect("shard worker panicked"));
+            }
+        });
+
+        // Deterministic merge: scatter to input order, fold stats, settle
+        // the aggregate budget once (shards ran unbudgeted).
+        let mut slots: Vec<Option<QueryResult>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let mut stats = EngineStats::default();
+        let mut per_shard = Vec::with_capacity(k);
+        for (s, report) in reports.into_iter().enumerate() {
+            match report {
+                Some(report) => {
+                    stats.merge(&report.stats);
+                    per_shard.push(ShardReport {
+                        routed: origin[s].len(),
+                        stats: report.stats,
+                    });
+                    for (&i, r) in origin[s].iter().zip(report.results) {
+                        slots[i] = Some(r);
+                    }
+                }
+                None => per_shard.push(ShardReport {
+                    routed: 0,
+                    stats: EngineStats::default(),
+                }),
+            }
+        }
+        let mut results: Vec<QueryResult> = slots
+            .into_iter()
+            .map(|r| r.expect("query answered"))
+            .collect();
+        let settlement = settle_aggregate(&mut results, self.aggregate_visit_budget);
+        stats.denied = settlement.denied;
+        stats.charged_visits = settlement.charged_visits;
+
+        self.totals.lock().expect("stats lock").merge(&stats);
+        RouterReport {
+            results,
+            stats,
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{LabelHashPartitioner, SccPartitioner};
+    use rbq_engine::{Answer, BudgetSpec};
+    use rbq_graph::{GraphBuilder, NodeId};
+    use rbq_pattern::PatternBuilder;
+
+    fn fig1_graph() -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        let michael = b.add_node("Michael");
+        let hg = b.add_node("HG");
+        let cc = b.add_node("CC");
+        let cl = b.add_node("CL");
+        b.add_edge(michael, hg);
+        b.add_edge(michael, cc);
+        b.add_edge(cc, cl);
+        b.add_edge(hg, cl);
+        Arc::new(b.build())
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            pattern_budget: BudgetSpec::Ratio(1.0),
+            reach_alpha: 1.0,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    fn pattern_query(label: &str) -> Query {
+        let mut b = PatternBuilder::new();
+        let u = b.add_node(label);
+        b.personalized(u).output(u);
+        Query::PatternSim { pattern: b.build() }
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let Err(err) = Router::new(fig1_graph(), cfg(), 0, &LabelHashPartitioner) else {
+            panic!("zero shards accepted");
+        };
+        assert_eq!(err, RouterError::InvalidShards);
+    }
+
+    #[test]
+    fn bad_config_surfaces_typed() {
+        let bad = EngineConfig {
+            reach_alpha: 0.0,
+            ..cfg()
+        };
+        match Router::new(fig1_graph(), bad, 2, &LabelHashPartitioner) {
+            Err(RouterError::Engine(EngineError::InvalidAlpha { .. })) => {}
+            Err(other) => panic!("expected typed alpha error, got {other:?}"),
+            Ok(_) => panic!("bad config accepted"),
+        }
+    }
+
+    #[test]
+    fn reach_routes_to_source_owner() {
+        let g = fig1_graph();
+        let router = Router::new(g.clone(), cfg(), 3, &SccPartitioner).unwrap();
+        for v in 0..g.node_count() as u32 {
+            let q = Query::Reach {
+                source: NodeId(v),
+                target: NodeId(0),
+            };
+            assert_eq!(
+                router.route(&q),
+                router.assignment().shard_of(NodeId(v)).unwrap() as usize
+            );
+        }
+        // Out-of-range source falls back to shard 0.
+        let q = Query::Reach {
+            source: NodeId(99),
+            target: NodeId(0),
+        };
+        assert_eq!(router.route(&q), 0);
+    }
+
+    #[test]
+    fn pattern_routes_to_anchor_owner() {
+        let g = fig1_graph();
+        let router = Router::new(g.clone(), cfg(), 3, &SccPartitioner).unwrap();
+        // "Michael" is unique → owner of node 0.
+        assert_eq!(
+            router.route(&pattern_query("Michael")),
+            router.assignment().shard_of(NodeId(0)).unwrap() as usize
+        );
+        // Unknown label → shard 0, answered as the same error Engine(1)
+        // would produce.
+        assert_eq!(router.route(&pattern_query("NoSuchLabel")), 0);
+        let r = router.run(&pattern_query("NoSuchLabel"));
+        assert!(matches!(r.answer, Answer::Error(_)));
+    }
+
+    #[test]
+    fn batch_matches_single_engine() {
+        let g = fig1_graph();
+        let queries = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            pattern_query("Michael"),
+            Query::Reach {
+                source: NodeId(3),
+                target: NodeId(0),
+            },
+            pattern_query("NoSuchLabel"),
+        ];
+        let engine = Engine::new(g.clone(), cfg());
+        let baseline = engine.run_batch(&queries);
+        for partitioner in [&LabelHashPartitioner as &dyn Partitioner, &SccPartitioner] {
+            for k in [1usize, 2, 4] {
+                let router = Router::new(g.clone(), cfg(), k, partitioner).unwrap();
+                let report = router.run_batch(&queries);
+                assert_eq!(report.per_shard.len(), k);
+                assert_eq!(
+                    report.per_shard.iter().map(|s| s.routed).sum::<usize>(),
+                    queries.len()
+                );
+                for (i, (a, b)) in baseline.results.iter().zip(&report.results).enumerate() {
+                    assert_eq!(a.answer, b.answer, "answer {i} diverged at k={k}");
+                    assert_eq!(a.visits, b.visits, "visits {i} diverged at k={k}");
+                }
+                assert_eq!(report.stats.queries, baseline.stats.queries);
+                assert_eq!(report.stats.errors, baseline.stats.errors);
+                assert_eq!(report.stats.total_visits, baseline.stats.total_visits);
+                assert_eq!(report.stats.charged_visits, baseline.stats.charged_visits);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let router = Router::new(fig1_graph(), cfg(), 2, &LabelHashPartitioner).unwrap();
+        let report = router.run_batch(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.queries, 0);
+        assert_eq!(report.per_shard.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let router = Router::new(fig1_graph(), cfg(), 2, &SccPartitioner).unwrap();
+        let qs = [Query::Reach {
+            source: NodeId(0),
+            target: NodeId(1),
+        }];
+        router.run_batch(&qs);
+        router.run_batch(&qs);
+        assert_eq!(router.stats().queries, 2);
+    }
+
+    #[test]
+    fn partition_stats_cover_graph() {
+        let router = Router::new(fig1_graph(), cfg(), 2, &SccPartitioner).unwrap();
+        let stats = router.partition_stats();
+        assert_eq!(stats.nodes_per_shard.iter().sum::<usize>(), 4);
+        assert_eq!(router.partitioner(), "scc");
+        assert_eq!(router.shard_count(), 2);
+    }
+}

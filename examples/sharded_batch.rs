@@ -1,0 +1,78 @@
+//! Sharded serving: one mixed workload through a single engine and
+//! through routers at increasing shard counts, verifying the tentpole
+//! invariant `Router(k) ≡ Engine(1)` on the way — the answers (and every
+//! stat that isn't the schedule-dependent cache flag) are byte-identical
+//! at any shard count.
+//!
+//! Run: `cargo run --release --example sharded_batch`
+
+use rbq::rbq_engine::{Engine, EngineConfig};
+use rbq::rbq_graph::GraphView;
+use rbq::rbq_router::{Router, SccPartitioner};
+use rbq::rbq_workload::{sample_mixed_workload, youtube_like, MixedWorkloadSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let g = Arc::new(youtube_like(50_000, 42));
+    println!(
+        "youtube-like G: {} nodes, {} edges (|G| = {})",
+        g.node_count(),
+        g.edge_count(),
+        g.size()
+    );
+
+    let queries = sample_mixed_workload(
+        &g,
+        &MixedWorkloadSpec {
+            count: 300,
+            repeat_fraction: 0.3,
+            ..Default::default()
+        },
+        7,
+    );
+    println!("workload: {} mixed queries\n", queries.len());
+
+    // Validated config via the builder — α and thread counts are checked
+    // at build() instead of exploding somewhere inside the engine.
+    let cfg = EngineConfig::builder()
+        .reach_alpha(0.05)
+        .aggregate_visit_budget(Some(500_000))
+        .build()
+        .expect("valid config");
+
+    // The unsharded baseline.
+    let engine = Engine::new(g.clone(), cfg.clone());
+    let t = Instant::now();
+    let baseline = engine.run_batch(&queries);
+    println!("engine(1):  {:>10.2?}  {}", t.elapsed(), baseline.stats);
+
+    for shards in [2usize, 4] {
+        let router = Router::new(g.clone(), cfg.clone(), shards, &SccPartitioner)
+            .expect("router construction");
+        let p = router.partition_stats();
+        let (bmax, bmin) = p.balance();
+        println!(
+            "\nrouter({shards}) [scc]: {:.1}% edges cut, balance {bmin}..{bmax} nodes",
+            p.cut_fraction() * 100.0
+        );
+        let t = Instant::now();
+        let report = router.run_batch(&queries);
+        println!("router({shards}): {:>10.2?}  {}", t.elapsed(), report.stats);
+        for (i, shard) in report.per_shard.iter().enumerate() {
+            println!(
+                "  shard {i}: {:>4} routed, {:>8} visits",
+                shard.routed, shard.stats.total_visits
+            );
+        }
+
+        // The invariant, checked end to end (cached-ness is
+        // schedule-dependent and excluded, as everywhere).
+        assert_eq!(baseline.results.len(), report.results.len());
+        for (a, b) in baseline.results.iter().zip(&report.results) {
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.visits, b.visits);
+        }
+        println!("  ✓ all {} answers identical to engine(1)", queries.len());
+    }
+}

@@ -8,22 +8,123 @@
 //! rbq pattern g.txt --spec 4,8 --alpha 0.001 --seed 7
 //! rbq workload g.txt --count 200 --seed 7 --out q.txt
 //! rbq batch g.txt q.txt --alpha 0.005 --threads 8
+//! rbq batch g.txt q.txt --shards 4 --partitioner scc --answers a.txt
 //! ```
 //!
 //! Graphs use the plain-text format of `rbq_graph::io` (`n <id> <label>` /
-//! `e <src> <dst>` lines); query files use the one-line format of
-//! `rbq_engine::Query` (`r <src> <dst>` / `s|i <up> <uo> <labels> <edges>`).
+//! `e <src> <dst>` lines); query and answer files use the versioned wire
+//! format of `rbq_engine::wire` (`#rbq-queries v1` / `#rbq-answers v1`
+//! headers over the one-line `r <src> <dst>` / `s|i <up> <uo> <labels>
+//! <edges>` query serialization).
 
 use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
-use rbq::rbq_engine::{Answer, BudgetSpec, Engine, EngineConfig, Query};
+use rbq::rbq_engine::wire::{parse_query_file, write_answer_file};
+use rbq::rbq_engine::{
+    Answer, Engine, EngineConfig, EngineError, Query, QueryParseError, WireWriteError,
+    QUERY_FILE_HEADER,
+};
 use rbq::rbq_graph::{io as gio, Graph, GraphView, NodeId};
 use rbq::rbq_pattern::{bisimulation_compress, match_opt};
 use rbq::rbq_reach::{compress_for_reachability, HierarchicalIndex};
+use rbq::rbq_router::{PartitionerKind, Router, RouterError};
 use rbq::rbq_workload::{extract_pattern, sample_mixed_workload, MixedWorkloadSpec, PatternSpec};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Top-level CLI error: typed wrappers around the library layers plus
+/// plain usage messages. Every variant renders the same text the old
+/// string-based plumbing printed, and the exit code stays 2.
+#[derive(Debug)]
+enum CliError {
+    /// Usage/argument errors and ad-hoc messages.
+    Msg(String),
+    /// Engine configuration or resolution errors, wrapped losslessly.
+    Engine(EngineError),
+    /// A query file failed to parse (the wire layer tags the line; the
+    /// CLI adds the path).
+    Parse {
+        /// Path of the offending file.
+        path: String,
+        /// The typed parse error, line-tagged.
+        source: QueryParseError,
+    },
+    /// Router construction failed.
+    Router(RouterError),
+    /// Writing a wire-format file failed.
+    Wire(WireWriteError),
+    /// Other I/O.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Msg(m) => write!(f, "{m}"),
+            CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Parse { path, source } => write!(f, "{path}: {source}"),
+            CliError::Router(e) => write!(f, "{e}"),
+            CliError::Wire(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Msg(_) => None,
+            CliError::Engine(e) => Some(e),
+            CliError::Parse { source, .. } => Some(source),
+            CliError::Router(e) => Some(e),
+            CliError::Wire(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Msg(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Msg(m.to_owned())
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+impl From<RouterError> for CliError {
+    fn from(e: RouterError) -> Self {
+        CliError::Router(e)
+    }
+}
+
+impl From<WireWriteError> for CliError {
+    fn from(e: WireWriteError) -> Self {
+        CliError::Wire(e)
+    }
+}
+
+impl From<QueryParseError> for CliError {
+    fn from(e: QueryParseError) -> Self {
+        CliError::Wire(WireWriteError::Format(e))
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,7 +141,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing subcommand")?;
     let rest = &args[1..];
     match cmd.as_str() {
@@ -51,7 +152,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "pattern" => cmd_pattern(rest),
         "workload" => cmd_workload(rest),
         "batch" => cmd_batch(rest),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }
 
@@ -118,7 +219,7 @@ fn load_graph(path: &str) -> Result<Graph, String> {
     gio::read_graph(BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let (mut kind, mut nodes, mut seed, mut out) = (None, None, None, None);
     let _ = parse_flags(
         args,
@@ -145,9 +246,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "uniform" => rbq::rbq_workload::uniform_random(nodes, 2 * nodes, 15, seed),
         "social" => rbq::rbq_workload::social_groups(8, nodes / 8, nodes / 4, seed),
         other => {
-            return Err(format!(
-                "unknown kind {other:?} (youtube|yahoo|uniform|social)"
-            ))
+            return Err(format!("unknown kind {other:?} (youtube|yahoo|uniform|social)").into())
         }
     };
     let f = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
@@ -160,7 +259,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let pos = parse_flags(args, &mut [])?;
     let path = pos.first().ok_or("missing graph file")?;
     let g = load_graph(path)?;
@@ -178,7 +277,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
+fn cmd_compress(args: &[String]) -> Result<(), CliError> {
     let pos = parse_flags(args, &mut [])?;
     let path = pos.first().ok_or("missing graph file")?;
     let g = load_graph(path)?;
@@ -199,7 +298,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_reach(args: &[String]) -> Result<(), String> {
+fn cmd_reach(args: &[String]) -> Result<(), CliError> {
     let mut alpha = None;
     let pos = parse_flags(args, &mut [("alpha", &mut alpha)])?;
     let [path, s, t] = pos.as_slice() else {
@@ -229,7 +328,7 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pattern(args: &[String]) -> Result<(), String> {
+fn cmd_pattern(args: &[String]) -> Result<(), CliError> {
     let (mut spec, mut alpha, mut seed) = (None, None, None);
     let pos = parse_flags(
         args,
@@ -278,7 +377,7 @@ fn cmd_pattern(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_workload(args: &[String]) -> Result<(), String> {
+fn cmd_workload(args: &[String]) -> Result<(), CliError> {
     let (mut count, mut seed, mut out, mut spec) = (None, None, None, None);
     let (mut reach_frac, mut iso_frac, mut repeat_frac) = (None, None, None);
     let pos = parse_flags(
@@ -328,35 +427,35 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
     let queries = sample_mixed_workload(&g, &mspec, seed);
     let f = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let mut w = BufWriter::new(f);
+    writeln!(w, "{QUERY_FILE_HEADER}")?;
     writeln!(
         w,
         "# rbq mixed workload: {} queries, seed {seed}",
         queries.len()
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     for q in &queries {
-        writeln!(w, "{}", q.to_line()?).map_err(|e| e.to_string())?;
+        writeln!(w, "{}", q.to_line()?)?;
     }
     println!("wrote {} queries to {out}", queries.len());
     Ok(())
 }
 
-fn load_queries(path: &str) -> Result<Vec<Query>, String> {
+fn load_queries(path: &str) -> Result<Vec<Query>, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let mut queries = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        queries.push(Query::parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    let file = parse_query_file(&text).map_err(|e| CliError::Parse {
+        path: path.to_owned(),
+        source: e,
+    })?;
+    if file.headerless {
+        eprintln!("warning: {path} has no #rbq-queries header; reading it as v1");
     }
-    Ok(queries)
+    Ok(file.queries)
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let (mut alpha, mut reach_alpha, mut threads, mut cache, mut aggregate, mut verbose) =
         (None, None, None, None, None, None);
+    let (mut shards, mut partitioner, mut answers) = (None, None, None);
     let pos = parse_flags(
         args,
         &mut [
@@ -366,10 +465,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             ("cache", &mut cache),
             ("aggregate", &mut aggregate),
             ("verbose", &mut verbose),
+            ("shards", &mut shards),
+            ("partitioner", &mut partitioner),
+            ("answers", &mut answers),
         ],
     )?;
     let [graph_path, query_path] = pos.as_slice() else {
-        return Err("usage: batch GRAPH QUERYFILE [--alpha A] [--reach-alpha A] [--threads T] [--cache N] [--aggregate N] [--verbose 1]".into());
+        return Err("usage: batch GRAPH QUERYFILE [--alpha A] [--reach-alpha A] [--threads T] [--cache N] [--aggregate N] [--shards K] [--partitioner label|scc] [--answers FILE] [--verbose 1]".into());
     };
     let alpha = parse_alpha(&alpha.unwrap_or_else(|| "0.01".into()), "--alpha")?;
     let reach_alpha = parse_alpha(
@@ -389,26 +491,61 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         Some(s) => Some(s.parse::<usize>().map_err(|_| "bad --aggregate")?),
     };
     let verbose = verbose.is_some_and(|v| v != "0");
+    let shards: usize = shards
+        .unwrap_or_else(|| "1".into())
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let partitioner: PartitionerKind = partitioner
+        .unwrap_or_else(|| "scc".into())
+        .parse()
+        .map_err(CliError::Msg)?;
 
     let g = Arc::new(load_graph(graph_path)?);
     let queries = load_queries(query_path)?;
-    let cfg = EngineConfig {
-        pattern_budget: BudgetSpec::Ratio(alpha),
-        reach_alpha,
-        threads,
-        cache_capacity: cache,
-        aggregate_visit_budget: aggregate,
-        ..Default::default()
+    let builder = EngineConfig::builder()
+        .pattern_alpha(alpha)
+        .reach_alpha(reach_alpha)
+        .cache_capacity(cache)
+        .aggregate_visit_budget(aggregate);
+    let builder = if threads == 0 {
+        builder.auto_threads()
+    } else {
+        builder.threads(threads)
     };
-    cfg.validate()?;
-    let engine = Engine::new(g, cfg);
-    let budget = engine.pattern_budget();
+    let cfg = builder.build()?;
+    let max_units = ResourceBudget::from_ratio(&*g, alpha).max_units;
+
     let start = std::time::Instant::now();
-    let report = engine.run_batch(&queries);
+    let (results, stats) = if shards <= 1 {
+        let engine = Engine::new(g.clone(), cfg);
+        let report = engine.run_batch(&queries);
+        (report.results, report.stats)
+    } else {
+        let router = Router::new(g.clone(), cfg, shards, &partitioner)?;
+        let pstats = router.partition_stats();
+        let report = router.run_batch(&queries);
+        println!(
+            "router: {shards} shards ({} partitioner), {:.1}% edges cut, balance {}..{} nodes",
+            router.partitioner(),
+            pstats.cut_fraction() * 100.0,
+            pstats.balance().1,
+            pstats.balance().0,
+        );
+        for (s, sh) in report.per_shard.iter().enumerate() {
+            println!(
+                "  shard {s}: {} queries routed, {} visits",
+                sh.routed, sh.stats.total_visits
+            );
+        }
+        (report.results, report.stats)
+    };
     let wall = start.elapsed();
 
     if verbose {
-        for (i, r) in report.results.iter().enumerate() {
+        for (i, r) in results.iter().enumerate() {
             println!(
                 "[{i:>4}] {}{}",
                 r.answer,
@@ -421,25 +558,28 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         queries.len(),
         queries.len() as f64 / wall.as_secs_f64().max(1e-9)
     );
-    println!("{}", report.stats);
+    println!("{stats}");
     let mut budget_violations = 0usize;
-    for r in &report.results {
+    for r in &results {
         if let Answer::Pattern { gq_size, .. } = &r.answer {
-            if *gq_size > budget.max_units {
+            if *gq_size > max_units {
                 budget_violations += 1;
             }
         }
     }
     if budget_violations == 0 {
-        println!(
-            "per-query budgets respected: every |G_Q| <= {} units",
-            budget.max_units
-        );
+        println!("per-query budgets respected: every |G_Q| <= {max_units} units");
     } else {
         return Err(format!(
-            "{budget_violations} answers exceeded the per-query budget of {} units",
-            budget.max_units
-        ));
+            "{budget_violations} answers exceeded the per-query budget of {max_units} units"
+        )
+        .into());
+    }
+    if let Some(path) = answers {
+        let f = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let aa: Vec<Answer> = results.iter().map(|r| r.answer.clone()).collect();
+        write_answer_file(&mut BufWriter::new(f), &aa)?;
+        println!("wrote {} answers to {path}", aa.len());
     }
     Ok(())
 }
@@ -531,9 +671,9 @@ mod tests {
     fn reach_out_of_range_node_id_errors_cleanly() {
         let g = temp_graph("reach_oob");
         let err = run(&argv(&["reach", &g, "0", "999"])).unwrap_err();
-        assert!(err.contains("out of range"), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
         let err = run(&argv(&["reach", &g, "999", "0"])).unwrap_err();
-        assert!(err.contains("out of range"), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
         let _ = std::fs::remove_file(&g);
     }
 
@@ -562,7 +702,9 @@ mod tests {
         std::fs::write(&qpath, "r 0 1\nx nonsense\n").expect("write queries");
         let q = qpath.to_string_lossy().into_owned();
         let err = run(&argv(&["batch", &g, &q])).unwrap_err();
-        assert!(err.contains("unknown query kind"), "{err}");
+        assert!(err.to_string().contains("unknown query kind"), "{err}");
+        // The typed chain is preserved under the rendered message.
+        assert!(matches!(err, CliError::Parse { .. }), "{err}");
         let _ = std::fs::remove_file(&g);
         let _ = std::fs::remove_file(&qpath);
     }
@@ -583,6 +725,79 @@ mod tests {
             "1.0",
         ]))
         .expect("batch");
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn batch_runs_sharded_and_writes_versioned_answers() {
+        let g = temp_graph("batch_sharded");
+        let tmp = std::env::temp_dir();
+        let qpath = tmp.join(format!("rbq_cli_shq_{}.txt", std::process::id()));
+        let apath = tmp.join(format!("rbq_cli_sha_{}.txt", std::process::id()));
+        std::fs::write(
+            &qpath,
+            "#rbq-queries v1\nr 0 2\nr 2 0\ns 0 1 ME,A 0-1\ni 0 0 ME -\n",
+        )
+        .expect("write queries");
+        let (q, a) = (
+            qpath.to_string_lossy().into_owned(),
+            apath.to_string_lossy().into_owned(),
+        );
+        for (shards, partitioner) in [("2", "label"), ("3", "scc")] {
+            run(&argv(&[
+                "batch",
+                &g,
+                &q,
+                "--alpha",
+                "1.0",
+                "--reach-alpha",
+                "1.0",
+                "--shards",
+                shards,
+                "--partitioner",
+                partitioner,
+                "--answers",
+                &a,
+            ]))
+            .expect("sharded batch");
+            let text = std::fs::read_to_string(&apath).expect("answers file");
+            assert!(text.starts_with("#rbq-answers v1"), "{text}");
+            let parsed = rbq::rbq_engine::wire::parse_answer_file(&text).expect("parse answers");
+            assert_eq!(parsed.answers.len(), 4);
+        }
+        // Unknown partitioner and zero shards are clean CLI errors.
+        assert!(run(&argv(&[
+            "batch",
+            &g,
+            &q,
+            "--partitioner",
+            "bogus",
+            "--shards",
+            "2"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["batch", &g, &q, "--shards", "0"])).is_err());
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&qpath);
+        let _ = std::fs::remove_file(&apath);
+    }
+
+    #[test]
+    fn workload_writes_versioned_header() {
+        let g = temp_graph("workload_hdr");
+        let qpath = std::env::temp_dir().join(format!("rbq_cli_wlq_{}.txt", std::process::id()));
+        let q = qpath.to_string_lossy().into_owned();
+        run(&argv(&[
+            "workload", &g, "--count", "8", "--seed", "3", "--out", &q,
+        ]))
+        .expect("workload");
+        let text = std::fs::read_to_string(&qpath).expect("query file");
+        assert!(text.starts_with(QUERY_FILE_HEADER), "{text}");
+        // And the batch loader accepts it without a headerless warning.
+        let parsed = parse_query_file(&text).expect("parse");
+        assert!(!parsed.headerless);
+        assert_eq!(parsed.queries.len(), 8);
         let _ = std::fs::remove_file(&g);
         let _ = std::fs::remove_file(&qpath);
     }

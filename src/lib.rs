@@ -16,8 +16,12 @@
 //!   `VF2OPT`);
 //! * [`rbq_graph`] — the graph substrate;
 //! * [`rbq_engine`] — the concurrent mixed-workload engine: shared lazy
-//!   indexes, a canonical-signature reduction cache, and batch scheduling
-//!   with per-query plus aggregate budget accounting;
+//!   indexes, a canonical-signature reduction cache, batch scheduling
+//!   with per-query plus aggregate budget accounting, typed errors, and
+//!   the versioned query/answer wire format;
+//! * [`rbq_router`] — sharded serving: a partition-aware router fanning
+//!   batches across per-shard engine replicas with deterministic merge
+//!   (`Router(k) ≡ Engine(1)`, pinned differentially);
 //! * [`rbq_workload`] — synthetic datasets and query generators mirroring
 //!   the paper's evaluation, including mixed engine workloads.
 //!
@@ -28,4 +32,5 @@ pub use rbq_engine;
 pub use rbq_graph;
 pub use rbq_pattern;
 pub use rbq_reach;
+pub use rbq_router;
 pub use rbq_workload;
