@@ -203,7 +203,12 @@ fn main() {
 /// its before/after trajectory. Run with `--compare OLD.json` to embed the
 /// old run as `baseline` and report per-bench speedups.
 ///
-/// Schema `rbq-perf-snapshot-v3` (PR 6): adds the mixed-workload serving
+/// Schema `rbq-perf-snapshot-v4` (PR 7): adds the live-update rows —
+/// `delta_apply` (per-op cost of [`Engine::apply_deltas`] on an
+/// edge-churn batch: overlay apply + rebuild of both indexes + epoch
+/// swap) and `rbsim_postcompact` (the bounded hot path re-timed on the
+/// compacted post-delta graph, which must stay within noise of the
+/// pre-delta `rbsim` row). v3 (PR 6) added the mixed-workload serving
 /// rows — `engine_mixed` (one engine, the pre-sharding serving path) and
 /// `router_shards{1,2,4,8}` (the same batch through a [`Router`] with the
 /// SCC partitioner), so router overhead is tracked per PR — plus an
@@ -391,6 +396,69 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
         }
     }
 
+    // Live updates: a ~0.1%-of-|E| edge-churn batch through
+    // `Engine::apply_deltas` (overlay apply + rebuild of both indexes +
+    // epoch swap), timed per op; then the bounded hot path re-timed on
+    // the compacted post-delta graph. Removals target real edges so the
+    // batch exercises both overlay directions. The batch is edge-only
+    // (no node adds) so every repetition does the same amount of work.
+    {
+        let mut batch = rbq_graph::DeltaBatch::new();
+        let n = ds.g.node_count() as u32;
+        let mut state = cfg.seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let ops = (ds.g.edge_count() / 1000).max(64);
+        for i in 0..ops {
+            let u = rbq_graph::NodeId(next() % n);
+            if i % 2 == 0 {
+                batch.add_edge(u, rbq_graph::NodeId(next() % n));
+            } else if let Some(&v) = ds.g.out(u).first() {
+                batch.remove_edge(u, v);
+            }
+        }
+        let nops = batch.len().max(1) as u32;
+        let reach_idx = Arc::new(HierarchicalIndex::build(&ds.g, 0.05));
+        let engine = Engine::with_indexes(
+            ds.g.clone(),
+            EngineConfig {
+                pattern_budget: BudgetSpec::Units(budget.max_units),
+                reach_alpha: 0.05,
+                vf2: vf2_cfg(),
+                ..Default::default()
+            },
+            Some(ds.idx.clone()),
+            Some(reach_idx),
+        );
+        rows.push((
+            "delta_apply",
+            time_median(cfg.reps, || {
+                engine.apply_deltas(&batch).expect("valid delta batch");
+            }) / nops,
+        ));
+        let g2 = Arc::new(engine.graph().compact());
+        let idx2 = rbq_core::NeighborIndex::build(&g2);
+        let budget2 = ResourceBudget::from_units(&*g2, budget.max_units);
+        let qs2: Vec<ResolvedPattern> = qs
+            .iter()
+            .filter_map(|q| q.pattern().resolve(&g2).ok())
+            .collect();
+        assert!(!qs2.is_empty(), "patterns survive the delta batch");
+        rows.push((
+            "rbsim_postcompact",
+            time_median(cfg.reps, || {
+                for q in &qs2 {
+                    rbsim_with(&g2, &idx2, q, &budget2, &mut scratch, &mut ans);
+                    std::hint::black_box(&ans);
+                }
+            }) / qs2.len() as u32,
+        ));
+    }
+
     for (name, d) in &rows {
         println!("{name:<20} {:>12} /query", fmt_dur(*d));
     }
@@ -461,7 +529,7 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"rbq-perf-snapshot-v3\",\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v4\",\n");
     json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
     json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
     json.push_str(&format!("  \"seed\": {},\n", cfg.seed));

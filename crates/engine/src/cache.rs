@@ -1,12 +1,27 @@
 //! A bounded LRU cache of reduction answers keyed by canonical pattern
-//! signature.
+//! signature — generation-stamped so live updates can never serve a
+//! pre-mutation answer.
 //!
 //! Repeated or isomorphic pattern queries dominate personalized-search
-//! traffic (the same templates re-anchored over and over); since the
-//! engine's structures are immutable, a `G_Q` answer computed once is
-//! valid forever. Entries key on the canonical signature *plus* everything
-//! else that determines the answer: the resolved personalized match, the
-//! matching semantics, and the exact per-query budget.
+//! traffic (the same templates re-anchored over and over); a `G_Q` answer
+//! computed once is valid for as long as the graph does not change.
+//! Entries key on the canonical signature *plus* everything else that
+//! determines the answer: the resolved personalized match, the matching
+//! semantics, the exact per-query budget — and, since delta ingest landed,
+//! the **graph generation**. Every applied [`rbq_graph::DeltaBatch`] bumps
+//! the engine's generation, so a lookup after a mutation carries a key no
+//! pre-mutation insert can collide with: stale answers are unreachable by
+//! construction, not by convention.
+//!
+//! On top of the generation stamp, [`ReductionCache::evict_touching`]
+//! eagerly removes entries whose pattern mentions any label the delta
+//! touched — those are *known* garbage, so they should not occupy LRU
+//! capacity waiting to age out. Entries over disjoint labels are left to
+//! ordinary LRU aging: they can never be served again (old generation),
+//! and re-keying them to the new generation would be unsound — an edge
+//! between two unrelated-labeled nodes can still change ball membership
+//! and `r`-neighborhood contents for a pattern that mentions neither
+//! endpoint label, so label-disjointness does not imply answer invariance.
 
 use crate::Answer;
 use rustc_hash::FxHashMap;
@@ -24,6 +39,9 @@ pub struct CacheKey {
     pub max_units: usize,
     /// Per-query visit cap, if configured.
     pub visit_cap: Option<usize>,
+    /// Graph generation the answer was computed at. Bumped by every
+    /// applied delta batch, making pre-mutation entries unreachable.
+    pub generation: u64,
 }
 
 /// A cached answer plus the canonical visit cost of computing it.
@@ -34,6 +52,12 @@ pub struct CachedAnswer {
     /// Data units the cold evaluation visited — re-charged on hits so
     /// budget accounting is schedule-independent.
     pub visits: usize,
+    /// Label **strings** the pattern mentions, sorted and deduplicated —
+    /// the eviction signal matched against a delta's touched labels.
+    /// Strings rather than interned ids: a delta can introduce a label the
+    /// pre-mutation graph never interned, and a cached "no such label"
+    /// answer for it must still be evictable.
+    pub labels: Vec<String>,
 }
 
 /// Bounded LRU map. Eviction scans for the least-recently-used entry —
@@ -98,6 +122,19 @@ impl ReductionCache {
         self.map.insert(key, (self.tick, value));
     }
 
+    /// Remove every entry whose label set intersects `touched` (both
+    /// sorted, deduplicated). Called on each applied delta batch with the
+    /// delta's touched labels; returns the number of entries evicted.
+    pub fn evict_touching(&mut self, touched: &[String]) -> usize {
+        if touched.is_empty() || self.map.is_empty() {
+            return 0;
+        }
+        let before = self.map.len();
+        self.map
+            .retain(|_, (_, entry)| !sorted_intersects(&entry.labels, touched));
+        before - self.map.len()
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -114,6 +151,19 @@ impl ReductionCache {
     }
 }
 
+/// Whether two sorted, deduplicated string slices share an element.
+fn sorted_intersects(a: &[String], b: &[String]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,10 +175,15 @@ mod tests {
             semantics: 0,
             max_units: 10,
             visit_cap: None,
+            generation: 0,
         }
     }
 
     fn ans(n: usize) -> CachedAnswer {
+        ans_labeled(n, &[])
+    }
+
+    fn ans_labeled(n: usize, labels: &[&str]) -> CachedAnswer {
         CachedAnswer {
             answer: Answer::Pattern {
                 matches: Vec::new(),
@@ -137,6 +192,7 @@ mod tests {
                 hit_budget: false,
             },
             visits: n,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
         }
     }
 
@@ -178,6 +234,34 @@ mod tests {
         let mut other = key("a");
         other.max_units = 99;
         assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn generation_distinguishes_keys() {
+        // The satellite guarantee at the cache layer: an entry inserted at
+        // generation 0 is invisible to a generation-1 lookup of the
+        // otherwise-identical key.
+        let mut c = ReductionCache::new(4);
+        c.insert(key("a"), ans(1));
+        let mut bumped = key("a");
+        bumped.generation = 1;
+        assert!(c.get(&bumped).is_none());
+        assert!(c.get(&key("a")).is_some(), "old generation still keyed");
+    }
+
+    #[test]
+    fn evict_touching_removes_intersections_only() {
+        let mut c = ReductionCache::new(8);
+        c.insert(key("a"), ans_labeled(1, &["A", "B"]));
+        c.insert(key("b"), ans_labeled(2, &["C"]));
+        c.insert(key("c"), ans_labeled(3, &["B", "D"]));
+        let evicted = c.evict_touching(&["B".to_string(), "Z".to_string()]);
+        assert_eq!(evicted, 2);
+        assert!(c.get(&key("a")).is_none());
+        assert!(c.get(&key("c")).is_none());
+        assert!(c.get(&key("b")).is_some(), "disjoint entry kept");
+        let none = c.evict_touching(&[]);
+        assert_eq!(none, 0);
     }
 
     #[test]

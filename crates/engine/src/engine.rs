@@ -1,5 +1,5 @@
-//! The engine: shared immutable structures, per-query evaluation, and the
-//! work-stealing batch scheduler.
+//! The engine: epoch-snapshotted shared structures, per-query evaluation,
+//! and the work-stealing batch scheduler.
 
 use crate::cache::{CacheKey, CachedAnswer, ReductionCache};
 use crate::canonical::canonical_pattern;
@@ -9,11 +9,11 @@ use rbq_core::guard::Semantics;
 use rbq_core::{
     rbsim_with, rbsub_scratch, NeighborIndex, PatternAnswer, PatternScratch, ResourceBudget,
 };
-use rbq_graph::{Graph, NodeId};
+use rbq_graph::{DeltaBatch, DeltaError, DeltaReport, Graph, NodeId};
 use rbq_pattern::{Pattern, Vf2Config};
 use rbq_reach::HierarchicalIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// How the per-query pattern budget is specified.
@@ -317,18 +317,62 @@ pub struct BatchReport {
 /// One evaluated query before settlement: result, class, wall latency.
 type Evaluated = (QueryResult, QueryClass, Duration);
 
-/// A mixed-workload query engine over one immutable graph.
+/// One immutable serving snapshot: the graph, its generation, and the
+/// lazily built indexes over exactly that graph.
 ///
-/// The engine owns `Arc`-shared structures: the graph, the pattern
-/// [`NeighborIndex`] (§4.1) and the reachability [`HierarchicalIndex`]
-/// (§5.1), each built lazily on the first query of its class and reused by
-/// every subsequent query — the "once for all queries" amortization the
-/// paper's offline/online split calls for (§3, Remarks).
-pub struct Engine {
+/// Queries pin an `Arc<Epoch>` once at entry and evaluate entirely against
+/// it, so a concurrent [`Engine::apply_deltas`] can swap in a successor
+/// epoch without ever invalidating structures a running query holds: the
+/// old epoch stays alive until its last in-flight query drops the `Arc`.
+/// The generation is the cache-correctness token — it is part of every
+/// [`CacheKey`], so answers computed on one epoch are unreachable from any
+/// later one.
+struct Epoch {
     g: Arc<Graph>,
-    cfg: EngineConfig,
+    generation: u64,
     nbr: OnceLock<Arc<NeighborIndex>>,
     reach: OnceLock<Arc<HierarchicalIndex>>,
+}
+
+impl Epoch {
+    fn new(g: Arc<Graph>, generation: u64) -> Self {
+        Epoch {
+            g,
+            generation,
+            nbr: OnceLock::new(),
+            reach: OnceLock::new(),
+        }
+    }
+
+    /// This epoch's neighbor index, building it on first use.
+    fn neighbor_index(&self) -> Arc<NeighborIndex> {
+        self.nbr
+            .get_or_init(|| Arc::new(NeighborIndex::build(&self.g)))
+            .clone()
+    }
+
+    /// This epoch's reachability index, building it on first use.
+    fn reach_index(&self, alpha: f64) -> Arc<HierarchicalIndex> {
+        self.reach
+            .get_or_init(|| Arc::new(HierarchicalIndex::build(&self.g, alpha)))
+            .clone()
+    }
+}
+
+/// A mixed-workload query engine over a live-updatable graph.
+///
+/// The engine serves from an [`Epoch`]: an immutable snapshot holding the
+/// graph, the pattern [`NeighborIndex`] (§4.1) and the reachability
+/// [`HierarchicalIndex`] (§5.1), each built lazily on the first query of
+/// its class and reused by every subsequent query — the "once for all
+/// queries" amortization the paper's offline/online split calls for (§3,
+/// Remarks). [`Engine::apply_deltas`] applies a [`DeltaBatch`], rebuilds
+/// whichever indexes the old epoch had materialized, and swaps the new
+/// epoch in behind a short write lock; queries already running keep their
+/// pinned old epoch and drain untouched.
+pub struct Engine {
+    cfg: EngineConfig,
+    epoch: RwLock<Arc<Epoch>>,
     cache: Mutex<ReductionCache>,
     totals: Mutex<EngineStats>,
     /// Warm per-worker evaluation scratches. Each batch worker checks one
@@ -358,14 +402,19 @@ impl Engine {
         }
         let cache = Mutex::new(ReductionCache::new(cfg.cache_capacity));
         Engine {
-            g,
+            epoch: RwLock::new(Arc::new(Epoch::new(g, 0))),
             cfg,
-            nbr: OnceLock::new(),
-            reach: OnceLock::new(),
             cache,
             totals: Mutex::new(EngineStats::default()),
             scratches: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Pin the current epoch. Everything a query touches comes from this
+    /// one snapshot, so a mid-query [`Engine::apply_deltas`] cannot mix
+    /// old-graph and new-graph state inside a single evaluation.
+    fn pin(&self) -> Arc<Epoch> {
+        self.epoch.read().expect("epoch lock").clone()
     }
 
     /// Check out a warm worker scratch (or a fresh one when the pool is
@@ -384,8 +433,8 @@ impl Engine {
     }
 
     /// Like [`Engine::new`], but seeding pre-built indexes so callers that
-    /// already paid for offline construction (benches, the experiments
-    /// harness) share them instead of rebuilding.
+    /// already paid for offline construction (benches, the router, the
+    /// experiments harness) share them instead of rebuilding.
     pub fn with_indexes(
         g: Arc<Graph>,
         cfg: EngineConfig,
@@ -393,18 +442,27 @@ impl Engine {
         reach: Option<Arc<HierarchicalIndex>>,
     ) -> Self {
         let e = Engine::new(g, cfg);
-        if let Some(n) = neighbor {
-            let _ = e.nbr.set(n);
-        }
-        if let Some(r) = reach {
-            let _ = e.reach.set(r);
+        {
+            let ep = e.epoch.read().expect("epoch lock");
+            if let Some(n) = neighbor {
+                let _ = ep.nbr.set(n);
+            }
+            if let Some(r) = reach {
+                let _ = ep.reach.set(r);
+            }
         }
         e
     }
 
-    /// The engine's graph.
-    pub fn graph(&self) -> &Graph {
-        &self.g
+    /// The engine's current graph snapshot.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.pin().g.clone()
+    }
+
+    /// The current graph generation: 0 at construction, +1 per installed
+    /// delta batch. Part of every cache key.
+    pub fn generation(&self) -> u64 {
+        self.pin().generation
     }
 
     /// The engine's configuration.
@@ -412,31 +470,96 @@ impl Engine {
         &self.cfg
     }
 
-    /// The shared neighbor index, building it on first use.
+    /// The current epoch's neighbor index, building it on first use.
     pub fn neighbor_index(&self) -> Arc<NeighborIndex> {
-        self.nbr
-            .get_or_init(|| Arc::new(NeighborIndex::build(&self.g)))
-            .clone()
+        self.pin().neighbor_index()
     }
 
-    /// The shared reachability index, building it on first use.
+    /// The current epoch's reachability index, building it on first use.
     pub fn reach_index(&self) -> Arc<HierarchicalIndex> {
-        self.reach
-            .get_or_init(|| Arc::new(HierarchicalIndex::build(&self.g, self.cfg.reach_alpha)))
-            .clone()
+        self.pin().reach_index(self.cfg.reach_alpha)
     }
 
-    /// The per-query pattern budget derived from the configuration.
+    /// The per-query pattern budget derived from the configuration and the
+    /// current graph snapshot.
     pub fn pattern_budget(&self) -> ResourceBudget {
+        self.pattern_budget_on(&self.pin().g)
+    }
+
+    fn pattern_budget_on(&self, g: &Graph) -> ResourceBudget {
         let mut b = match self.cfg.pattern_budget {
-            BudgetSpec::Ratio(a) => ResourceBudget::from_ratio(&*self.g, a),
+            BudgetSpec::Ratio(a) => ResourceBudget::from_ratio(g, a),
             // `from_units` clamps to |G| itself (α ∈ (0, 1] invariant).
-            BudgetSpec::Units(u) => ResourceBudget::from_units(&*self.g, u),
+            BudgetSpec::Units(u) => ResourceBudget::from_units(g, u),
         };
         if let Some(c) = self.cfg.visit_coefficient {
             b = b.with_visit_coefficient(c);
         }
         b
+    }
+
+    /// Apply a delta batch: materialize the post-delta graph (CSR overlay,
+    /// compacting past the churn threshold), rebuild whichever indexes the
+    /// current epoch had built — off the serving path, on scoped worker
+    /// threads — then swap the new epoch in and evict cache entries whose
+    /// labels the delta touched.
+    ///
+    /// Queries running concurrently finish on the epoch they pinned at
+    /// entry; queries arriving after the swap see the new graph and a new
+    /// generation, so no post-mutation lookup can surface a pre-mutation
+    /// cached answer.
+    pub fn apply_deltas(&self, batch: &DeltaBatch) -> Result<DeltaReport, DeltaError> {
+        let ep = self.pin();
+        let (g2, report) = ep.g.apply_delta(batch)?;
+        let g2 = Arc::new(g2);
+        // Rebuild only what the old epoch had paid for; indexes never
+        // queried stay lazy in the new epoch too.
+        let rebuild_nbr = ep.nbr.get().is_some();
+        let rebuild_reach = ep.reach.get().is_some();
+        let (nbr, reach) = std::thread::scope(|s| {
+            let hn = rebuild_nbr.then(|| s.spawn(|| Arc::new(NeighborIndex::build(&g2))));
+            let hr = rebuild_reach
+                .then(|| s.spawn(|| Arc::new(HierarchicalIndex::build(&g2, self.cfg.reach_alpha))));
+            (
+                hn.map(|h| h.join().expect("neighbor index rebuild panicked")),
+                hr.map(|h| h.join().expect("reach index rebuild panicked")),
+            )
+        });
+        self.install_graph(g2, nbr, reach, &report.touched_labels);
+        Ok(report)
+    }
+
+    /// Install a pre-built successor graph (and any pre-built indexes) as
+    /// the next epoch, bumping the generation and eagerly evicting cache
+    /// entries whose labels intersect `touched_labels` (sorted strings).
+    ///
+    /// This is the router's entry point: it applies one delta and builds
+    /// each index once, then installs the shared result into every shard
+    /// engine instead of paying k rebuilds via [`Engine::apply_deltas`].
+    pub fn install_graph(
+        &self,
+        g: Arc<Graph>,
+        neighbor: Option<Arc<NeighborIndex>>,
+        reach: Option<Arc<HierarchicalIndex>>,
+        touched_labels: &[String],
+    ) {
+        {
+            let mut slot = self.epoch.write().expect("epoch lock");
+            let next = Epoch::new(g, slot.generation + 1);
+            if let Some(n) = neighbor {
+                let _ = next.nbr.set(n);
+            }
+            if let Some(r) = reach {
+                let _ = next.reach.set(r);
+            }
+            *slot = Arc::new(next);
+        }
+        // Outside the epoch lock: eviction is reclamation, not correctness
+        // (the generation bump already orphaned every old entry).
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .evict_touching(touched_labels);
     }
 
     /// Lifetime statistics across every batch and single query served.
@@ -451,8 +574,9 @@ impl Engine {
 
     /// Answer one query (no aggregate-budget settlement).
     pub fn run(&self, q: &Query) -> QueryResult {
+        let ep = self.pin();
         let mut scratch = self.take_scratch();
-        let (result, class, latency) = self.run_one(q, &mut scratch);
+        let (result, class, latency) = self.run_one(&ep, q, &mut scratch);
         self.put_scratch(scratch);
         let mut totals = self.totals.lock().expect("stats lock");
         record(&mut totals, &result, class, latency);
@@ -466,13 +590,16 @@ impl Engine {
 
     /// Answer a batch of heterogeneous queries.
     ///
-    /// Queries are claimed from a shared atomic cursor by
-    /// `cfg.threads` scoped workers (work-stealing in the sense that fast
-    /// workers drain more of the batch); answers come back in input order
-    /// and are identical for any thread count. When an aggregate visit
-    /// budget is configured, delivered answers are settled against it in
-    /// input order and the remainder are [`Answer::Denied`].
+    /// The whole batch evaluates on one pinned epoch — a concurrent
+    /// [`Engine::apply_deltas`] affects only later batches. Queries are
+    /// claimed from a shared atomic cursor by `cfg.threads` scoped workers
+    /// (work-stealing in the sense that fast workers drain more of the
+    /// batch); answers come back in input order and are identical for any
+    /// thread count. When an aggregate visit budget is configured,
+    /// delivered answers are settled against it in input order and the
+    /// remainder are [`Answer::Denied`].
     pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        let ep = self.pin();
         let n = queries.len();
         let threads = self.effective_threads(n);
         let mut results: Vec<Option<Evaluated>> = Vec::new();
@@ -481,7 +608,7 @@ impl Engine {
         if threads <= 1 {
             let mut scratch = self.take_scratch();
             for (i, q) in queries.iter().enumerate() {
-                results[i] = Some(self.run_one(q, &mut scratch));
+                results[i] = Some(self.run_one(&ep, q, &mut scratch));
             }
             self.put_scratch(scratch);
         } else {
@@ -491,6 +618,7 @@ impl Engine {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         let cursor = &cursor;
+                        let ep = &ep;
                         scope.spawn(move || {
                             // One warm scratch per worker for the whole
                             // batch: no cross-thread contention on the
@@ -502,7 +630,7 @@ impl Engine {
                                 if i >= n {
                                     break;
                                 }
-                                out.push((i, self.run_one(&queries[i], &mut scratch)));
+                                out.push((i, self.run_one(ep, &queries[i], &mut scratch)));
                             }
                             self.put_scratch(scratch);
                             out
@@ -548,22 +676,22 @@ impl Engine {
         t.max(1).min(n.max(1))
     }
 
-    fn run_one(&self, q: &Query, scratch: &mut WorkerScratch) -> Evaluated {
+    fn run_one(&self, ep: &Epoch, q: &Query, scratch: &mut WorkerScratch) -> Evaluated {
         let start = Instant::now();
         let result = match q {
-            Query::Reach { source, target } => self.run_reach(*source, *target),
+            Query::Reach { source, target } => self.run_reach(ep, *source, *target),
             Query::PatternSim { pattern } => {
-                self.run_pattern(pattern, Semantics::Simulation, scratch)
+                self.run_pattern(ep, pattern, Semantics::Simulation, scratch)
             }
             Query::PatternIso { pattern } => {
-                self.run_pattern(pattern, Semantics::Isomorphism, scratch)
+                self.run_pattern(ep, pattern, Semantics::Isomorphism, scratch)
             }
         };
         (result, q.class(), start.elapsed())
     }
 
-    fn run_reach(&self, s: NodeId, t: NodeId) -> QueryResult {
-        let n = self.g.node_count();
+    fn run_reach(&self, ep: &Epoch, s: NodeId, t: NodeId) -> QueryResult {
+        let n = ep.g.node_count();
         if s.index() >= n || t.index() >= n {
             return QueryResult {
                 answer: Answer::Error(format!("node id out of range ({} or {} >= {n})", s.0, t.0)),
@@ -571,7 +699,7 @@ impl Engine {
                 cached: false,
             };
         }
-        let idx = self.reach_index();
+        let idx = ep.reach_index(self.cfg.reach_alpha);
         let a = idx.query(s, t);
         QueryResult {
             answer: Answer::Reach {
@@ -585,6 +713,7 @@ impl Engine {
 
     fn run_pattern(
         &self,
+        ep: &Epoch,
         pattern: &Pattern,
         sem: Semantics,
         scratch: &mut WorkerScratch,
@@ -592,7 +721,7 @@ impl Engine {
         // Evaluate the canonical relabeling: isomorphic queries then run the
         // byte-identical computation, so cache hits equal cold answers.
         let (canon, signature) = canonical_pattern(pattern);
-        let resolved = match canon.resolve(&self.g) {
+        let resolved = match canon.resolve(&ep.g) {
             Ok(r) => r,
             Err(e) => {
                 return QueryResult {
@@ -602,7 +731,7 @@ impl Engine {
                 }
             }
         };
-        let budget = self.pattern_budget();
+        let budget = self.pattern_budget_on(&ep.g);
         let key = CacheKey {
             signature,
             vp: resolved.vp().0,
@@ -612,6 +741,7 @@ impl Engine {
             },
             max_units: budget.max_units,
             visit_cap: budget.visit_cap,
+            generation: ep.generation,
         };
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             return QueryResult {
@@ -620,15 +750,15 @@ impl Engine {
                 cached: true,
             };
         }
-        let idx = self.neighbor_index();
+        let idx = ep.neighbor_index();
         let WorkerScratch {
             pattern: ps,
             answer: ans,
         } = scratch;
         match sem {
-            Semantics::Simulation => rbsim_with(&self.g, &idx, &resolved, &budget, ps, ans),
+            Semantics::Simulation => rbsim_with(&ep.g, &idx, &resolved, &budget, ps, ans),
             Semantics::Isomorphism => {
-                rbsub_scratch(&self.g, &idx, &resolved, &budget, self.cfg.vf2, ps, ans)
+                rbsub_scratch(&ep.g, &idx, &resolved, &budget, self.cfg.vf2, ps, ans)
             }
         };
         let answer = Answer::Pattern {
@@ -638,11 +768,20 @@ impl Engine {
             hit_budget: ans.hit_budget,
         };
         let visits = ans.visits.total();
+        // The eviction signal for delta ingest: which label strings this
+        // pattern mentions (sorted, deduplicated). Cold path only.
+        let mut labels: Vec<String> = canon
+            .nodes()
+            .map(|u| canon.label_str(u).to_string())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
         self.cache.lock().expect("cache lock").insert(
             key,
             CachedAnswer {
                 answer: answer.clone(),
                 visits,
+                labels,
             },
         );
         QueryResult {
@@ -971,5 +1110,160 @@ mod tests {
         .validate()
         .is_err());
         assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn apply_deltas_swaps_graph_and_answers_change() {
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let q = Query::PatternSim {
+            pattern: fig1_pattern(),
+        };
+        let before = engine.run(&q);
+        match &before.answer {
+            Answer::Pattern { matches, .. } => assert_eq!(matches, &[NodeId(3)]),
+            other => panic!("expected pattern answer, got {other:?}"),
+        }
+        assert_eq!(engine.generation(), 0);
+
+        // Sever CL from both its supporters: the fig. 1 match disappears.
+        let mut batch = DeltaBatch::new();
+        batch.remove_edge(NodeId(2), NodeId(3));
+        batch.remove_edge(NodeId(1), NodeId(3));
+        let report = engine.apply_deltas(&batch).unwrap();
+        assert_eq!(report.edges_removed, 2);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.graph().edge_count(), 2);
+
+        let after = engine.run(&q);
+        assert!(!after.cached, "post-mutation lookup must not hit");
+        match &after.answer {
+            Answer::Pattern { matches, .. } => assert!(matches.is_empty()),
+            other => panic!("expected pattern answer, got {other:?}"),
+        }
+
+        // And the mutated engine answers exactly like a fresh rebuild.
+        let rebuilt = {
+            let (g2, _) = fig1_graph().apply_delta(&batch).unwrap();
+            Engine::new(
+                Arc::new(g2),
+                EngineConfig {
+                    threads: 1,
+                    ..cfg()
+                },
+            )
+        };
+        let fresh = rebuilt.run(&q);
+        assert_eq!(after.answer, fresh.answer);
+        assert_eq!(after.visits, fresh.visits);
+    }
+
+    #[test]
+    fn post_mutation_lookup_never_serves_pre_mutation_answer() {
+        // The adversarial case for the label heuristic: a delta whose
+        // touched labels are DISJOINT from the pattern's, so eager
+        // eviction keeps the stale entry in the map. The generation stamp
+        // must still make it unreachable.
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let q = Query::PatternSim {
+            pattern: fig1_pattern(),
+        };
+        let first = engine.run(&q);
+        assert!(!first.cached);
+        assert_eq!(engine.cache_len(), 1);
+
+        let mut batch = DeltaBatch::new();
+        let x = batch.add_node("Zebra");
+        let y = batch.add_node("Zebra");
+        batch.add_edge(NodeId(4 + x as u32), NodeId(4 + y as u32));
+        let report = engine.apply_deltas(&batch).unwrap();
+        assert_eq!(report.touched_labels, vec!["Zebra".to_string()]);
+        // Disjoint labels: the stale entry survives eviction...
+        assert_eq!(engine.cache_len(), 1);
+
+        // ...but is unreachable: the lookup misses and recomputes on the
+        // new graph, then both generations coexist keyed apart.
+        let second = engine.run(&q);
+        assert!(!second.cached, "stale pre-mutation entry must not serve");
+        assert_eq!(engine.cache_len(), 2);
+        assert_eq!(first.answer, second.answer); // answer unaffected here
+        let third = engine.run(&q);
+        assert!(third.cached, "new-generation entry is hittable");
+    }
+
+    #[test]
+    fn apply_deltas_evicts_touching_entries() {
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let q = Query::PatternSim {
+            pattern: fig1_pattern(),
+        };
+        engine.run(&q);
+        assert_eq!(engine.cache_len(), 1);
+
+        // Touches "CL" (an endpoint label of the removed edge), which the
+        // fig. 1 pattern mentions: the entry is reclaimed eagerly.
+        let mut batch = DeltaBatch::new();
+        batch.remove_edge(NodeId(2), NodeId(3));
+        engine.apply_deltas(&batch).unwrap();
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn apply_deltas_rebuilds_only_built_indexes() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        // Touch only the pattern side: the reach index stays lazy.
+        engine.run(&Query::PatternSim {
+            pattern: fig1_pattern(),
+        });
+        let mut batch = DeltaBatch::new();
+        batch.add_node("New");
+        engine.apply_deltas(&batch).unwrap();
+        let ep = engine.pin();
+        assert!(ep.nbr.get().is_some(), "built index carried forward");
+        assert!(ep.reach.get().is_none(), "unbuilt index stays lazy");
+        // And reach queries still work (building on demand post-swap).
+        let r = engine.run(&Query::Reach {
+            source: NodeId(0),
+            target: NodeId(3),
+        });
+        assert!(matches!(
+            r.answer,
+            Answer::Reach {
+                reachable: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn delta_error_leaves_engine_untouched() {
+        let g = fig1_graph();
+        let engine = Engine::new(g, cfg());
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(NodeId(0), NodeId(99));
+        assert!(engine.apply_deltas(&batch).is_err());
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.graph().edge_count(), 4);
     }
 }

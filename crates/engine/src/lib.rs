@@ -18,8 +18,13 @@
 //!   deterministically in input order (excess answers come back
 //!   [`Answer::Denied`]);
 //! * a bounded LRU **reduction cache** ([`cache`]) keyed by canonical
-//!   pattern signature ([`canonical`]), so repeated or isomorphic queries
-//!   reuse their `G_Q` answer byte-for-byte;
+//!   pattern signature ([`canonical`]) and graph generation, so repeated
+//!   or isomorphic queries reuse their `G_Q` answer byte-for-byte and no
+//!   post-mutation lookup can surface a pre-mutation answer;
+//! * **live updates** ([`Engine::apply_deltas`]): a
+//!   [`rbq_graph::DeltaBatch`] swaps in a new epoch — graph plus rebuilt
+//!   indexes — while in-flight queries drain on the old one, with a
+//!   versioned `#rbq-deltas` wire format ([`wire::parse_delta_file`]);
 //! * a work-stealing batch scheduler ([`Engine::run_batch`]):
 //!   `std::thread::scope` workers claim queries off a shared atomic
 //!   cursor, answers return in input order and are identical for any
@@ -41,4 +46,6 @@ pub use engine::{
 };
 pub use error::{EngineError, QueryParseError};
 pub use query::{Answer, Query, QueryClass, QueryResult};
-pub use wire::{WireWriteError, ANSWER_FILE_HEADER, QUERY_FILE_HEADER, WIRE_VERSION};
+pub use wire::{
+    WireWriteError, ANSWER_FILE_HEADER, DELTA_FILE_HEADER, QUERY_FILE_HEADER, WIRE_VERSION,
+};

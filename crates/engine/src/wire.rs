@@ -18,7 +18,7 @@
 
 use crate::error::QueryParseError;
 use crate::{Answer, Query};
-use rbq_graph::NodeId;
+use rbq_graph::{DeltaBatch, DeltaOp, NodeId};
 use std::io::Write;
 
 /// The wire version this build reads and writes.
@@ -27,6 +27,8 @@ pub const WIRE_VERSION: u32 = 1;
 pub const QUERY_FILE_HEADER: &str = "#rbq-queries v1";
 /// First line of a versioned answer file.
 pub const ANSWER_FILE_HEADER: &str = "#rbq-answers v1";
+/// First line of a versioned delta file.
+pub const DELTA_FILE_HEADER: &str = "#rbq-deltas v1";
 
 /// A parsed query file.
 #[derive(Debug, Clone)]
@@ -271,6 +273,134 @@ pub fn write_answer_file<W: Write>(w: &mut W, answers: &[Answer]) -> Result<(), 
     Ok(())
 }
 
+/// A parsed delta file.
+#[derive(Debug, Clone)]
+pub struct DeltaFile {
+    /// The recorded update batch, in file order.
+    pub batch: DeltaBatch,
+    /// Declared wire version (1 when headerless).
+    pub version: u32,
+    /// Whether the file lacked the `#rbq-deltas` header.
+    pub headerless: bool,
+}
+
+/// Serialize one [`DeltaOp`] to its versioned one-line form:
+///
+/// ```text
+/// an <label>
+/// ae <u> <v>
+/// re <u> <v>
+/// ```
+///
+/// Node ids in `ae`/`re` lines may point past the current graph into the
+/// batch's own `an` additions, exactly like the in-memory API. Labels are
+/// single whitespace-free tokens (the format is line- and token-oriented);
+/// a label that cannot round-trip is a typed error.
+pub fn delta_op_to_line(op: &DeltaOp) -> Result<String, QueryParseError> {
+    Ok(match op {
+        DeltaOp::AddNode(label) => {
+            if label.is_empty() || label.chars().any(char::is_whitespace) {
+                return Err(QueryParseError::UnserializableLabel(label.clone()));
+            }
+            format!("an {label}")
+        }
+        DeltaOp::AddEdge(u, v) => format!("ae {} {}", u.0, v.0),
+        DeltaOp::RemoveEdge(u, v) => format!("re {} {}", u.0, v.0),
+    })
+}
+
+/// Parse one delta line written by [`delta_op_to_line`].
+pub fn delta_op_from_line(line: &str) -> Result<DeltaOp, QueryParseError> {
+    let line = line.trim();
+    let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let mut fields = rest.split_whitespace();
+    let mut next = |what: &'static str| -> Result<&str, QueryParseError> {
+        fields.next().ok_or(QueryParseError::MissingField(what))
+    };
+    let parse_id = |what: &'static str, tok: &str| -> Result<NodeId, QueryParseError> {
+        tok.parse::<u32>()
+            .map(NodeId)
+            .map_err(|_| QueryParseError::BadField {
+                what,
+                token: tok.to_owned(),
+            })
+    };
+    match kind {
+        "" => Err(QueryParseError::EmptyLine),
+        "an" => {
+            let label = next("node label")?.to_owned();
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            Ok(DeltaOp::AddNode(label))
+        }
+        "ae" | "re" => {
+            let u = parse_id("source id", next("source id")?)?;
+            let v = parse_id("target id", next("target id")?)?;
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            Ok(if kind == "ae" {
+                DeltaOp::AddEdge(u, v)
+            } else {
+                DeltaOp::RemoveEdge(u, v)
+            })
+        }
+        other => Err(QueryParseError::UnknownKind(other.to_owned())),
+    }
+}
+
+/// Parse a whole delta file (see [`DELTA_FILE_HEADER`]).
+///
+/// Errors carry their 1-based line number via
+/// [`QueryParseError::AtLine`].
+pub fn parse_delta_file(text: &str) -> Result<DeltaFile, QueryParseError> {
+    let mut batch = DeltaBatch::new();
+    let mut version = None;
+    let mut headerless = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if line.starts_with("#rbq-deltas") && version.is_none() && batch.is_empty() {
+                version = Some(
+                    parse_header_version(line, "deltas")
+                        .map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?,
+                );
+            }
+            continue;
+        }
+        if version.is_none() && batch.is_empty() {
+            headerless = true;
+        }
+        let op =
+            delta_op_from_line(line).map_err(|e| QueryParseError::AtLine(i + 1, Box::new(e)))?;
+        match op {
+            DeltaOp::AddNode(label) => {
+                batch.add_node(&label);
+            }
+            DeltaOp::AddEdge(u, v) => batch.add_edge(u, v),
+            DeltaOp::RemoveEdge(u, v) => batch.remove_edge(u, v),
+        }
+    }
+    Ok(DeltaFile {
+        batch,
+        version: version.unwrap_or(WIRE_VERSION),
+        headerless: headerless && version.is_none(),
+    })
+}
+
+/// Write a versioned delta file: header plus one line per operation.
+pub fn write_delta_file<W: Write>(w: &mut W, batch: &DeltaBatch) -> Result<(), WireWriteError> {
+    writeln!(w, "{DELTA_FILE_HEADER}")?;
+    for op in batch.ops() {
+        writeln!(w, "{}", delta_op_to_line(op)?)?;
+    }
+    Ok(())
+}
+
 /// Errors writing a wire file: a query that cannot round-trip, or I/O.
 #[derive(Debug)]
 pub enum WireWriteError {
@@ -429,6 +559,57 @@ mod tests {
             answer_from_line(&line).unwrap(),
             Answer::Error("two lines".into())
         );
+    }
+
+    #[test]
+    fn delta_file_round_trips() {
+        let mut batch = DeltaBatch::new();
+        let rank = batch.add_node("Newcomer");
+        batch.add_edge(NodeId(0), NodeId(4 + rank as u32));
+        batch.remove_edge(NodeId(1), NodeId(3));
+        let mut buf = Vec::new();
+        write_delta_file(&mut buf, &batch).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(DELTA_FILE_HEADER));
+        let parsed = parse_delta_file(&text).unwrap();
+        assert_eq!(parsed.batch, batch);
+        assert_eq!(parsed.version, WIRE_VERSION);
+        assert!(!parsed.headerless);
+    }
+
+    #[test]
+    fn headerless_delta_file_accepted_as_v1() {
+        let parsed = parse_delta_file("ae 0 1\nre 2 3\n").unwrap();
+        assert_eq!(parsed.batch.len(), 2);
+        assert!(parsed.headerless);
+        assert!(parse_delta_file("#rbq-deltas v9\n").is_err());
+    }
+
+    #[test]
+    fn malformed_delta_lines_rejected() {
+        for bad in [
+            "",
+            "an",
+            "an two words",
+            "ae 0",
+            "ae x 1",
+            "re 0 1 2",
+            "zz 0 1",
+        ] {
+            assert!(delta_op_from_line(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse_delta_file("#rbq-deltas v1\nan A\nae bogus 1\n").unwrap_err();
+        assert!(matches!(err, QueryParseError::AtLine(3, _)), "{err}");
+        // A whitespace label cannot round-trip the line format.
+        let mut batch = DeltaBatch::new();
+        batch.add_node("two words");
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_delta_file(&mut buf, &batch),
+            Err(WireWriteError::Format(
+                QueryParseError::UnserializableLabel(_)
+            ))
+        ));
     }
 
     #[test]

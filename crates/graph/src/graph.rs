@@ -1,14 +1,75 @@
-//! Immutable CSR graph storage.
+//! Immutable CSR graph storage, with a delta overlay for live updates.
 //!
 //! [`Graph`] stores a node-labeled directed graph in compressed sparse row
 //! form, with *both* out-adjacency and in-adjacency materialized: pattern
 //! matching by (strong) simulation must preserve both child and parent
 //! relationships (§2, conditions (a)/(b)), so reverse edges are consulted as
 //! often as forward ones.
+//!
+//! The CSR arrays live behind a shared [`Arc`], so applying a
+//! [`crate::delta::DeltaBatch`] produces a *new* `Graph` value that shares
+//! every untouched adjacency row with its parent and carries the changed
+//! rows in a small [`Overlay`] (see [`crate::delta`]). Reads stay plain
+//! sorted slices either way — the matching hot paths never learn whether a
+//! row came from the base CSR or the overlay.
 
 use crate::labels::LabelInterner;
 use crate::types::{Direction, Label, NodeId};
 use crate::view::{GraphView, Neighbors, NodeIds};
+use std::sync::Arc;
+
+/// The frozen CSR arrays, shared (via [`Arc`]) between a graph and every
+/// overlaid descendant produced by delta application.
+#[derive(Debug)]
+pub(crate) struct Csr {
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_targets: Vec<NodeId>,
+    pub(crate) label_offsets: Vec<usize>,
+    pub(crate) label_nodes: Vec<NodeId>,
+}
+
+/// Merged adjacency rows for the nodes a delta touched, one direction.
+///
+/// The per-node add/remove side-lists of a [`crate::delta::DeltaBatch`] are
+/// merged against the base CSR row once at apply time; reads then consult
+/// this table first (binary search over the touched-node list) and fall
+/// back to the shared base row. Rows are sorted and deduplicated, exactly
+/// like base CSR rows.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SideTable {
+    pub(crate) nodes: Vec<NodeId>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) targets: Vec<NodeId>,
+}
+
+impl SideTable {
+    #[inline]
+    pub(crate) fn row(&self, v: NodeId) -> Option<&[NodeId]> {
+        let i = self.nodes.binary_search(&v).ok()?;
+        Some(&self.targets[self.offsets[i]..self.offsets[i + 1]])
+    }
+}
+
+/// Uncompacted delta state layered over the shared base CSR.
+#[derive(Debug, Clone)]
+pub(crate) struct Overlay {
+    /// Node count of the base CSR; ids at or above this are overlay-only
+    /// nodes whose adjacency lives entirely in the side tables.
+    pub(crate) base_nodes: usize,
+    /// Cumulative effective edge churn (adds + removes) since the last
+    /// compaction — the trigger for [`Graph::compact`].
+    pub(crate) churn: usize,
+    /// Effective `|E|` of the overlaid graph.
+    pub(crate) edge_count: usize,
+    pub(crate) out: SideTable,
+    pub(crate) inn: SideTable,
+    /// Full label partition over *all* nodes (new ones included), rebuilt
+    /// at apply time so label seeding stays `O(1)` + output.
+    pub(crate) label_offsets: Vec<usize>,
+    pub(crate) label_nodes: Vec<NodeId>,
+}
 
 /// An immutable node-labeled directed graph in CSR form.
 ///
@@ -17,16 +78,17 @@ use crate::view::{GraphView, Neighbors, NodeIds};
 /// search and cache-friendly sequential scans. A third CSR partition maps
 /// each label to its (sorted) node list, so candidate seeding by label is
 /// `O(1)` + output instead of an `O(|V|)` scan per query node.
+///
+/// Live updates: [`Graph::apply_delta`] layers a batch of edge/node changes
+/// over the shared base CSR without rebuilding it; [`Graph::compact`]
+/// rebuilds a fresh overlay-free CSR (triggered automatically once churn
+/// passes a threshold). See [`crate::delta`].
 #[derive(Debug, Clone)]
 pub struct Graph {
-    labels: LabelInterner,
-    node_labels: Vec<Label>,
-    out_offsets: Vec<usize>,
-    out_targets: Vec<NodeId>,
-    in_offsets: Vec<usize>,
-    in_targets: Vec<NodeId>,
-    label_offsets: Vec<usize>,
-    label_nodes: Vec<NodeId>,
+    pub(crate) labels: LabelInterner,
+    pub(crate) node_labels: Vec<Label>,
+    pub(crate) csr: Arc<Csr>,
+    pub(crate) overlay: Option<Box<Overlay>>,
 }
 
 impl Graph {
@@ -41,32 +103,38 @@ impl Graph {
         debug_assert_eq!(out_offsets.len(), node_labels.len() + 1);
         debug_assert_eq!(in_offsets.len(), node_labels.len() + 1);
         debug_assert_eq!(out_targets.len(), in_targets.len());
-        // Label partition: counting-sort node ids by label. Nodes are
-        // visited in ascending id order, so each partition comes out sorted.
-        let nl = labels.len();
-        let mut label_offsets = vec![0usize; nl + 1];
-        for &l in &node_labels {
-            label_offsets[l.index() + 1] += 1;
-        }
-        for i in 0..nl {
-            label_offsets[i + 1] += label_offsets[i];
-        }
-        let mut label_nodes = vec![NodeId(0); node_labels.len()];
-        let mut cursor = label_offsets.clone();
-        for (i, &l) in node_labels.iter().enumerate() {
-            label_nodes[cursor[l.index()]] = NodeId::new(i);
-            cursor[l.index()] += 1;
-        }
+        let (label_offsets, label_nodes) = label_partition(&labels, &node_labels);
         Graph {
             labels,
             node_labels,
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_targets,
-            label_offsets,
-            label_nodes,
+            csr: Arc::new(Csr {
+                out_offsets,
+                out_targets,
+                in_offsets,
+                in_targets,
+                label_offsets,
+                label_nodes,
+            }),
+            overlay: None,
         }
+    }
+
+    pub(crate) fn with_overlay(
+        labels: LabelInterner,
+        node_labels: Vec<Label>,
+        csr: Arc<Csr>,
+        overlay: Overlay,
+    ) -> Self {
+        Graph {
+            labels,
+            node_labels,
+            csr,
+            overlay: Some(Box::new(overlay)),
+        }
+    }
+
+    pub(crate) fn node_labels(&self) -> &[Label] {
+        &self.node_labels
     }
 
     /// The label interner (string ↔ id mapping).
@@ -83,19 +151,48 @@ impl Graph {
     /// Number of edges `|E|`.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.out_targets.len()
+        match &self.overlay {
+            Some(ov) => ov.edge_count,
+            None => self.csr.out_targets.len(),
+        }
+    }
+
+    #[inline]
+    fn base_out(&self, v: NodeId) -> &[NodeId] {
+        &self.csr.out_targets[self.csr.out_offsets[v.index()]..self.csr.out_offsets[v.index() + 1]]
+    }
+
+    #[inline]
+    fn base_in(&self, v: NodeId) -> &[NodeId] {
+        &self.csr.in_targets[self.csr.in_offsets[v.index()]..self.csr.in_offsets[v.index() + 1]]
     }
 
     /// Children of `v` as a slice (sorted, deduplicated).
     #[inline]
     pub fn out(&self, v: NodeId) -> &[NodeId] {
-        &self.out_targets[self.out_offsets[v.index()]..self.out_offsets[v.index() + 1]]
+        if let Some(ov) = &self.overlay {
+            if let Some(row) = ov.out.row(v) {
+                return row;
+            }
+            if v.index() >= ov.base_nodes {
+                return &[];
+            }
+        }
+        self.base_out(v)
     }
 
     /// Parents of `v` as a slice (sorted, deduplicated).
     #[inline]
     pub fn inn(&self, v: NodeId) -> &[NodeId] {
-        &self.in_targets[self.in_offsets[v.index()]..self.in_offsets[v.index() + 1]]
+        if let Some(ov) = &self.overlay {
+            if let Some(row) = ov.inn.row(v) {
+                return row;
+            }
+            if v.index() >= ov.base_nodes {
+                return &[];
+            }
+        }
+        self.base_in(v)
     }
 
     /// Neighbors of `v` in direction `dir` as a slice.
@@ -118,16 +215,22 @@ impl Graph {
         self.labels.name(self.node_labels[v.index()])
     }
 
-    /// Out-degree of `v` (constant time, unlike the trait default).
+    /// Out-degree of `v` (constant time on an overlay-free graph).
     #[inline]
     pub fn deg_out(&self, v: NodeId) -> usize {
-        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+        if self.overlay.is_some() {
+            return self.out(v).len();
+        }
+        self.csr.out_offsets[v.index() + 1] - self.csr.out_offsets[v.index()]
     }
 
-    /// In-degree of `v` (constant time).
+    /// In-degree of `v` (constant time on an overlay-free graph).
     #[inline]
     pub fn deg_in(&self, v: NodeId) -> usize {
-        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+        if self.overlay.is_some() {
+            return self.inn(v).len();
+        }
+        self.csr.in_offsets[v.index() + 1] - self.csr.in_offsets[v.index()]
     }
 
     /// Total degree `d(v) = deg_out(v) + deg_in(v)`.
@@ -157,10 +260,14 @@ impl Graph {
     /// index — `O(1)` + output. Unknown labels yield the empty slice.
     #[inline]
     pub fn nodes_with_label(&self, l: Label) -> &[NodeId] {
-        if l.index() + 1 >= self.label_offsets.len() {
+        let (offsets, nodes): (&[usize], &[NodeId]) = match &self.overlay {
+            Some(ov) => (&ov.label_offsets, &ov.label_nodes),
+            None => (&self.csr.label_offsets, &self.csr.label_nodes),
+        };
+        if l.index() + 1 >= offsets.len() {
             return &[];
         }
-        &self.label_nodes[self.label_offsets[l.index()]..self.label_offsets[l.index() + 1]]
+        &nodes[offsets[l.index()]..offsets[l.index() + 1]]
     }
 
     /// Maximum total degree over all nodes (the paper's `d_G` when applied to
@@ -168,6 +275,82 @@ impl Graph {
     pub fn max_degree(&self) -> usize {
         self.nodes().map(|v| self.deg(v)).max().unwrap_or(0)
     }
+
+    /// Whether this graph carries uncompacted delta state.
+    pub fn is_overlaid(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Cumulative effective edge churn (adds + removes) accumulated in the
+    /// overlay since the last compaction; 0 for an overlay-free graph.
+    pub fn overlay_churn(&self) -> usize {
+        self.overlay.as_ref().map_or(0, |ov| ov.churn)
+    }
+
+    /// Rebuild a fresh overlay-free CSR from the effective adjacency.
+    ///
+    /// Runs in `O(|V| + |E|)`: effective out-rows are already sorted and
+    /// deduplicated, so the out side is a concatenation and the in side a
+    /// counting sort. The result answers every query identically.
+    pub fn compact(&self) -> Graph {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let mut out_offsets = vec![0usize; n + 1];
+        for v in self.nodes() {
+            out_offsets[v.index() + 1] = out_offsets[v.index()] + self.out(v).len();
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut in_offsets = vec![0usize; n + 1];
+        for v in self.nodes() {
+            for &w in self.out(v) {
+                out_targets.push(w);
+                in_offsets[w.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_targets = vec![NodeId(0); m];
+        let mut cursor = in_offsets.clone();
+        // Sources visited in ascending order, so each in-row is born sorted.
+        for v in self.nodes() {
+            for &w in self.out(v) {
+                in_targets[cursor[w.index()]] = v;
+                cursor[w.index()] += 1;
+            }
+        }
+        Graph::from_parts(
+            self.labels.clone(),
+            self.node_labels.clone(),
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        )
+    }
+}
+
+/// Counting-sort node ids by label; ascending visit order keeps each
+/// partition sorted.
+pub(crate) fn label_partition(
+    labels: &LabelInterner,
+    node_labels: &[Label],
+) -> (Vec<usize>, Vec<NodeId>) {
+    let nl = labels.len();
+    let mut label_offsets = vec![0usize; nl + 1];
+    for &l in node_labels {
+        label_offsets[l.index() + 1] += 1;
+    }
+    for i in 0..nl {
+        label_offsets[i + 1] += label_offsets[i];
+    }
+    let mut label_nodes = vec![NodeId(0); node_labels.len()];
+    let mut cursor = label_offsets.clone();
+    for (i, &l) in node_labels.iter().enumerate() {
+        label_nodes[cursor[l.index()]] = NodeId::new(i);
+        cursor[l.index()] += 1;
+    }
+    (label_offsets, label_nodes)
 }
 
 impl GraphView for Graph {
@@ -347,5 +530,19 @@ mod tests {
         let ins: Vec<_> = g.in_neighbors(d).collect();
         assert_eq!(ins.len(), 2);
         assert_eq!(g.node_ids().count(), 4);
+    }
+
+    #[test]
+    fn fresh_graph_has_no_overlay() {
+        let (g, _) = diamond();
+        assert!(!g.is_overlaid());
+        assert_eq!(g.overlay_churn(), 0);
+        // Compacting an overlay-free graph is a faithful rebuild.
+        let c = g.compact();
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        let es: Vec<_> = g.edges().collect();
+        let cs: Vec<_> = c.edges().collect();
+        assert_eq!(es, cs);
     }
 }

@@ -22,6 +22,9 @@
 //! * [`scc`] — Tarjan strongly connected components, and [`condense`] —
 //!   reachability-preserving DAG condensation (the first half of the
 //!   query-preserving compression of §5);
+//! * [`delta`] — live updates: [`DeltaBatch`] edge/node batches applied via
+//!   a CSR overlay with threshold-triggered compaction, the substrate for
+//!   serving under churn;
 //! * [`partition`] — node-to-shard assignments (label-hash and
 //!   SCC/community-aware) with boundary bookkeeping, the substrate for
 //!   sharded serving;
@@ -34,6 +37,7 @@
 pub mod adapters;
 pub mod builder;
 pub mod condense;
+pub mod delta;
 pub mod distance;
 pub mod graph;
 pub mod io;
@@ -49,10 +53,11 @@ pub mod types;
 pub mod view;
 
 pub use builder::GraphBuilder;
+pub use delta::{DeltaBatch, DeltaError, DeltaOp, DeltaReport};
 pub use graph::Graph;
 pub use labels::LabelInterner;
 pub use neighborhood::BallScratch;
-pub use partition::{PartitionStats, ShardAssignment};
+pub use partition::{PartitionError, PartitionStats, ShardAssignment};
 pub use subgraph::{DynamicSubgraph, InducedSubgraph, SubgraphScratch};
 pub use types::{Label, NodeId};
 pub use view::{GraphView, Neighbors, NodeIds};

@@ -25,7 +25,39 @@ use crate::condense::condense;
 use crate::graph::Graph;
 use crate::types::NodeId;
 use rustc_hash::FxHasher;
+use std::fmt;
 use std::hash::Hasher;
+
+/// Typed rejection of an invalid shard configuration or assignment.
+///
+/// Construction used to `assert!` on these; a corrupt `--shards 0` or a
+/// bad dense map now surfaces as an error the router and CLI can turn
+/// into an exit code instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A shard count of zero was requested.
+    ZeroShards,
+    /// A dense-map entry names a shard outside `0..shards`.
+    ShardOutOfRange {
+        /// The offending shard id.
+        shard: u32,
+        /// The configured shard count.
+        shards: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ZeroShards => write!(f, "need at least one shard"),
+            PartitionError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard id {shard} out of range (shards = {shards})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 /// An assignment of every node of a graph to one of `k` shards.
 ///
@@ -41,15 +73,23 @@ pub struct ShardAssignment {
 }
 
 impl ShardAssignment {
-    /// Build from a dense `node -> shard` map. Panics if any entry is out
-    /// of `0..shards` or `shards == 0`.
-    pub fn new(shard_of: Vec<u32>, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
+    /// Build from a dense `node -> shard` map.
+    ///
+    /// # Errors
+    /// [`PartitionError::ZeroShards`] when `shards == 0`;
+    /// [`PartitionError::ShardOutOfRange`] when any entry is outside
+    /// `0..shards`.
+    pub fn new(shard_of: Vec<u32>, shards: usize) -> Result<Self, PartitionError> {
+        if shards == 0 {
+            return Err(PartitionError::ZeroShards);
+        }
         // Counting-sort node ids by shard; ascending visit order keeps each
         // owned slice sorted (same construction as the label partition).
         let mut owned_offsets = vec![0usize; shards + 1];
         for &s in &shard_of {
-            assert!((s as usize) < shards, "shard id {s} out of range");
+            if s as usize >= shards {
+                return Err(PartitionError::ShardOutOfRange { shard: s, shards });
+            }
             owned_offsets[s as usize + 1] += 1;
         }
         for i in 0..shards {
@@ -61,12 +101,12 @@ impl ShardAssignment {
             owned_nodes[cursor[s as usize]] = NodeId::new(i);
             cursor[s as usize] += 1;
         }
-        ShardAssignment {
+        Ok(ShardAssignment {
             shard_of,
             shards,
             owned_offsets,
             owned_nodes,
-        }
+        })
     }
 
     /// Number of shards `k`.
@@ -167,11 +207,16 @@ impl PartitionStats {
 /// Hashing the *string* (not the interned id) keeps the mapping stable
 /// across processes and graph builds, which is what lets a router compute a
 /// pattern query's owner shard from the query text alone.
-pub fn label_shard(label: &str, shards: usize) -> u32 {
-    assert!(shards >= 1, "need at least one shard");
+///
+/// # Errors
+/// [`PartitionError::ZeroShards`] when `shards == 0`.
+pub fn label_shard(label: &str, shards: usize) -> Result<u32, PartitionError> {
+    if shards == 0 {
+        return Err(PartitionError::ZeroShards);
+    }
     let mut h = FxHasher::default();
     h.write(label.as_bytes());
-    (h.finish() % shards as u64) as u32
+    Ok((h.finish() % shards as u64) as u32)
 }
 
 /// Partition by label hash: node `v` goes to `label_shard(label(v), k)`.
@@ -179,12 +224,20 @@ pub fn label_shard(label: &str, shards: usize) -> u32 {
 /// All candidates of a label share a shard, so label-based routing is
 /// exact; balance depends on the label distribution (skewed labels give
 /// skewed shards — see [`PartitionStats::balance`]).
-pub fn partition_by_label_hash(g: &Graph, shards: usize) -> ShardAssignment {
-    assert!(shards >= 1, "need at least one shard");
+///
+/// # Errors
+/// [`PartitionError::ZeroShards`] when `shards == 0`.
+pub fn partition_by_label_hash(
+    g: &Graph,
+    shards: usize,
+) -> Result<ShardAssignment, PartitionError> {
+    if shards == 0 {
+        return Err(PartitionError::ZeroShards);
+    }
     // One hash per *label*, not per node.
     let by_label: Vec<u32> = (0..g.labels().len() as u32)
         .map(|l| label_shard(g.labels().name(crate::types::Label(l)), shards))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let shard_of: Vec<u32> = g
         .nodes()
         .map(|v| by_label[g.node_label(v).index()])
@@ -198,8 +251,13 @@ pub fn partition_by_label_hash(g: &Graph, shards: usize) -> ShardAssignment {
 /// Mutually reachable nodes always share a shard, and each shard covers a
 /// contiguous band of the condensation DAG's topological order — the
 /// locality that keeps reachability traffic intra-shard.
-pub fn partition_by_scc(g: &Graph, shards: usize) -> ShardAssignment {
-    assert!(shards >= 1, "need at least one shard");
+///
+/// # Errors
+/// [`PartitionError::ZeroShards`] when `shards == 0`.
+pub fn partition_by_scc(g: &Graph, shards: usize) -> Result<ShardAssignment, PartitionError> {
+    if shards == 0 {
+        return Err(PartitionError::ZeroShards);
+    }
     let cond = condense(g);
     let k = cond.partition.count;
     let mut comp_size = vec![0usize; k];
@@ -267,14 +325,14 @@ mod tests {
     fn label_hash_covers_and_groups_labels() {
         let g = sample();
         for k in [1usize, 2, 3, 8] {
-            let a = partition_by_label_hash(&g, k);
+            let a = partition_by_label_hash(&g, k).unwrap();
             assert_covers(&a, g.node_count());
             // All nodes of a label share a shard, and it is the one
             // `label_shard` names from the string alone.
             for v in g.nodes() {
                 assert_eq!(
                     a.shard_of(v),
-                    Some(label_shard(g.node_label_str(v), k)),
+                    Some(label_shard(g.node_label_str(v), k).unwrap()),
                     "node {v:?}"
                 );
             }
@@ -286,7 +344,7 @@ mod tests {
         let g = sample();
         let scc = tarjan_scc(&g);
         for k in [1usize, 2, 3, 8] {
-            let a = partition_by_scc(&g, k);
+            let a = partition_by_scc(&g, k).unwrap();
             assert_covers(&a, g.node_count());
             for u in g.nodes() {
                 for v in g.nodes() {
@@ -304,7 +362,7 @@ mod tests {
         let labels = vec!["A"; 100];
         let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
         let g = graph_from_edges(&labels, &edges);
-        let a = partition_by_scc(&g, 4);
+        let a = partition_by_scc(&g, 4).unwrap();
         let stats = a.boundary_stats(&g);
         let (max, min) = stats.balance();
         assert!(max <= 26 && min >= 24, "balance {max}/{min}");
@@ -314,7 +372,7 @@ mod tests {
     fn boundary_stats_count_cut_edges() {
         let g = graph_from_edges(&["A", "B"], &[(0, 1)]);
         // Force the two nodes onto different shards.
-        let a = ShardAssignment::new(vec![0, 1], 2);
+        let a = ShardAssignment::new(vec![0, 1], 2).unwrap();
         let stats = a.boundary_stats(&g);
         assert_eq!(stats.cut_edges, 1);
         assert_eq!(stats.boundary_nodes, 2);
@@ -322,7 +380,7 @@ mod tests {
         assert_eq!(stats.nodes_per_shard, vec![1, 1]);
         assert!((stats.cut_fraction() - 1.0).abs() < 1e-12);
         // Same-shard assignment cuts nothing.
-        let a1 = ShardAssignment::new(vec![0, 0], 2);
+        let a1 = ShardAssignment::new(vec![0, 0], 2).unwrap();
         let s1 = a1.boundary_stats(&g);
         assert_eq!(s1.cut_edges, 0);
         assert_eq!(s1.boundary_nodes, 0);
@@ -332,7 +390,10 @@ mod tests {
     #[test]
     fn single_shard_owns_everything() {
         let g = sample();
-        for a in [partition_by_label_hash(&g, 1), partition_by_scc(&g, 1)] {
+        for a in [
+            partition_by_label_hash(&g, 1).unwrap(),
+            partition_by_scc(&g, 1).unwrap(),
+        ] {
             assert_eq!(a.owned(0).len(), g.node_count());
             assert_eq!(a.boundary_stats(&g).cut_edges, 0);
         }
@@ -341,7 +402,10 @@ mod tests {
     #[test]
     fn empty_graph_partitions() {
         let g = crate::builder::GraphBuilder::new().build();
-        for a in [partition_by_label_hash(&g, 3), partition_by_scc(&g, 3)] {
+        for a in [
+            partition_by_label_hash(&g, 3).unwrap(),
+            partition_by_scc(&g, 3).unwrap(),
+        ] {
             assert_eq!(a.node_count(), 0);
             for s in 0..3 {
                 assert!(a.owned(s).is_empty());
@@ -352,13 +416,44 @@ mod tests {
     #[test]
     fn out_of_range_lookup_is_none() {
         let g = sample();
-        let a = partition_by_label_hash(&g, 2);
+        let a = partition_by_label_hash(&g, 2).unwrap();
         assert_eq!(a.shard_of(NodeId(999)), None);
     }
 
     #[test]
     fn label_shard_is_deterministic() {
         assert_eq!(label_shard("ME", 8), label_shard("ME", 8));
-        assert!(label_shard("ME", 3) < 3);
+        assert!(label_shard("ME", 3).unwrap() < 3);
+    }
+
+    #[test]
+    fn zero_shards_is_typed_error() {
+        let g = sample();
+        assert_eq!(
+            partition_by_label_hash(&g, 0).unwrap_err(),
+            PartitionError::ZeroShards
+        );
+        assert_eq!(
+            partition_by_scc(&g, 0).unwrap_err(),
+            PartitionError::ZeroShards
+        );
+        assert_eq!(label_shard("A", 0).unwrap_err(), PartitionError::ZeroShards);
+        assert_eq!(
+            ShardAssignment::new(vec![], 0).unwrap_err(),
+            PartitionError::ZeroShards
+        );
+    }
+
+    #[test]
+    fn corrupt_assignment_is_typed_error() {
+        let err = ShardAssignment::new(vec![0, 7, 1], 2).unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::ShardOutOfRange {
+                shard: 7,
+                shards: 2
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
     }
 }

@@ -1,0 +1,304 @@
+//! Incremental dual-simulation repair under graph deltas.
+//!
+//! The counter-based fixpoint of [`crate::dualsim`] is naturally
+//! incremental: after a batch of edge insertions/removals, the maximum
+//! dual simulation on the updated graph can be recomputed from the
+//! previous relation plus a small *closure* of nodes reachable from the
+//! delta's endpoints, instead of re-screening the whole graph. This is the
+//! direction of Berkholz et al.'s maintenance-under-updates results, scoped
+//! to the dual-simulation fragment this codebase serves.
+//!
+//! ## Why the universe is `prev ∪ closure`
+//!
+//! The maximum dual simulation is **monotone non-decreasing in data
+//! edges**: every condition asks for the *existence* of a matched
+//! neighbor, so extra edges can only help. Writing `G′ = (G ∖ removes) ∪
+//! adds`:
+//!
+//! * `sim(G′) ⊆ sim(G ∪ adds)` — removals only shrink the relation.
+//! * Any node of `sim(G ∪ adds) ∖ sim(G)` survives *because of* an added
+//!   edge: tracing why it now satisfies conditions (a)/(b) walks a chain
+//!   of relation members (hence label-candidates) connected by data edges,
+//!   and the chain terminates at an endpoint of an added edge. So every
+//!   newly admitted node lies in the candidate-restricted (bidirectional)
+//!   reachability closure of the added-edge endpoints — plus brand-new
+//!   nodes, which seed the closure directly.
+//!
+//! Hence `sim(G′) ⊆ prev ∪ closure`, and the greatest fixpoint restricted
+//! to any universe `U ⊇ sim(G′)` equals the unrestricted one (a dual
+//! simulation inside `U` is one globally, and the global maximum fits in
+//! `U`). Removed edges need **no** seeding: the repair initializes its
+//! counters fresh over the universe on the *final* graph, so stale matches
+//! that lost their support are killed by the ordinary worklist.
+//!
+//! The full fixpoint stays the differential oracle — see the property
+//! test, per house style.
+
+use crate::dualsim::{dual_simulation, DualSim};
+use crate::pattern::ResolvedPattern;
+use rbq_graph::{GraphView, Label, NodeId};
+use rustc_hash::FxHashSet;
+
+/// Recompute the maximum dual simulation on the post-delta graph `g` from
+/// the pre-delta relation `prev`, re-seeding only from the delta.
+///
+/// * `g` — the graph **after** the delta is applied.
+/// * `prev` — the relation on the pre-delta graph (`None` when it was
+///   empty/nonexistent).
+/// * `added` — the added edges of the delta (a superset of the effective
+///   ones is fine — extra endpoints only enlarge the universe, never
+///   change the answer). Removed edges need not be supplied.
+/// * `first_new_node` — the pre-delta node count; ids at or above it are
+///   nodes the delta created.
+///
+/// Answers are identical to `dual_simulation(q, g, None)` on the updated
+/// graph; the work is proportional to the previous relation plus the
+/// candidate-restricted closure of the delta, not to `|V|`.
+pub fn dual_simulation_incremental<V: GraphView + ?Sized>(
+    q: &ResolvedPattern,
+    g: &V,
+    prev: Option<&DualSim>,
+    added: &[(NodeId, NodeId)],
+    first_new_node: usize,
+) -> Option<DualSim> {
+    // Labels the query mentions — the candidate alphabet. Nodes outside it
+    // can never enter the relation, so the closure BFS skips them.
+    let mut qlabels: Vec<Label> = q.pattern().nodes().map(|u| q.label(u)).collect();
+    qlabels.sort_unstable();
+    qlabels.dedup();
+    let is_candidate = |v: NodeId| g.contains(v) && qlabels.binary_search(&g.label(v)).is_ok();
+
+    // Closure: candidate-restricted bidirectional BFS from the added
+    // edges' endpoints and every new node.
+    let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let seed = |v: NodeId, visited: &mut FxHashSet<NodeId>, frontier: &mut Vec<NodeId>| {
+        if is_candidate(v) && visited.insert(v) {
+            frontier.push(v);
+        }
+    };
+    for &(u, v) in added {
+        seed(u, &mut visited, &mut frontier);
+        seed(v, &mut visited, &mut frontier);
+    }
+    for i in first_new_node..g.num_nodes() {
+        seed(NodeId::new(i), &mut visited, &mut frontier);
+    }
+    while let Some(v) = frontier.pop() {
+        for w in g.out_neighbors(v) {
+            seed(w, &mut visited, &mut frontier);
+        }
+        for w in g.in_neighbors(v) {
+            seed(w, &mut visited, &mut frontier);
+        }
+    }
+
+    // Universe = previous relation ∪ closure ∪ new nodes ∪ {v_p}. Extra
+    // members are harmless (the fixpoint re-verifies everything), missing
+    // ones are not — every set below is argued for in the module docs.
+    let mut universe: Vec<NodeId> = visited.into_iter().collect();
+    if let Some(prev) = prev {
+        for u in q.pattern().nodes() {
+            universe.extend_from_slice(prev.matches(u));
+        }
+    }
+    universe.extend((first_new_node..g.num_nodes()).map(NodeId::new));
+    if g.contains(q.vp()) {
+        universe.push(q.vp());
+    }
+    universe.sort_unstable();
+    universe.dedup();
+
+    dual_simulation(q, g, Some(&universe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBuilder;
+    use proptest::prelude::*;
+    use rbq_graph::builder::graph_from_edges;
+    use rbq_graph::{DeltaBatch, Graph};
+
+    /// Chain query A -> B -> C anchored at A.
+    fn chain_query() -> crate::pattern::Pattern {
+        let mut pb = PatternBuilder::new();
+        let a = pb.add_node("A");
+        let b = pb.add_node("B");
+        let c = pb.add_node("C");
+        pb.add_edge(a, b).add_edge(b, c);
+        pb.personalized(a).output(c);
+        pb.build()
+    }
+
+    #[test]
+    fn resurrection_cascades_past_delta_endpoints() {
+        // a(A) -> b(B), c(C) dangling: no relation (b has no C child).
+        // Adding b -> c must resurrect a — which is NOT a delta endpoint;
+        // only the closure through candidate b reaches it.
+        let g = graph_from_edges(&["A", "B", "C"], &[(0, 1)]);
+        let q = chain_query().resolve(&g).unwrap();
+        let prev = dual_simulation(&q, &g, None);
+        assert!(prev.is_none());
+
+        let mut d = DeltaBatch::new();
+        d.add_edge(NodeId(1), NodeId(2));
+        let (g2, _) = g.apply_delta(&d).unwrap();
+        let q2 = chain_query().resolve(&g2).unwrap();
+        let inc = dual_simulation_incremental(
+            &q2,
+            &g2,
+            prev.as_ref(),
+            &[(NodeId(1), NodeId(2))],
+            g.node_count(),
+        )
+        .unwrap();
+        let full = dual_simulation(&q2, &g2, None).unwrap();
+        for u in q2.pattern().nodes() {
+            assert_eq!(inc.matches_sorted(u), full.matches_sorted(u));
+        }
+        assert_eq!(inc.matches_sorted(crate::pattern::PNode(2)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn removal_kills_stale_matches_without_seeding() {
+        // Full chain exists; removing b -> c collapses the relation even
+        // though no added edge seeds the repair.
+        let g = graph_from_edges(&["A", "B", "C"], &[(0, 1), (1, 2)]);
+        let q = chain_query().resolve(&g).unwrap();
+        let prev = dual_simulation(&q, &g, None);
+        assert!(prev.is_some());
+
+        let mut d = DeltaBatch::new();
+        d.remove_edge(NodeId(1), NodeId(2));
+        let (g2, _) = g.apply_delta(&d).unwrap();
+        let q2 = chain_query().resolve(&g2).unwrap();
+        let inc = dual_simulation_incremental(&q2, &g2, prev.as_ref(), &[], g.node_count());
+        assert!(inc.is_none());
+        assert!(dual_simulation(&q2, &g2, None).is_none());
+    }
+
+    #[test]
+    fn new_node_with_new_label_joins_relation() {
+        // Graph lacks any C node; the delta adds one under b. The new node
+        // seeds the closure even though no pre-existing node changed.
+        let g = graph_from_edges(&["A", "B"], &[(0, 1)]);
+        let q = chain_query().resolve(&g); // "C" unknown -> resolve fails
+        assert!(q.is_err());
+
+        let mut d = DeltaBatch::new();
+        d.add_node("C"); // node 2
+        d.add_edge(NodeId(1), NodeId(2));
+        let (g2, _) = g.apply_delta(&d).unwrap();
+        let q2 = chain_query().resolve(&g2).unwrap();
+        let inc =
+            dual_simulation_incremental(&q2, &g2, None, &[(NodeId(1), NodeId(2))], g.node_count())
+                .unwrap();
+        let full = dual_simulation(&q2, &g2, None).unwrap();
+        for u in q2.pattern().nodes() {
+            assert_eq!(inc.matches_sorted(u), full.matches_sorted(u));
+        }
+    }
+
+    // ------------------------------------------------ differential oracle
+
+    /// One generated case: base graph, anchored chain pattern, edge adds,
+    /// edge removes, new-node labels.
+    type Case = (
+        Graph,
+        crate::pattern::Pattern,
+        Vec<(u32, u32)>,
+        Vec<(u32, u32)>,
+        Vec<u8>,
+    );
+
+    /// Random base graph over labels {ME, L0..L3} with node 0 = ME, a
+    /// random anchored chain pattern, and a random delta batch (adds,
+    /// removes, node additions, self-loops, duplicates).
+    fn arb_case() -> impl Strategy<Value = Case> {
+        (3usize..16).prop_flat_map(|n| {
+            let labels = proptest::collection::vec(0u8..4, n - 1);
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 2);
+            let extra = proptest::collection::vec((0u8..4, prop::bool::ANY), 1..4);
+            let new_nodes = proptest::collection::vec(0u8..4, 0..3);
+            // Delta endpoints may reference the new nodes too.
+            let m = (n + 3) as u32;
+            let adds = proptest::collection::vec((0..m, 0..m), 0..6);
+            let removes = proptest::collection::vec((0..m, 0..m), 0..6);
+            ((labels, edges, extra), (adds, removes, new_nodes)).prop_map(
+                |((labels, edges, extra), (adds, removes, new_nodes))| {
+                    let names: Vec<String> = std::iter::once("ME".to_string())
+                        .chain(labels.iter().map(|l| format!("L{l}")))
+                        .collect();
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    let g = graph_from_edges(&refs, &edges);
+                    let mut pb = PatternBuilder::new();
+                    let me = pb.add_node("ME");
+                    let mut prev = me;
+                    for (l, fwd) in extra {
+                        let u = pb.add_node(&format!("L{l}"));
+                        if fwd {
+                            pb.add_edge(prev, u);
+                        } else {
+                            pb.add_edge(u, prev);
+                        }
+                        prev = u;
+                    }
+                    pb.personalized(me).output(prev);
+                    (g, pb.build(), adds, removes, new_nodes)
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(160))]
+
+        /// Incremental repair from the previous relation equals the full
+        /// fixpoint on the updated graph, for arbitrary deltas.
+        #[test]
+        fn incremental_equals_full((g, p, adds, removes, new_nodes) in arb_case()) {
+            let prev = p.resolve(&g).ok().and_then(|q| dual_simulation(&q, &g, None));
+
+            let mut d = DeltaBatch::new();
+            for l in &new_nodes {
+                d.add_node(&format!("L{l}"));
+            }
+            let n1 = (g.node_count() + new_nodes.len()) as u32;
+            let mut added: Vec<(NodeId, NodeId)> = Vec::new();
+            for &(u, v) in &adds {
+                let (u, v) = (u % n1, v % n1);
+                d.add_edge(NodeId(u), NodeId(v));
+                added.push((NodeId(u), NodeId(v)));
+            }
+            for &(u, v) in &removes {
+                d.remove_edge(NodeId(u % n1), NodeId(v % n1));
+            }
+            let (g2, _) = g.apply_delta(&d).unwrap();
+
+            let Ok(q2) = p.resolve(&g2) else { return Ok(()); };
+            let inc = dual_simulation_incremental(
+                &q2, &g2, prev.as_ref(), &added, g.node_count(),
+            );
+            let full = dual_simulation(&q2, &g2, None);
+            match (inc, full) {
+                (None, None) => {}
+                (Some(i), Some(f)) => {
+                    for u in p.nodes() {
+                        prop_assert_eq!(
+                            i.matches_sorted(u),
+                            f.matches_sorted(u),
+                            "mismatch at query node {:?}", u
+                        );
+                    }
+                }
+                (i, f) => prop_assert!(
+                    false,
+                    "existence mismatch: incremental={} full={}",
+                    i.is_some(),
+                    f.is_some()
+                ),
+            }
+        }
+    }
+}

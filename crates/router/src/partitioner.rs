@@ -1,19 +1,24 @@
 //! Partitioning policies: how a router splits node ownership across shards.
 
 use rbq_graph::partition::{partition_by_label_hash, partition_by_scc};
-use rbq_graph::{Graph, ShardAssignment};
+use rbq_graph::{Graph, PartitionError, ShardAssignment};
 
 /// A policy assigning every node of `G` to one of `k` shards.
 ///
 /// Implementations must be deterministic — the router builds the
-/// assignment once at construction and routes against it for its whole
-/// lifetime, and differential testing replays the same assignment.
+/// assignment once at construction (and once per applied delta batch) and
+/// routes against it in between, and differential testing replays the same
+/// assignment.
 pub trait Partitioner {
     /// Short stable name, for reports and CLI round-trips.
     fn name(&self) -> &'static str;
 
     /// Assign every node of `g` to one of `shards` shards.
-    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment;
+    ///
+    /// Malformed inputs (zero shards, an assignment that does not cover
+    /// the graph) surface as a typed [`PartitionError`] instead of a
+    /// panic, so front ends can report them with an exit code.
+    fn partition(&self, g: &Graph, shards: usize) -> Result<ShardAssignment, PartitionError>;
 }
 
 /// Label-hash partitioning: all nodes of a label share the shard
@@ -31,7 +36,7 @@ impl Partitioner for LabelHashPartitioner {
         "label"
     }
 
-    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+    fn partition(&self, g: &Graph, shards: usize) -> Result<ShardAssignment, PartitionError> {
         partition_by_label_hash(g, shards)
     }
 }
@@ -50,7 +55,7 @@ impl Partitioner for SccPartitioner {
         "scc"
     }
 
-    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+    fn partition(&self, g: &Graph, shards: usize) -> Result<ShardAssignment, PartitionError> {
         partition_by_scc(g, shards)
     }
 }
@@ -72,7 +77,7 @@ impl Partitioner for PartitionerKind {
         }
     }
 
-    fn partition(&self, g: &Graph, shards: usize) -> ShardAssignment {
+    fn partition(&self, g: &Graph, shards: usize) -> Result<ShardAssignment, PartitionError> {
         match self {
             PartitionerKind::LabelHash => LabelHashPartitioner.partition(g, shards),
             PartitionerKind::Scc => SccPartitioner.partition(g, shards),

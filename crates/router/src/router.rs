@@ -1,11 +1,13 @@
 //! The router: shard construction, per-query routing, deterministic merge.
 
-use crate::partitioner::Partitioner;
+use crate::partitioner::{Partitioner, PartitionerKind};
 use rbq_core::NeighborIndex;
 use rbq_engine::{
     settle_aggregate, Engine, EngineConfig, EngineError, EngineStats, Query, QueryResult,
 };
-use rbq_graph::{Graph, PartitionStats, ShardAssignment};
+use rbq_graph::{
+    DeltaBatch, DeltaError, DeltaReport, Graph, PartitionError, PartitionStats, ShardAssignment,
+};
 use rbq_reach::HierarchicalIndex;
 use std::sync::{Arc, Mutex};
 
@@ -16,6 +18,15 @@ pub enum RouterError {
     InvalidShards,
     /// The engine configuration was rejected (wrapped losslessly).
     Engine(EngineError),
+    /// The partitioner rejected its input (wrapped losslessly).
+    Partition(PartitionError),
+    /// A delta batch was rejected (wrapped losslessly).
+    Delta(DeltaError),
+    /// [`Router::apply_deltas`] needs to re-run the partitioning policy,
+    /// but the router was built with a custom [`Partitioner`] it cannot
+    /// reconstruct from its name. Built-in policies (label, scc) always
+    /// support live updates.
+    UnsupportedPartitioner(&'static str),
 }
 
 impl std::fmt::Display for RouterError {
@@ -23,6 +34,12 @@ impl std::fmt::Display for RouterError {
         match self {
             RouterError::InvalidShards => write!(f, "shard count must be >= 1"),
             RouterError::Engine(e) => write!(f, "{e}"),
+            RouterError::Partition(e) => write!(f, "{e}"),
+            RouterError::Delta(e) => write!(f, "{e}"),
+            RouterError::UnsupportedPartitioner(name) => write!(
+                f,
+                "partitioner {name:?} cannot be re-applied for live updates"
+            ),
         }
     }
 }
@@ -31,7 +48,9 @@ impl std::error::Error for RouterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RouterError::Engine(e) => Some(e),
-            RouterError::InvalidShards => None,
+            RouterError::Partition(e) => Some(e),
+            RouterError::Delta(e) => Some(e),
+            RouterError::InvalidShards | RouterError::UnsupportedPartitioner(_) => None,
         }
     }
 }
@@ -39,6 +58,18 @@ impl std::error::Error for RouterError {
 impl From<EngineError> for RouterError {
     fn from(e: EngineError) -> Self {
         RouterError::Engine(e)
+    }
+}
+
+impl From<PartitionError> for RouterError {
+    fn from(e: PartitionError) -> Self {
+        RouterError::Partition(e)
+    }
+}
+
+impl From<DeltaError> for RouterError {
+    fn from(e: DeltaError) -> Self {
+        RouterError::Delta(e)
     }
 }
 
@@ -79,6 +110,10 @@ pub struct Router {
     assignment: ShardAssignment,
     shards: Vec<Engine>,
     partitioner: &'static str,
+    /// The built-in policy behind `partitioner`, when it is one — what
+    /// [`Router::apply_deltas`] re-runs to re-resolve ownership after a
+    /// batch. `None` for custom policies the router cannot reconstruct.
+    repartition: Option<PartitionerKind>,
     /// The front-door aggregate budget; shard engines run unbudgeted and
     /// the router settles once, in input order.
     aggregate_visit_budget: Option<usize>,
@@ -103,7 +138,7 @@ impl Router {
             return Err(RouterError::InvalidShards);
         }
         cfg.validate()?;
-        let assignment = partitioner.partition(&g, shards);
+        let assignment = partitioner.partition(&g, shards)?;
 
         // Offline once, shared everywhere: identical Arc'd indexes are what
         // make shard answers byte-identical to a standalone engine's.
@@ -137,9 +172,51 @@ impl Router {
             assignment,
             shards: engines,
             partitioner: partitioner.name(),
+            repartition: partitioner.name().parse::<PartitionerKind>().ok(),
             aggregate_visit_budget: cfg.aggregate_visit_budget,
             totals: Mutex::new(EngineStats::default()),
         })
+    }
+
+    /// Apply a delta batch to the whole sharded deployment.
+    ///
+    /// The delta is applied **once** and both offline indexes are rebuilt
+    /// **once** (concurrently, off the serving path); the shared result is
+    /// then installed into every shard engine — each bumps its generation
+    /// and evicts its touched cache entries — and ownership is re-resolved
+    /// by re-running the partitioning policy on the post-delta graph, so
+    /// new and moved nodes route to their proper owners. Batches already
+    /// in flight on shard engines drain on their pinned pre-delta epochs.
+    ///
+    /// Requires `&mut self`: routing state (graph, assignment) swaps
+    /// atomically with respect to [`Router::run_batch`] borrows.
+    pub fn apply_deltas(&mut self, batch: &DeltaBatch) -> Result<DeltaReport, RouterError> {
+        let kind = self
+            .repartition
+            .ok_or(RouterError::UnsupportedPartitioner(self.partitioner))?;
+        let (g2, report) = self.g.apply_delta(batch)?;
+        let g2 = Arc::new(g2);
+        let reach_alpha = self.shards[0].config().reach_alpha;
+        let (nbr, reach) = std::thread::scope(|s| {
+            let hn = s.spawn(|| Arc::new(NeighborIndex::build(&g2)));
+            let hr = s.spawn(|| Arc::new(HierarchicalIndex::build(&g2, reach_alpha)));
+            (
+                hn.join().expect("neighbor index rebuild panicked"),
+                hr.join().expect("reach index rebuild panicked"),
+            )
+        });
+        let assignment = kind.partition(&g2, self.shards.len())?;
+        for engine in &self.shards {
+            engine.install_graph(
+                g2.clone(),
+                Some(nbr.clone()),
+                Some(reach.clone()),
+                &report.touched_labels,
+            );
+        }
+        self.g = g2;
+        self.assignment = assignment;
+        Ok(report)
     }
 
     /// Number of shards `k`.
@@ -433,6 +510,63 @@ mod tests {
         router.run_batch(&qs);
         router.run_batch(&qs);
         assert_eq!(router.stats().queries, 2);
+    }
+
+    #[test]
+    fn apply_deltas_matches_fresh_router() {
+        let queries = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            pattern_query("Michael"),
+            pattern_query("Newcomer"),
+        ];
+        let mut batch = DeltaBatch::new();
+        let rank = batch.add_node("Newcomer");
+        batch.add_edge(NodeId(3), NodeId(4 + rank as u32));
+        batch.remove_edge(NodeId(1), NodeId(3));
+
+        for partitioner in [&LabelHashPartitioner as &dyn Partitioner, &SccPartitioner] {
+            for k in [1usize, 2, 4] {
+                let mut live = Router::new(fig1_graph(), cfg(), k, partitioner).unwrap();
+                let report = live.apply_deltas(&batch).unwrap();
+                assert_eq!(report.nodes_added, 1);
+                assert_eq!(report.edges_added, 1);
+                assert_eq!(report.edges_removed, 1);
+
+                let (g2, _) = fig1_graph().apply_delta(&batch).unwrap();
+                let fresh = Router::new(Arc::new(g2), cfg(), k, partitioner).unwrap();
+
+                // Ownership re-resolved: identical routing for every query,
+                // including the one anchored at the batch-added node.
+                for q in &queries {
+                    assert_eq!(live.route(q), fresh.route(q), "routing diverged at k={k}");
+                }
+                let a = live.run_batch(&queries);
+                let b = fresh.run_batch(&queries);
+                for (i, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+                    assert_eq!(x.answer, y.answer, "answer {i} diverged at k={k}");
+                    assert_eq!(x.visits, y.visits, "visits {i} diverged at k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_deltas_rejects_bad_batch() {
+        let mut router = Router::new(fig1_graph(), cfg(), 2, &LabelHashPartitioner).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(NodeId(0), NodeId(99));
+        match router.apply_deltas(&batch) {
+            Err(RouterError::Delta(DeltaError::EdgeOutOfRange { .. })) => {}
+            other => panic!("expected typed delta error, got {other:?}"),
+        }
+        // Nothing changed: the old graph still serves.
+        assert_eq!(
+            router.run_batch(&[pattern_query("Michael")]).results.len(),
+            1
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! rbq workload g.txt --count 200 --seed 7 --out q.txt
 //! rbq batch g.txt q.txt --alpha 0.005 --threads 8
 //! rbq batch g.txt q.txt --shards 4 --partitioner scc --answers a.txt
+//! rbq ingest g.txt d.txt --out g2.txt
 //! ```
 //!
 //! Graphs use the plain-text format of `rbq_graph::io` (`n <id> <label>` /
@@ -18,12 +19,12 @@
 //! <edges>` query serialization).
 
 use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
-use rbq::rbq_engine::wire::{parse_query_file, write_answer_file};
+use rbq::rbq_engine::wire::{parse_delta_file, parse_query_file, write_answer_file};
 use rbq::rbq_engine::{
     Answer, Engine, EngineConfig, EngineError, Query, QueryParseError, WireWriteError,
     QUERY_FILE_HEADER,
 };
-use rbq::rbq_graph::{io as gio, Graph, GraphView, NodeId};
+use rbq::rbq_graph::{io as gio, DeltaError, Graph, GraphView, NodeId};
 use rbq::rbq_pattern::{bisimulation_compress, match_opt};
 use rbq::rbq_reach::{compress_for_reachability, HierarchicalIndex};
 use rbq::rbq_router::{PartitionerKind, Router, RouterError};
@@ -52,6 +53,8 @@ enum CliError {
     },
     /// Router construction failed.
     Router(RouterError),
+    /// A delta batch was rejected at apply time.
+    Delta(DeltaError),
     /// Writing a wire-format file failed.
     Wire(WireWriteError),
     /// Other I/O.
@@ -65,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::Engine(e) => write!(f, "{e}"),
             CliError::Parse { path, source } => write!(f, "{path}: {source}"),
             CliError::Router(e) => write!(f, "{e}"),
+            CliError::Delta(e) => write!(f, "{e}"),
             CliError::Wire(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
@@ -78,6 +82,7 @@ impl std::error::Error for CliError {
             CliError::Engine(e) => Some(e),
             CliError::Parse { source, .. } => Some(source),
             CliError::Router(e) => Some(e),
+            CliError::Delta(e) => Some(e),
             CliError::Wire(e) => Some(e),
             CliError::Io(e) => Some(e),
         }
@@ -114,6 +119,12 @@ impl From<WireWriteError> for CliError {
     }
 }
 
+impl From<DeltaError> for CliError {
+    fn from(e: DeltaError) -> Self {
+        CliError::Delta(e)
+    }
+}
+
 impl From<QueryParseError> for CliError {
     fn from(e: QueryParseError) -> Self {
         CliError::Wire(WireWriteError::Format(e))
@@ -133,7 +144,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: rbq <generate|stats|compress|reach|pattern|workload|batch> [args]\n\
+                "usage: rbq <generate|stats|compress|reach|pattern|workload|batch|ingest> [args]\n\
                  see module docs for details"
             );
             ExitCode::from(2)
@@ -152,6 +163,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "pattern" => cmd_pattern(rest),
         "workload" => cmd_workload(rest),
         "batch" => cmd_batch(rest),
+        "ingest" => cmd_ingest(rest),
         other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }
@@ -495,9 +507,6 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         .unwrap_or_else(|| "1".into())
         .parse()
         .map_err(|_| "bad --shards")?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
     let partitioner: PartitionerKind = partitioner
         .unwrap_or_else(|| "scc".into())
         .parse()
@@ -519,7 +528,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let max_units = ResourceBudget::from_ratio(&*g, alpha).max_units;
 
     let start = std::time::Instant::now();
-    let (results, stats) = if shards <= 1 {
+    // shards == 0 deliberately falls through to Router::new, which rejects
+    // it with the typed RouterError::InvalidShards (exit code 2, no panic).
+    let (results, stats) = if shards == 1 {
         let engine = Engine::new(g.clone(), cfg);
         let report = engine.run_batch(&queries);
         (report.results, report.stats)
@@ -580,6 +591,60 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         let aa: Vec<Answer> = results.iter().map(|r| r.answer.clone()).collect();
         write_answer_file(&mut BufWriter::new(f), &aa)?;
         println!("wrote {} answers to {path}", aa.len());
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
+    let (mut out, mut compact) = (None, None);
+    let pos = parse_flags(args, &mut [("out", &mut out), ("compact", &mut compact)])?;
+    let [graph_path, delta_path] = pos.as_slice() else {
+        return Err("usage: ingest GRAPH DELTAFILE [--out FILE] [--compact 1]".into());
+    };
+    let g = load_graph(graph_path)?;
+    let text = std::fs::read_to_string(delta_path)
+        .map_err(|e| format!("cannot open {delta_path}: {e}"))?;
+    let file = parse_delta_file(&text).map_err(|e| CliError::Parse {
+        path: (*delta_path).to_owned(),
+        source: e,
+    })?;
+    if file.headerless {
+        eprintln!("warning: {delta_path} has no #rbq-deltas header; reading it as v1");
+    }
+    let (g2, report) = g.apply_delta(&file.batch)?;
+    let g2 = if compact.is_some_and(|v| v != "0") && g2.is_overlaid() {
+        g2.compact()
+    } else {
+        g2
+    };
+    println!(
+        "applied {} ops: +{} nodes, +{} edges, -{} edges; touched labels: {}",
+        file.batch.len(),
+        report.nodes_added,
+        report.edges_added,
+        report.edges_removed,
+        if report.touched_labels.is_empty() {
+            "-".to_owned()
+        } else {
+            report.touched_labels.join(",")
+        }
+    );
+    println!(
+        "graph now {} nodes, {} edges{}",
+        g2.node_count(),
+        g2.edge_count(),
+        if report.compacted {
+            " (auto-compacted)"
+        } else if g2.is_overlaid() {
+            " (overlaid)"
+        } else {
+            ""
+        }
+    );
+    if let Some(out) = out {
+        let f = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        gio::write_graph(&g2, BufWriter::new(f)).map_err(CliError::Io)?;
+        println!("wrote updated graph to {out}");
     }
     Ok(())
 }
@@ -777,10 +842,65 @@ mod tests {
             "2"
         ]))
         .is_err());
-        assert!(run(&argv(&["batch", &g, &q, "--shards", "0"])).is_err());
+        // Zero shards surfaces the typed router error (exit code 2, not a
+        // panic), through the full CLI chain.
+        let err = run(&argv(&["batch", &g, &q, "--shards", "0"])).unwrap_err();
+        assert!(
+            matches!(err, CliError::Router(RouterError::InvalidShards)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("shard count"), "{err}");
         let _ = std::fs::remove_file(&g);
         let _ = std::fs::remove_file(&qpath);
         let _ = std::fs::remove_file(&apath);
+    }
+
+    #[test]
+    fn ingest_applies_and_saves() {
+        let g = temp_graph("ingest_ok");
+        let tmp = std::env::temp_dir();
+        let dpath = tmp.join(format!("rbq_cli_delta_{}.txt", std::process::id()));
+        let opath = tmp.join(format!("rbq_cli_ingested_{}.txt", std::process::id()));
+        std::fs::write(&dpath, "#rbq-deltas v1\nan C\nae 2 3\nre 0 1\n").expect("write deltas");
+        let (d, o) = (
+            dpath.to_string_lossy().into_owned(),
+            opath.to_string_lossy().into_owned(),
+        );
+        run(&argv(&["ingest", &g, &d, "--out", &o])).expect("ingest");
+        let g2 = load_graph(&o).expect("reload ingested graph");
+        // Base was ME->A->B; the delta added C with B->C and removed ME->A.
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.node_label_str(NodeId(3)), "C");
+        assert!(g2.edge(NodeId(2), NodeId(3)));
+        assert!(!g2.edge(NodeId(0), NodeId(1)));
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&dpath);
+        let _ = std::fs::remove_file(&opath);
+    }
+
+    #[test]
+    fn ingest_surfaces_typed_errors() {
+        let g = temp_graph("ingest_bad");
+        let tmp = std::env::temp_dir();
+        let dpath = tmp.join(format!("rbq_cli_baddelta_{}.txt", std::process::id()));
+        let d = dpath.to_string_lossy().into_owned();
+
+        // Malformed line: parse error tagged with path and line.
+        std::fs::write(&dpath, "#rbq-deltas v1\nae nope 1\n").expect("write deltas");
+        let err = run(&argv(&["ingest", &g, &d])).unwrap_err();
+        assert!(matches!(err, CliError::Parse { .. }), "{err}");
+
+        // Well-formed but out of range: typed delta apply error.
+        std::fs::write(&dpath, "#rbq-deltas v1\nae 0 99\n").expect("write deltas");
+        let err = run(&argv(&["ingest", &g, &d])).unwrap_err();
+        assert!(
+            matches!(err, CliError::Delta(DeltaError::EdgeOutOfRange { .. })),
+            "{err}"
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let _ = std::fs::remove_file(&g);
+        let _ = std::fs::remove_file(&dpath);
     }
 
     #[test]
