@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 fn vf2_cfg() -> Vf2Config {
     Vf2Config {
         max_steps: Some(20_000_000),
+        ..Default::default()
     }
 }
 
@@ -203,7 +204,11 @@ fn main() {
 /// its before/after trajectory. Run with `--compare OLD.json` to embed the
 /// old run as `baseline` and report per-bench speedups.
 ///
-/// Schema `rbq-perf-snapshot-v4` (PR 7): adds the live-update rows —
+/// Schema `rbq-perf-snapshot-v5` (PR 8): adds `rbsim_deadline_overhead`
+/// — the warm `rbsim` loop with an unreachable deadline armed on the
+/// scratch, isolating the cooperative cancellation tick's cost (the
+/// deadline guard must stay within ~5% of the plain `rbsim` row).
+/// v4 (PR 7) added the live-update rows —
 /// `delta_apply` (per-op cost of [`Engine::apply_deltas`] on an
 /// edge-churn batch: overlay apply + rebuild of both indexes + epoch
 /// swap) and `rbsim_postcompact` (the bounded hot path re-timed on the
@@ -277,6 +282,24 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
             }
         }) / nq,
     ));
+    // Same pipeline with an unreachable deadline armed: measures the
+    // cooperative cancellation tick (clock read every TICK_INTERVAL
+    // iterations). Must stay within ~5% of the `rbsim` row — the cost of
+    // deadline-aware serving when deadlines never fire.
+    {
+        let far = Instant::now() + Duration::from_secs(3600);
+        scratch.set_cancel(rbq_graph::CancelToken::at(far));
+        rows.push((
+            "rbsim_deadline_overhead",
+            time_median(cfg.reps, || {
+                for q in &qs {
+                    rbsim_with(&ds.g, &ds.idx, q, &budget, &mut scratch, &mut ans);
+                    std::hint::black_box(&ans);
+                }
+            }) / nq,
+        ));
+        scratch.set_cancel(rbq_graph::CancelToken::none());
+    }
     // Bounded isomorphism: the same reduction under the degree-enriched
     // guard, then VF2 on G_Q.
     rows.push((
@@ -529,7 +552,7 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"rbq-perf-snapshot-v4\",\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v5\",\n");
     json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
     json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
     json.push_str(&format!("  \"seed\": {},\n", cfg.seed));

@@ -33,6 +33,15 @@ impl PatternScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Arm (or clear) the deadline for every subsequent evaluation through
+    /// this scratch — forwarded to the reduction's `Search`/`Pick` loop and
+    /// the strong-simulation evaluation (ball BFS + dual-sim fixpoint).
+    /// VF2's deadline travels separately in [`rbq_pattern::Vf2Config`].
+    pub fn set_cancel(&mut self, token: rbq_graph::CancelToken) {
+        self.reduction.set_cancel(token);
+        self.eval.set_cancel(token);
+    }
 }
 
 /// Run RBSim: dynamic reduction followed by strong simulation on `G_Q`.

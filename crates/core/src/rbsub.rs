@@ -174,6 +174,7 @@ mod tests {
             &budget,
             Vf2Config {
                 max_steps: Some(10),
+                ..Default::default()
             },
         );
         assert!(ans.gq_size <= 30);

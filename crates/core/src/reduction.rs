@@ -285,12 +285,22 @@ pub struct ReductionScratch {
     uniq_in: Vec<Vec<Label>>,
     cost_out: Vec<(Label, u32)>,
     cost_in: Vec<(Label, u32)>,
+    /// Deadline ticker checked once per popped `(u, v)` pair in the
+    /// `Search`/`Pick` worklist loop.
+    cancel: rbq_graph::CancelTicker,
 }
 
 impl ReductionScratch {
     /// Fresh scratch; buffers grow on first use and are reused after.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) the deadline checked by every subsequent reduction
+    /// through this scratch. On expiry the search unwinds with a
+    /// [`rbq_graph::CancelPanic`] tagged `"reduction.pick"`.
+    pub fn set_cancel(&mut self, token: rbq_graph::CancelToken) {
+        self.cancel.arm(token);
     }
 
     /// Return a finished `G_Q`'s buffers to the scratch so the next
@@ -340,6 +350,10 @@ pub fn search_reduced_graph_scratch<'g>(
     config: ReductionConfig,
     scratch: &mut ReductionScratch,
 ) -> ReductionOutcome<'g> {
+    rbq_graph::faultpoint::fire("reduction.pick");
+    // Copied out (tickers are `Copy`) so the field can ride the `..` of the
+    // destructure below.
+    let mut cancel = scratch.cancel;
     let ctx = GuardCtx::new(g, idx, q, semantics);
     let mut gq = std::mem::take(&mut scratch.subgraph).begin(g);
     let mut visits = VisitAccount::default();
@@ -398,6 +412,7 @@ pub fn search_reduced_graph_scratch<'g>(
         pairs.in_stack_insert(q.up(), q.vp());
 
         while let Some((u, v)) = stack.pop() {
+            cancel.tick("reduction.pick");
             pairs.in_stack_remove(u, v);
 
             // Line 5: add v to G_Q if new, charging its node + induced edges

@@ -9,7 +9,7 @@ use rbq_core::guard::Semantics;
 use rbq_core::{
     rbsim_with, rbsub_scratch, NeighborIndex, PatternAnswer, PatternScratch, ResourceBudget,
 };
-use rbq_graph::{DeltaBatch, DeltaError, DeltaReport, Graph, NodeId};
+use rbq_graph::{CancelPanic, CancelToken, DeltaBatch, DeltaError, DeltaReport, Graph, NodeId};
 use rbq_pattern::{Pattern, Vf2Config};
 use rbq_reach::HierarchicalIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +45,28 @@ pub struct EngineConfig {
     pub aggregate_visit_budget: Option<usize>,
     /// VF2 knobs for isomorphism queries.
     pub vf2: Vf2Config,
+    /// Per-batch deadline, measured from batch entry. Queries that have not
+    /// started when it expires — and queries whose kernels hit a cooperative
+    /// cancellation point after it — settle as [`Answer::TimedOut`].
+    pub batch_timeout: Option<Duration>,
+    /// How queries are admitted against the aggregate visit budget.
+    pub admission: AdmissionPolicy,
+}
+
+/// How a batch's queries are admitted against the aggregate visit budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Evaluate everything; settle delivered answers against the aggregate
+    /// budget in input order (the historical behavior).
+    #[default]
+    InputOrder,
+    /// Shed *before* evaluation: rank queries by a deterministic cost
+    /// estimate (ties broken by input index), greedily admit the cheapest
+    /// within the aggregate budget, and answer the rest [`Answer::Denied`]
+    /// without evaluating them — overload degrades answers-per-budget
+    /// predictably instead of timing out arbitrarily. No-op without an
+    /// aggregate budget.
+    ShortestJobFirst,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +79,8 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             aggregate_visit_budget: None,
             vf2: Vf2Config::default(),
+            batch_timeout: None,
+            admission: AdmissionPolicy::InputOrder,
         }
     }
 }
@@ -172,6 +196,18 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Per-batch deadline (None = no deadline).
+    pub fn batch_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.cfg.batch_timeout = timeout;
+        self
+    }
+
+    /// Admission policy against the aggregate visit budget.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.cfg.admission = policy;
+        self
+    }
+
     /// Validate and return the configuration.
     pub fn build(self) -> Result<EngineConfig, EngineError> {
         if self.explicit_zero_threads {
@@ -227,8 +263,14 @@ pub struct EngineStats {
     pub cache_misses: usize,
     /// Malformed queries answered [`Answer::Error`].
     pub errors: usize,
-    /// Queries denied at aggregate-budget settlement.
+    /// Queries denied at aggregate-budget settlement or shed by admission
+    /// control.
     pub denied: usize,
+    /// Queries settled [`Answer::TimedOut`] by a batch deadline.
+    pub timed_out: usize,
+    /// Queries whose evaluation panicked and was contained
+    /// ([`Answer::Failed`]).
+    pub failed: usize,
     /// Visit cost charged against the aggregate budget (delivered answers
     /// only — never exceeds the configured aggregate budget).
     pub charged_visits: usize,
@@ -257,6 +299,8 @@ impl EngineStats {
         self.cache_misses += other.cache_misses;
         self.errors += other.errors;
         self.denied += other.denied;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
         self.charged_visits += other.charged_visits;
         self.total_visits += other.total_visits;
     }
@@ -274,13 +318,15 @@ impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "queries {} (reach {}, sim {}, iso {}); errors {}, denied {}",
+            "queries {} (reach {}, sim {}, iso {}); errors {}, denied {}, timed out {}, failed {}",
             self.queries,
             self.reach.queries,
             self.sim.queries,
             self.iso.queries,
             self.errors,
-            self.denied
+            self.denied,
+            self.timed_out,
+            self.failed
         )?;
         writeln!(
             f,
@@ -414,22 +460,22 @@ impl Engine {
     /// one snapshot, so a mid-query [`Engine::apply_deltas`] cannot mix
     /// old-graph and new-graph state inside a single evaluation.
     fn pin(&self) -> Arc<Epoch> {
-        self.epoch.read().expect("epoch lock").clone()
+        // The guarded value is an Arc swap — always consistent, so a poison
+        // flag from some past panic carries no information; recover.
+        self.epoch.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Check out a warm worker scratch (or a fresh one when the pool is
     /// dry — first use, or more workers than ever before).
     fn take_scratch(&self) -> WorkerScratch {
-        self.scratches
-            .lock()
-            .expect("scratch lock")
-            .pop()
-            .unwrap_or_default()
+        relock(&self.scratches).pop().unwrap_or_default()
     }
 
     /// Return a worker scratch to the pool, keeping its warm buffers.
+    /// Callers never return a scratch an unwind passed through — a caught
+    /// panic discards the scratch and pools a fresh one instead.
     fn put_scratch(&self, s: WorkerScratch) {
-        self.scratches.lock().expect("scratch lock").push(s);
+        relock(&self.scratches).push(s);
     }
 
     /// Like [`Engine::new`], but seeding pre-built indexes so callers that
@@ -443,6 +489,8 @@ impl Engine {
     ) -> Self {
         let e = Engine::new(g, cfg);
         {
+            // invariant: `e` was created two lines up and never shared, so
+            // no other thread can have poisoned its lock.
             let ep = e.epoch.read().expect("epoch lock");
             if let Some(n) = neighbor {
                 let _ = ep.nbr.set(n);
@@ -544,7 +592,8 @@ impl Engine {
         touched_labels: &[String],
     ) {
         {
-            let mut slot = self.epoch.write().expect("epoch lock");
+            // Arc swap: consistent under any poison history; recover.
+            let mut slot = self.epoch.write().unwrap_or_else(|e| e.into_inner());
             let next = Epoch::new(g, slot.generation + 1);
             if let Some(n) = neighbor {
                 let _ = next.nbr.set(n);
@@ -556,29 +605,29 @@ impl Engine {
         }
         // Outside the epoch lock: eviction is reclamation, not correctness
         // (the generation bump already orphaned every old entry).
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .evict_touching(touched_labels);
+        relock(&self.cache).evict_touching(touched_labels);
     }
 
     /// Lifetime statistics across every batch and single query served.
     pub fn stats(&self) -> EngineStats {
-        self.totals.lock().expect("stats lock").clone()
+        relock(&self.totals).clone()
     }
 
     /// Current reduction-cache entry count.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        relock(&self.cache).len()
     }
 
-    /// Answer one query (no aggregate-budget settlement).
+    /// Answer one query (no aggregate-budget settlement). The configured
+    /// [`EngineConfig::batch_timeout`], if any, applies to this single
+    /// query.
     pub fn run(&self, q: &Query) -> QueryResult {
+        let deadline = self.cfg.batch_timeout.map(|t| Instant::now() + t);
         let ep = self.pin();
         let mut scratch = self.take_scratch();
-        let (result, class, latency) = self.run_one(&ep, q, &mut scratch);
+        let (result, class, latency) = self.run_one(&ep, q, &mut scratch, deadline, 0);
         self.put_scratch(scratch);
-        let mut totals = self.totals.lock().expect("stats lock");
+        let mut totals = relock(&self.totals);
         record(&mut totals, &result, class, latency);
         totals.charged_visits += if result.answer.is_ok() {
             result.visits
@@ -599,21 +648,46 @@ impl Engine {
     /// delivered answers are settled against it in input order and the
     /// remainder are [`Answer::Denied`].
     pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        let deadline = self.cfg.batch_timeout.map(|t| Instant::now() + t);
+        self.run_batch_until(queries, deadline)
+    }
+
+    /// [`Engine::run_batch`] against an explicit absolute deadline (None =
+    /// none), overriding [`EngineConfig::batch_timeout`]. The router uses
+    /// this to give every shard of one batch the *same* deadline instant.
+    pub fn run_batch_until(&self, queries: &[Query], deadline: Option<Instant>) -> BatchReport {
         let ep = self.pin();
         let n = queries.len();
         let threads = self.effective_threads(n);
+        let shed = self.admission_shed(&ep, queries);
         let mut results: Vec<Option<Evaluated>> = Vec::new();
         results.resize_with(n, || None);
+        for (i, s) in shed.iter().enumerate() {
+            if let Some(answer) = s {
+                results[i] = Some((
+                    QueryResult {
+                        answer: answer.clone(),
+                        visits: 0,
+                        cached: false,
+                    },
+                    queries[i].class(),
+                    Duration::ZERO,
+                ));
+            }
+        }
 
         if threads <= 1 {
             let mut scratch = self.take_scratch();
             for (i, q) in queries.iter().enumerate() {
-                results[i] = Some(self.run_one(&ep, q, &mut scratch));
+                if results[i].is_none() {
+                    results[i] = Some(self.run_one(&ep, q, &mut scratch, deadline, i as u64));
+                }
             }
             self.put_scratch(scratch);
         } else {
             let cursor = AtomicUsize::new(0);
             let mut shards: Vec<Vec<(usize, Evaluated)>> = Vec::with_capacity(threads);
+            let shed = &shed;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
@@ -630,7 +704,13 @@ impl Engine {
                                 if i >= n {
                                     break;
                                 }
-                                out.push((i, self.run_one(ep, &queries[i], &mut scratch)));
+                                if shed[i].is_some() {
+                                    continue;
+                                }
+                                out.push((
+                                    i,
+                                    self.run_one(ep, &queries[i], &mut scratch, deadline, i as u64),
+                                ));
                             }
                             self.put_scratch(scratch);
                             out
@@ -638,7 +718,13 @@ impl Engine {
                     })
                     .collect();
                 for h in handles {
-                    shards.push(h.join().expect("engine worker panicked"));
+                    // A worker that panicked outside the per-query
+                    // containment (a bug, or an injected scheduler fault)
+                    // loses only its claimed queries: their slots settle as
+                    // Failed below instead of aborting the batch.
+                    if let Ok(shard) = h.join() {
+                        shards.push(shard);
+                    }
                 }
             });
             for shard in shards {
@@ -650,19 +736,85 @@ impl Engine {
 
         let mut stats = EngineStats::default();
         let mut final_results = Vec::with_capacity(n);
-        for slot in results {
-            let (result, class, latency) = slot.expect("every query evaluated");
+        for (i, slot) in results.into_iter().enumerate() {
+            let (result, class, latency) = slot.unwrap_or_else(|| {
+                (
+                    QueryResult {
+                        answer: Answer::Failed("batch worker lost before evaluation".to_string()),
+                        visits: 0,
+                        cached: false,
+                    },
+                    queries[i].class(),
+                    Duration::ZERO,
+                )
+            });
             record(&mut stats, &result, class, latency);
             final_results.push(result);
         }
+        stats.denied += shed.iter().filter(|s| s.is_some()).count();
         let settlement = settle_aggregate(&mut final_results, self.cfg.aggregate_visit_budget);
         stats.denied += settlement.denied;
         stats.charged_visits += settlement.charged_visits;
-        self.totals.lock().expect("stats lock").merge(&stats);
+        relock(&self.totals).merge(&stats);
         BatchReport {
             results: final_results,
             stats,
         }
+    }
+
+    /// The admission decision [`Engine::run_batch`] would make for
+    /// `queries` under an explicit aggregate `budget` (None admits
+    /// everything, as does an [`AdmissionPolicy::InputOrder`]
+    /// configuration). Pure and deterministic; public so a router holding
+    /// the budget at the front door sheds byte-identically to a single
+    /// budgeted engine.
+    pub fn admission_shed_for(
+        &self,
+        queries: &[Query],
+        budget: Option<usize>,
+    ) -> Vec<Option<Answer>> {
+        let ep = self.pin();
+        self.admission_shed_with(&ep, queries, budget)
+    }
+
+    /// Admission control: decide, per query, whether it is shed before
+    /// evaluation (`Some(Denied)`) or admitted (`None`). Deterministic —
+    /// a pure function of the batch, the configuration, and the epoch's
+    /// graph, independent of thread count.
+    fn admission_shed(&self, ep: &Epoch, queries: &[Query]) -> Vec<Option<Answer>> {
+        self.admission_shed_with(ep, queries, self.cfg.aggregate_visit_budget)
+    }
+
+    fn admission_shed_with(
+        &self,
+        ep: &Epoch,
+        queries: &[Query],
+        budget: Option<usize>,
+    ) -> Vec<Option<Answer>> {
+        let mut shed: Vec<Option<Answer>> = vec![None; queries.len()];
+        let (AdmissionPolicy::ShortestJobFirst, Some(budget)) = (self.cfg.admission, budget) else {
+            return shed;
+        };
+        let estimates: Vec<usize> = queries
+            .iter()
+            .map(|q| estimate_cost(q, &ep.g, &self.pattern_budget_on(&ep.g)))
+            .collect();
+        // Shortest job first, ties broken by input index: both the order
+        // and the greedy admission below are deterministic.
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&i| (estimates[i], i));
+        let mut remaining = budget;
+        for i in order {
+            if estimates[i] <= remaining {
+                remaining -= estimates[i];
+            } else {
+                shed[i] = Some(Answer::Denied {
+                    needed: estimates[i],
+                    remaining,
+                });
+            }
+        }
+        shed
     }
 
     fn effective_threads(&self, n: usize) -> usize {
@@ -676,15 +828,67 @@ impl Engine {
         t.max(1).min(n.max(1))
     }
 
-    fn run_one(&self, ep: &Epoch, q: &Query, scratch: &mut WorkerScratch) -> Evaluated {
+    /// Evaluate one query under panic containment. `index` is the query's
+    /// batch position (a fault-injection coordinate). A deadline already
+    /// expired at entry settles as [`Answer::TimedOut`] without evaluating
+    /// — so fully-expired batches are deterministic at any thread count. A
+    /// kernel unwind is caught here: a [`CancelPanic`] (cooperative
+    /// deadline expiry) becomes `TimedOut`, anything else becomes
+    /// [`Answer::Failed`]; either way the scratch an unwind passed through
+    /// is discarded, so the pool never recycles torn buffers.
+    fn run_one(
+        &self,
+        ep: &Epoch,
+        q: &Query,
+        scratch: &mut WorkerScratch,
+        deadline: Option<Instant>,
+        index: u64,
+    ) -> Evaluated {
         let start = Instant::now();
-        let result = match q {
-            Query::Reach { source, target } => self.run_reach(ep, *source, *target),
-            Query::PatternSim { pattern } => {
-                self.run_pattern(ep, pattern, Semantics::Simulation, scratch)
+        let token = match deadline {
+            Some(d) => CancelToken::at(d),
+            None => CancelToken::none(),
+        };
+        if token.is_expired() {
+            return (
+                QueryResult {
+                    answer: Answer::TimedOut,
+                    visits: 0,
+                    cached: false,
+                },
+                q.class(),
+                start.elapsed(),
+            );
+        }
+        // AssertUnwindSafe: on Err every structure the closure touched
+        // mutably (the scratch) is discarded below, and the shared locks it
+        // takes recover from poisoning — no broken invariant survives.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rbq_graph::faultpoint::fire_at("engine.run_one", index);
+            match q {
+                Query::Reach { source, target } => self.run_reach(ep, *source, *target),
+                Query::PatternSim { pattern } => {
+                    self.run_pattern(ep, pattern, Semantics::Simulation, scratch, token)
+                }
+                Query::PatternIso { pattern } => {
+                    self.run_pattern(ep, pattern, Semantics::Isomorphism, scratch, token)
+                }
             }
-            Query::PatternIso { pattern } => {
-                self.run_pattern(ep, pattern, Semantics::Isomorphism, scratch)
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                *scratch = WorkerScratch::default();
+                let answer = if payload.downcast_ref::<CancelPanic>().is_some() {
+                    Answer::TimedOut
+                } else {
+                    Answer::Failed(panic_message(payload.as_ref()))
+                };
+                QueryResult {
+                    answer,
+                    visits: 0,
+                    cached: false,
+                }
             }
         };
         (result, q.class(), start.elapsed())
@@ -717,6 +921,7 @@ impl Engine {
         pattern: &Pattern,
         sem: Semantics,
         scratch: &mut WorkerScratch,
+        cancel: CancelToken,
     ) -> QueryResult {
         // Evaluate the canonical relabeling: isomorphic queries then run the
         // byte-identical computation, so cache hits equal cold answers.
@@ -743,7 +948,7 @@ impl Engine {
             visit_cap: budget.visit_cap,
             generation: ep.generation,
         };
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = relock(&self.cache).get(&key) {
             return QueryResult {
                 answer: hit.answer,
                 visits: hit.visits,
@@ -755,10 +960,17 @@ impl Engine {
             pattern: ps,
             answer: ans,
         } = scratch;
+        // Arm the deadline on every kernel this evaluation can enter; the
+        // unarmed default makes each tick a single branch.
+        ps.set_cancel(cancel);
         match sem {
             Semantics::Simulation => rbsim_with(&ep.g, &idx, &resolved, &budget, ps, ans),
             Semantics::Isomorphism => {
-                rbsub_scratch(&ep.g, &idx, &resolved, &budget, self.cfg.vf2, ps, ans)
+                let vf2 = Vf2Config {
+                    cancel,
+                    ..self.cfg.vf2
+                };
+                rbsub_scratch(&ep.g, &idx, &resolved, &budget, vf2, ps, ans)
             }
         };
         let answer = Answer::Pattern {
@@ -776,7 +988,7 @@ impl Engine {
             .collect();
         labels.sort_unstable();
         labels.dedup();
-        self.cache.lock().expect("cache lock").insert(
+        relock(&self.cache).insert(
             key,
             CachedAnswer {
                 answer: answer.clone(),
@@ -837,6 +1049,46 @@ pub fn settle_aggregate(results: &mut [QueryResult], budget: Option<usize>) -> A
     out
 }
 
+/// Lock a mutex, recovering the guard if a past panic poisoned it. Every
+/// structure the engine guards this way (cache, stats, scratch pool) keeps
+/// its own invariants across a panic — the poison flag adds no safety.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render a caught panic payload as a message for [`Answer::Failed`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic pre-evaluation cost estimate in canonical visit units, for
+/// [`AdmissionPolicy::ShortestJobFirst`]. Reachability answers from the
+/// hierarchical index in a handful of probes; a pattern's reduction charges
+/// at most its budget, approached in proportion to how much structure the
+/// pattern can drag in (nodes × mean degree of the data graph).
+fn estimate_cost(q: &Query, g: &Graph, budget: &ResourceBudget) -> usize {
+    match q {
+        Query::Reach { .. } => 2,
+        Query::PatternSim { pattern } | Query::PatternIso { pattern } => {
+            let mean_degree = if g.node_count() == 0 {
+                0
+            } else {
+                g.edge_count().div_ceil(g.node_count())
+            };
+            budget
+                .max_units
+                .min(pattern.node_count() * (1 + 2 * mean_degree))
+                .max(1)
+        }
+    }
+}
+
 fn record(stats: &mut EngineStats, result: &QueryResult, class: QueryClass, latency: Duration) {
     stats.queries += 1;
     let c = stats.class_mut(class);
@@ -844,6 +1096,13 @@ fn record(stats: &mut EngineStats, result: &QueryResult, class: QueryClass, late
     c.latency += latency;
     match &result.answer {
         Answer::Error(_) => stats.errors += 1,
+        Answer::TimedOut => stats.timed_out += 1,
+        Answer::Failed(_) => stats.failed += 1,
+        // Shed before evaluation: counted as a query, but it did no visits
+        // and never consulted the cache. (Settlement-time denials are
+        // recorded before settlement converts them, so they never reach
+        // this arm.)
+        Answer::Denied { .. } => {}
         _ => {
             c.visits += result.visits;
             stats.total_visits += result.visits;
@@ -1265,5 +1524,181 @@ mod tests {
         assert!(engine.apply_deltas(&batch).is_err());
         assert_eq!(engine.generation(), 0);
         assert_eq!(engine.graph().edge_count(), 4);
+    }
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            Query::PatternSim {
+                pattern: fig1_pattern(),
+            },
+            Query::PatternIso {
+                pattern: fig1_pattern(),
+            },
+            Query::Reach {
+                source: NodeId(3),
+                target: NodeId(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn expired_deadline_times_out_whole_batch_at_any_thread_count() {
+        let g = fig1_graph();
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(
+                g.clone(),
+                EngineConfig {
+                    batch_timeout: Some(Duration::ZERO),
+                    threads,
+                    ..cfg()
+                },
+            );
+            let report = engine.run_batch(&mixed_queries());
+            for (i, r) in report.results.iter().enumerate() {
+                assert_eq!(
+                    r.answer,
+                    Answer::TimedOut,
+                    "query {i} not timed out at {threads} threads"
+                );
+                assert_eq!(r.visits, 0, "timed-out query {i} charged visits");
+            }
+            assert_eq!(report.stats.timed_out, 4);
+            assert_eq!(report.stats.charged_visits, 0);
+            // The engine is still healthy: a fresh deadline-free batch on
+            // the same instance answers normally.
+            let clean = engine.run_batch_until(&mixed_queries(), None);
+            assert!(clean.results[0].answer.is_ok());
+            assert!(clean.results[1].answer.is_ok());
+        }
+    }
+
+    #[test]
+    fn unreachable_deadline_leaves_answers_identical() {
+        let g = fig1_graph();
+        let plain = Engine::new(g.clone(), cfg());
+        let with_deadline = Engine::new(
+            g,
+            EngineConfig {
+                batch_timeout: Some(Duration::from_secs(3600)),
+                ..cfg()
+            },
+        );
+        let qs = mixed_queries();
+        let a = plain.run_batch(&qs);
+        let b = with_deadline.run_batch(&qs);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.answer, y.answer);
+            assert_eq!(x.visits, y.visits);
+        }
+        assert_eq!(b.stats.timed_out, 0);
+    }
+
+    #[test]
+    fn timed_out_answers_round_trip_the_wire() {
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                batch_timeout: Some(Duration::ZERO),
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let report = engine.run_batch(&mixed_queries());
+        let mut buf = Vec::new();
+        let answers: Vec<Answer> = report.results.iter().map(|r| r.answer.clone()).collect();
+        crate::wire::write_answer_file(&mut buf, &answers).unwrap();
+        let parsed = crate::wire::parse_answer_file(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(parsed.answers, answers);
+    }
+
+    #[test]
+    fn sjf_admission_sheds_expensive_queries_without_evaluating() {
+        let g = fig1_graph();
+        let engine = Engine::new(
+            g,
+            EngineConfig {
+                aggregate_visit_budget: Some(10),
+                admission: AdmissionPolicy::ShortestJobFirst,
+                threads: 1,
+                ..cfg()
+            },
+        );
+        // Reach estimates at 2 each; a ratio-1.0 pattern estimates at the
+        // full per-query budget (|G| = 8 units here), so the pattern is
+        // shed and both reach queries are admitted.
+        let qs = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            Query::PatternSim {
+                pattern: fig1_pattern(),
+            },
+            Query::Reach {
+                source: NodeId(3),
+                target: NodeId(0),
+            },
+        ];
+        let report = engine.run_batch(&qs);
+        assert!(report.results[0].answer.is_ok());
+        match report.results[1].answer {
+            Answer::Denied { needed, .. } => assert!(needed > 0),
+            ref other => panic!("expected shed pattern, got {other:?}"),
+        }
+        assert_eq!(report.results[1].visits, 0, "shed query must not run");
+        assert!(report.results[2].answer.is_ok());
+        assert_eq!(report.stats.denied, 1);
+    }
+
+    #[test]
+    fn sjf_without_aggregate_budget_is_a_no_op() {
+        let g = fig1_graph();
+        let sjf = Engine::new(
+            g.clone(),
+            EngineConfig {
+                admission: AdmissionPolicy::ShortestJobFirst,
+                ..cfg()
+            },
+        );
+        let plain = Engine::new(g, cfg());
+        let qs = mixed_queries();
+        let a = sjf.run_batch(&qs);
+        let b = plain.run_batch(&qs);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.answer, y.answer);
+        }
+        assert_eq!(a.stats.denied, 0);
+    }
+
+    #[test]
+    fn sjf_shed_set_is_thread_count_invariant() {
+        let g = fig1_graph();
+        let mut baseline: Option<Vec<bool>> = None;
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(
+                g.clone(),
+                EngineConfig {
+                    aggregate_visit_budget: Some(10),
+                    admission: AdmissionPolicy::ShortestJobFirst,
+                    threads,
+                    ..cfg()
+                },
+            );
+            let report = engine.run_batch(&mixed_queries());
+            let shed: Vec<bool> = report
+                .results
+                .iter()
+                .map(|r| matches!(r.answer, Answer::Denied { .. }))
+                .collect();
+            match &baseline {
+                None => baseline = Some(shed),
+                Some(b) => assert_eq!(b, &shed, "shed set diverges at {threads} threads"),
+            }
+        }
     }
 }

@@ -78,11 +78,14 @@ impl fmt::Display for QueryParseError {
             QueryParseError::UnknownAnswerKind(k) => {
                 write!(
                     f,
-                    "unknown answer kind {k:?} (want reach|pattern|denied|error)"
+                    "unknown answer kind {k:?} (want reach|pattern|denied|error|timedout|failed)"
                 )
             }
             QueryParseError::UnsupportedVersion(v) => {
-                write!(f, "unsupported wire version {v:?} (this build speaks v1)")
+                write!(
+                    f,
+                    "unsupported wire version {v:?} (this build speaks v1-v2)"
+                )
             }
             QueryParseError::AtLine(n, e) => write!(f, "line {n}: {e}"),
         }

@@ -41,11 +41,13 @@ pub mod wire;
 pub use cache::{CacheKey, CachedAnswer, ReductionCache};
 pub use canonical::canonical_pattern;
 pub use engine::{
-    settle_aggregate, AggregateSettlement, BatchReport, BudgetSpec, ClassStats, Engine,
-    EngineConfig, EngineConfigBuilder, EngineStats,
+    settle_aggregate, AdmissionPolicy, AggregateSettlement, BatchReport, BudgetSpec, ClassStats,
+    Engine, EngineConfig, EngineConfigBuilder, EngineStats,
 };
 pub use error::{EngineError, QueryParseError};
 pub use query::{Answer, Query, QueryClass, QueryResult};
+pub use rbq_graph::faultpoint;
 pub use wire::{
-    WireWriteError, ANSWER_FILE_HEADER, DELTA_FILE_HEADER, QUERY_FILE_HEADER, WIRE_VERSION,
+    WireWriteError, ANSWER_FILE_HEADER, DELTA_FILE_HEADER, MIN_WIRE_VERSION, QUERY_FILE_HEADER,
+    WIRE_VERSION,
 };

@@ -221,6 +221,13 @@ pub enum Answer {
     /// The query was malformed for this graph (unknown label, id out of
     /// range, ambiguous anchor, …).
     Error(String),
+    /// The batch deadline expired before (or while) this query evaluated.
+    /// Settled deterministically: a query whose evaluation never started
+    /// before the deadline is timed out regardless of thread count.
+    TimedOut,
+    /// Evaluation panicked and was contained; the rest of the batch is
+    /// unaffected. Carries the panic message when one was available.
+    Failed(String),
 }
 
 impl Answer {
@@ -251,6 +258,8 @@ impl fmt::Display for Answer {
                 )
             }
             Answer::Error(e) => write!(f, "error: {e}"),
+            Answer::TimedOut => write!(f, "timed out (batch deadline)"),
+            Answer::Failed(e) => write!(f, "failed: {e}"),
         }
     }
 }

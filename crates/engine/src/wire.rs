@@ -4,31 +4,38 @@
 //! today, router ↔ shard payloads tomorrow — so both directions are
 //! versioned:
 //!
-//! * **Query files** start with the header `#rbq-queries v1`, followed by
+//! * **Query files** start with the header `#rbq-queries v2`, followed by
 //!   one [`Query::to_line`] per line (blank lines and `#` comments
 //!   ignored). Headerless files are accepted as v1 for backward
 //!   compatibility, with [`QueryFile::headerless`] set so front ends can
 //!   warn; a header declaring a version this build does not speak is an
 //!   error, not a silent misparse.
-//! * **Answer files** start with `#rbq-answers v1`, followed by one
+//! * **Answer files** start with `#rbq-answers v2`, followed by one
 //!   [`answer_to_line`] per line. The answer line format is the
 //!   router↔shard payload: every [`Answer`] variant round-trips exactly
 //!   (pinned by proptests), except that newlines inside error messages are
 //!   flattened to spaces (the format is line-oriented).
+//!
+//! **v2** adds the `timedout` and `failed` answer kinds (deadline expiry
+//! and contained evaluation panics). This build reads v1 and v2 — v1 never
+//! emitted either kind, so every v1 file is also a valid v2 file — and
+//! writes v2.
 
 use crate::error::QueryParseError;
 use crate::{Answer, Query};
 use rbq_graph::{DeltaBatch, DeltaOp, NodeId};
 use std::io::Write;
 
-/// The wire version this build reads and writes.
-pub const WIRE_VERSION: u32 = 1;
+/// The wire version this build writes (it reads both this and v1).
+pub const WIRE_VERSION: u32 = 2;
+/// The oldest wire version this build still reads.
+pub const MIN_WIRE_VERSION: u32 = 1;
 /// First line of a versioned query file.
-pub const QUERY_FILE_HEADER: &str = "#rbq-queries v1";
+pub const QUERY_FILE_HEADER: &str = "#rbq-queries v2";
 /// First line of a versioned answer file.
-pub const ANSWER_FILE_HEADER: &str = "#rbq-answers v1";
+pub const ANSWER_FILE_HEADER: &str = "#rbq-answers v2";
 /// First line of a versioned delta file.
-pub const DELTA_FILE_HEADER: &str = "#rbq-deltas v1";
+pub const DELTA_FILE_HEADER: &str = "#rbq-deltas v2";
 
 /// A parsed query file.
 #[derive(Debug, Clone)]
@@ -52,7 +59,7 @@ fn parse_header_version(line: &str, kind: &str) -> Result<u32, QueryParseError> 
         .strip_prefix('v')
         .and_then(|n| n.parse().ok())
         .ok_or_else(|| QueryParseError::UnsupportedVersion(rest.to_owned()))?;
-    if v != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&v) {
         return Err(QueryParseError::UnsupportedVersion(rest.to_owned()));
     }
     Ok(v)
@@ -93,7 +100,7 @@ pub fn parse_query_file(text: &str) -> Result<QueryFile, QueryParseError> {
     }
     Ok(QueryFile {
         queries,
-        version: version.unwrap_or(WIRE_VERSION),
+        version: version.unwrap_or(MIN_WIRE_VERSION),
         headerless: headerless && version.is_none(),
     })
 }
@@ -114,10 +121,13 @@ pub fn write_query_file<W: Write>(w: &mut W, queries: &[Query]) -> Result<(), Wi
 /// pattern <gq_size> <gq_nodes> <0|1 hit_budget> <m0,m1,...|->
 /// denied <needed> <remaining>
 /// error <message...>
+/// timedout
+/// failed <message...>
 /// ```
 ///
-/// Infallible (unlike queries, answers contain no free-form labels);
-/// newlines in error messages are flattened to spaces.
+/// (`timedout` and `failed` are v2 additions.) Infallible (unlike
+/// queries, answers contain no free-form labels); newlines in error and
+/// failure messages are flattened to spaces.
 pub fn answer_to_line(a: &Answer) -> String {
     match a {
         Answer::Reach {
@@ -143,6 +153,8 @@ pub fn answer_to_line(a: &Answer) -> String {
         }
         Answer::Denied { needed, remaining } => format!("denied {needed} {remaining}"),
         Answer::Error(msg) => format!("error {}", msg.replace(['\n', '\r'], " ")),
+        Answer::TimedOut => "timedout".to_owned(),
+        Answer::Failed(msg) => format!("failed {}", msg.replace(['\n', '\r'], " ")),
     }
 }
 
@@ -217,6 +229,13 @@ pub fn answer_from_line(line: &str) -> Result<Answer, QueryParseError> {
             Ok(Answer::Denied { needed, remaining })
         }
         "error" => Ok(Answer::Error(rest.to_owned())),
+        "timedout" => {
+            if fields.next().is_some() {
+                return Err(QueryParseError::TrailingTokens(line.to_owned()));
+            }
+            Ok(Answer::TimedOut)
+        }
+        "failed" => Ok(Answer::Failed(rest.to_owned())),
         other => Err(QueryParseError::UnknownAnswerKind(other.to_owned())),
     }
 }
@@ -259,7 +278,7 @@ pub fn parse_answer_file(text: &str) -> Result<AnswerFile, QueryParseError> {
     }
     Ok(AnswerFile {
         answers,
-        version: version.unwrap_or(WIRE_VERSION),
+        version: version.unwrap_or(MIN_WIRE_VERSION),
         headerless: headerless && version.is_none(),
     })
 }
@@ -387,7 +406,7 @@ pub fn parse_delta_file(text: &str) -> Result<DeltaFile, QueryParseError> {
     }
     Ok(DeltaFile {
         batch,
-        version: version.unwrap_or(WIRE_VERSION),
+        version: version.unwrap_or(MIN_WIRE_VERSION),
         headerless: headerless && version.is_none(),
     })
 }
@@ -473,6 +492,8 @@ mod tests {
                 remaining: 7,
             },
             Answer::Error("node id out of range (9 or 10 >= 4)".into()),
+            Answer::TimedOut,
+            Answer::Failed("kernel panicked: index out of bounds".into()),
         ]
     }
 
@@ -530,13 +551,23 @@ mod tests {
     fn headerless_query_file_accepted_as_v1() {
         let parsed = parse_query_file("# legacy comment\nr 0 1\n").unwrap();
         assert_eq!(parsed.queries.len(), 1);
-        assert_eq!(parsed.version, WIRE_VERSION);
+        assert_eq!(parsed.version, MIN_WIRE_VERSION);
         assert!(parsed.headerless);
     }
 
     #[test]
+    fn v1_header_still_accepted() {
+        let parsed = parse_query_file("#rbq-queries v1\nr 0 1\n").unwrap();
+        assert_eq!(parsed.queries.len(), 1);
+        assert_eq!(parsed.version, 1);
+        assert!(!parsed.headerless);
+        let parsed = parse_answer_file("#rbq-answers v1\nreach 1 0\n").unwrap();
+        assert_eq!(parsed.version, 1);
+    }
+
+    #[test]
     fn future_version_rejected() {
-        let err = parse_query_file("#rbq-queries v2\nr 0 1\n").unwrap_err();
+        let err = parse_query_file("#rbq-queries v3\nr 0 1\n").unwrap_err();
         assert!(
             matches!(&err, QueryParseError::AtLine(1, e)
                 if matches!(**e, QueryParseError::UnsupportedVersion(_))),
@@ -622,6 +653,7 @@ mod tests {
             "pattern 3 2 1",
             "pattern 3 2 1 a,b",
             "denied 5",
+            "timedout extra",
             "bogus 1 2",
         ] {
             assert!(answer_from_line(bad).is_err(), "accepted {bad:?}");

@@ -36,9 +36,11 @@
 
 pub mod adapters;
 pub mod builder;
+pub mod cancel;
 pub mod condense;
 pub mod delta;
 pub mod distance;
+pub mod faultpoint;
 pub mod graph;
 pub mod io;
 pub mod labels;
@@ -53,6 +55,7 @@ pub mod types;
 pub mod view;
 
 pub use builder::GraphBuilder;
+pub use cancel::{CancelPanic, CancelTicker, CancelToken};
 pub use delta::{DeltaBatch, DeltaError, DeltaOp, DeltaReport};
 pub use graph::Graph;
 pub use labels::LabelInterner;

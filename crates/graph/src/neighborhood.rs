@@ -9,6 +9,7 @@
 //! the locality argument for pattern queries (they can be answered inside
 //! `G_dQ(v_p)`) rests on these definitions.
 
+use crate::cancel::{CancelTicker, CancelToken};
 use crate::graph::Graph;
 use crate::subgraph::InducedSubgraph;
 use crate::traverse::VisitStats;
@@ -47,12 +48,22 @@ pub struct BallScratch {
     /// BFS frontier of `(node, depth)`, drained by index. After the BFS it
     /// holds exactly the ball's nodes, in visit order.
     queue: Vec<(NodeId, u32)>,
+    /// Deadline ticker checked once per dequeued node; a single branch when
+    /// no deadline is armed.
+    cancel: CancelTicker,
 }
 
 impl BallScratch {
     /// Fresh scratch; buffers grow on first use and are reused after.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear, with [`CancelToken::none`]) the deadline checked by
+    /// every subsequent ball BFS through this scratch. On expiry the BFS
+    /// unwinds with a [`crate::cancel::CancelPanic`] tagged `"ball.bfs"`.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel.arm(token);
     }
 
     /// Start a new ball: bump the epoch, invalidating every stamp in O(1).
@@ -142,11 +153,13 @@ impl BallScratch {
     /// (with depths) in `self.queue` and returns the `(min, max)` visited
     /// node indexes (`(0, 0)` when the center is absent).
     fn bfs<V: GraphView + ?Sized>(&mut self, g: &V, center: NodeId, r: usize) -> (usize, usize) {
+        crate::faultpoint::fire("ball.bfs");
         self.next_epoch();
         // Hot loop state lives in locals (taken out of `self`): field
         // accesses through `&mut self` defeat the register allocation the
         // inner loop depends on.
         let epoch = self.epoch;
+        let mut cancel = self.cancel;
         let mut stamp = std::mem::take(&mut self.stamp);
         let mut queue = std::mem::take(&mut self.queue);
         queue.clear();
@@ -159,6 +172,7 @@ impl BallScratch {
             queue.push((center, 0));
             let mut head = 0;
             while head < queue.len() {
+                cancel.tick("ball.bfs");
                 let (v, d) = queue[head];
                 head += 1;
                 if d as usize == r {
@@ -217,6 +231,7 @@ impl BallScratch {
         }
         self.stamp = stamp;
         self.queue = queue;
+        self.cancel = cancel;
         (lo, hi)
     }
 }

@@ -500,12 +500,21 @@ pub struct DualSimScratch {
     req_out: Vec<rbq_graph::Label>,
     /// Screening: sorted required parent labels.
     req_in: Vec<rbq_graph::Label>,
+    /// Deadline ticker checked in the fixpoint's removal-propagation loop.
+    cancel: rbq_graph::CancelTicker,
 }
 
 impl DualSimScratch {
     /// Fresh scratch; buffers grow on first use and are reused after.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm (or clear) the deadline checked by every subsequent fixpoint run
+    /// through this scratch. On expiry the fixpoint unwinds with a
+    /// [`rbq_graph::CancelPanic`] tagged `"dualsim.fixpoint"`.
+    pub fn set_cancel(&mut self, token: rbq_graph::CancelToken) {
+        self.cancel.arm(token);
     }
 }
 
@@ -576,6 +585,11 @@ fn fixpoint_scratch<V: GraphView + ?Sized>(
     g: &V,
     scratch: &mut DualSimScratch,
 ) -> bool {
+    rbq_graph::faultpoint::fire("dualsim.fixpoint");
+    // Copied out (tickers are `Copy`) so the field can ride the `..` of the
+    // destructure below; the counter restarting per call only means one
+    // extra clock read per fixpoint, which the loop amortizes.
+    let mut cancel = scratch.cancel;
     let p = q.pattern();
     let n = p.node_count();
     let DualSimScratch {
@@ -702,6 +716,7 @@ fn fixpoint_scratch<V: GraphView + ?Sized>(
     // decrements the child-counter of each data parent of `w` (for edges
     // into `u`) and the parent-counter of each data child (for edges out).
     while let Some((ui, i)) = worklist.pop() {
+        cancel.tick("dualsim.fixpoint");
         let w = cand[ui][i];
         for &e in &edges_in[ui] {
             let ai = edges[e].0.index();

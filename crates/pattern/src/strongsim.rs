@@ -123,6 +123,14 @@ impl StrongSimScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Arm (or clear) the deadline for every subsequent evaluation through
+    /// this scratch — forwarded to the ball BFS and the dual-simulation
+    /// fixpoint, the two loops whose work scales with the data graph.
+    pub fn set_cancel(&mut self, token: rbq_graph::CancelToken) {
+        self.balls.set_cancel(token);
+        self.dual.set_cancel(token);
+    }
 }
 
 fn strong_sim_impl<V: GraphView + ?Sized>(

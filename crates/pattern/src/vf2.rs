@@ -13,7 +13,7 @@
 
 use crate::pattern::{PNode, ResolvedPattern};
 use crate::strongsim::ball_nodes;
-use rbq_graph::{Graph, GraphView, NodeId};
+use rbq_graph::{CancelTicker, CancelToken, Graph, GraphView, NodeId};
 use rustc_hash::FxHashSet;
 
 /// Knobs for the VF2 enumerator.
@@ -22,6 +22,10 @@ pub struct Vf2Config {
     /// Stop after this many *search steps* (candidate probes). `None` means
     /// run to exhaustion. A hit is reported in [`Vf2Outcome::truncated`].
     pub max_steps: Option<u64>,
+    /// Cooperative deadline, checked alongside the step counter; on expiry
+    /// the search unwinds with a [`rbq_graph::CancelPanic`] tagged
+    /// `"vf2.step"`.
+    pub cancel: CancelToken,
 }
 
 /// Result of a VF2 enumeration.
@@ -86,6 +90,7 @@ fn vf2_impl<V: GraphView + ?Sized>(
     used.insert(vp);
 
     let mut steps: u64 = 0;
+    let mut cancel = CancelTicker::new(config.cancel);
     let mut found: FxHashSet<NodeId> = FxHashSet::default();
 
     // Depth starts at 1: order[0] == u_p is pre-mapped.
@@ -98,6 +103,7 @@ fn vf2_impl<V: GraphView + ?Sized>(
         &mut used,
         &mut steps,
         config.max_steps,
+        &mut cancel,
         &mut found,
         &mut outcome,
         &allowed,
@@ -144,6 +150,7 @@ fn backtrack<V: GraphView + ?Sized>(
     used: &mut FxHashSet<NodeId>,
     steps: &mut u64,
     max_steps: Option<u64>,
+    cancel: &mut CancelTicker,
     found: &mut FxHashSet<NodeId>,
     outcome: &mut Vf2Outcome,
     allowed: &dyn Fn(NodeId) -> bool,
@@ -195,6 +202,8 @@ fn backtrack<V: GraphView + ?Sized>(
     let du_in = p.inn(u).len();
 
     for v in candidates {
+        cancel.tick("vf2.step");
+        rbq_graph::faultpoint::fire("vf2.step");
         if let Some(m) = max_steps {
             *steps += 1;
             if *steps > m {
@@ -242,6 +251,7 @@ fn backtrack<V: GraphView + ?Sized>(
             used,
             steps,
             max_steps,
+            cancel,
             found,
             outcome,
             allowed,
@@ -416,7 +426,14 @@ mod tests {
         let full = vf2_all_output_matches(&q, &g, Vf2Config::default());
         assert_eq!(full.output_matches.len(), 8);
         assert!(!full.truncated);
-        let capped = vf2_all_output_matches(&q, &g, Vf2Config { max_steps: Some(5) });
+        let capped = vf2_all_output_matches(
+            &q,
+            &g,
+            Vf2Config {
+                max_steps: Some(5),
+                ..Default::default()
+            },
+        );
         assert!(capped.truncated);
         assert!(capped.output_matches.len() <= full.output_matches.len());
     }

@@ -34,4 +34,4 @@ pub use compress::{compress_for_reachability, condense_only, CompressedGraph};
 pub use hierarchy::{HierarchicalIndex, IndexParams, IndexStats, ReachAnswer, SelectionStrategy};
 pub use landmark_dist::LandmarkDistances;
 pub use landmark_vec::LandmarkVectors;
-pub use parallel::batch_query;
+pub use parallel::{batch_query, try_batch_query, ParallelError};

@@ -8,42 +8,105 @@
 
 use crate::hierarchy::HierarchicalIndex;
 use rbq_graph::NodeId;
+use std::fmt;
+
+/// A worker thread of [`try_batch_query`] panicked.
+///
+/// The batch itself is not lost: every other worker is still joined, and
+/// the caller can fall back to sequential evaluation (what [`batch_query`]
+/// does) or surface the failure typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelError {
+    /// Zero-based index of the panicked chunk.
+    pub chunk: usize,
+    /// The panic message, when the payload was a string.
+    pub message: Option<String>,
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.message {
+            Some(m) => write!(f, "reach query worker {} panicked: {m}", self.chunk),
+            None => write!(f, "reach query worker {} panicked", self.chunk),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
 
 /// Answer a batch of queries with `threads` worker threads.
 ///
 /// Answers are returned in input order and are identical to sequential
 /// evaluation (the index is read-only). `threads == 0` or `1` runs
-/// sequentially.
+/// sequentially. A panicked worker does **not** abort the process: the
+/// whole batch is recomputed sequentially in the caller's thread, so a
+/// transient failure yields correct answers and a deterministic one
+/// resurfaces as an ordinary catchable panic in the caller.
 pub fn batch_query(
     idx: &HierarchicalIndex,
     queries: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<bool> {
-    let threads = threads.max(1).min(queries.len().max(1));
-    if threads <= 1 || queries.len() < 2 {
-        return queries
+    match try_batch_query(idx, queries, threads) {
+        Ok(r) => r,
+        Err(_) => queries
             .iter()
             .map(|&(s, t)| idx.query(s, t).reachable)
-            .collect();
+            .collect(),
+    }
+}
+
+/// [`batch_query`] with typed worker-failure propagation: a panicked worker
+/// yields `Err(ParallelError)` after every other worker has been joined,
+/// instead of re-panicking in the caller.
+pub fn try_batch_query(
+    idx: &HierarchicalIndex,
+    queries: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Result<Vec<bool>, ParallelError> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 || queries.len() < 2 {
+        return Ok(queries
+            .iter()
+            .map(|&(s, t)| idx.query(s, t).reachable)
+            .collect());
     }
     let chunk = queries.len().div_ceil(threads);
     let mut results: Vec<Vec<bool>> = Vec::with_capacity(threads);
+    let mut failed: Option<ParallelError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
-            .map(|qs| {
+            .enumerate()
+            .map(|(ci, qs)| {
                 scope.spawn(move || {
+                    rbq_graph::faultpoint::fire_at("reach.parallel", ci as u64);
                     qs.iter()
                         .map(|&(s, t)| idx.query(s, t).reachable)
                         .collect::<Vec<bool>>()
                 })
             })
             .collect();
-        for h in handles {
-            results.push(h.join().expect("query worker panicked"));
+        for (ci, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    // First failure wins; keep joining so no worker leaks.
+                    if failed.is_none() {
+                        let message = payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned());
+                        failed = Some(ParallelError { chunk: ci, message });
+                    }
+                }
+            }
         }
     });
-    results.concat()
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(results.concat()),
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +147,14 @@ mod tests {
         let (idx, queries) = setup();
         let one = &queries[..1];
         assert_eq!(batch_query(&idx, one, 8).len(), 1);
+    }
+
+    #[test]
+    fn try_batch_matches_batch() {
+        let (idx, queries) = setup();
+        let plain = batch_query(&idx, &queries, 4);
+        let typed = try_batch_query(&idx, &queries, 4).expect("no worker fault");
+        assert_eq!(plain, typed);
     }
 
     #[test]

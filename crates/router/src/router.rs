@@ -3,13 +3,34 @@
 use crate::partitioner::{Partitioner, PartitionerKind};
 use rbq_core::NeighborIndex;
 use rbq_engine::{
-    settle_aggregate, Engine, EngineConfig, EngineError, EngineStats, Query, QueryResult,
+    settle_aggregate, Answer, BatchReport, Engine, EngineConfig, EngineError, EngineStats, Query,
+    QueryClass, QueryResult,
 };
 use rbq_graph::{
     DeltaBatch, DeltaError, DeltaReport, Graph, PartitionError, PartitionStats, ShardAssignment,
 };
 use rbq_reach::HierarchicalIndex;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning: the guarded statistics stay
+/// consistent (merges are all-or-nothing from the reader's perspective),
+/// and a shard that panicked must not take the router's bookkeeping down.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Count a query the router settled without any shard evaluating it (shed
+/// at admission, or its shard lost twice) — same bookkeeping a single
+/// engine's recorder does for unevaluated queries.
+fn count_unevaluated(stats: &mut EngineStats, class: QueryClass) {
+    stats.queries += 1;
+    match class {
+        QueryClass::Reach => stats.reach.queries += 1,
+        QueryClass::Sim => stats.sim.queries += 1,
+        QueryClass::Iso => stats.iso.queries += 1,
+    }
+}
 
 /// Errors constructing or operating a [`Router`].
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +48,10 @@ pub enum RouterError {
     /// reconstruct from its name. Built-in policies (label, scc) always
     /// support live updates.
     UnsupportedPartitioner(&'static str),
+    /// An offline index rebuild panicked during [`Router::apply_deltas`].
+    /// Nothing was installed: the router keeps serving its pre-delta
+    /// state. Carries the name of the structure whose rebuild failed.
+    RebuildFailed(&'static str),
 }
 
 impl std::fmt::Display for RouterError {
@@ -40,6 +65,9 @@ impl std::fmt::Display for RouterError {
                 f,
                 "partitioner {name:?} cannot be re-applied for live updates"
             ),
+            RouterError::RebuildFailed(what) => {
+                write!(f, "{what} rebuild panicked; pre-delta state still serving")
+            }
         }
     }
 }
@@ -50,7 +78,9 @@ impl std::error::Error for RouterError {
             RouterError::Engine(e) => Some(e),
             RouterError::Partition(e) => Some(e),
             RouterError::Delta(e) => Some(e),
-            RouterError::InvalidShards | RouterError::UnsupportedPartitioner(_) => None,
+            RouterError::InvalidShards
+            | RouterError::UnsupportedPartitioner(_)
+            | RouterError::RebuildFailed(_) => None,
         }
     }
 }
@@ -109,6 +139,12 @@ pub struct Router {
     g: Arc<Graph>,
     assignment: ShardAssignment,
     shards: Vec<Engine>,
+    /// The shared offline structures and the per-shard configuration —
+    /// kept so a shard whose worker is lost mid-batch can be replaced by a
+    /// cold replica without re-paying any offline cost.
+    nbr: Arc<NeighborIndex>,
+    reach: Arc<HierarchicalIndex>,
+    shard_cfg: EngineConfig,
     partitioner: &'static str,
     /// The built-in policy behind `partitioner`, when it is one — what
     /// [`Router::apply_deltas`] re-runs to re-resolve ownership after a
@@ -171,6 +207,9 @@ impl Router {
             g,
             assignment,
             shards: engines,
+            nbr,
+            reach,
+            shard_cfg,
             partitioner: partitioner.name(),
             repartition: partitioner.name().parse::<PartitionerKind>().ok(),
             aggregate_visit_budget: cfg.aggregate_visit_budget,
@@ -200,11 +239,12 @@ impl Router {
         let (nbr, reach) = std::thread::scope(|s| {
             let hn = s.spawn(|| Arc::new(NeighborIndex::build(&g2)));
             let hr = s.spawn(|| Arc::new(HierarchicalIndex::build(&g2, reach_alpha)));
-            (
-                hn.join().expect("neighbor index rebuild panicked"),
-                hr.join().expect("reach index rebuild panicked"),
-            )
+            (hn.join(), hr.join())
         });
+        // A panicked rebuild installs nothing: the error is typed and the
+        // pre-delta epoch keeps serving.
+        let nbr = nbr.map_err(|_| RouterError::RebuildFailed("neighbor index"))?;
+        let reach = reach.map_err(|_| RouterError::RebuildFailed("reachability index"))?;
         let assignment = kind.partition(&g2, self.shards.len())?;
         for engine in &self.shards {
             engine.install_graph(
@@ -216,6 +256,8 @@ impl Router {
         }
         self.g = g2;
         self.assignment = assignment;
+        self.nbr = nbr;
+        self.reach = reach;
         Ok(report)
     }
 
@@ -241,7 +283,7 @@ impl Router {
 
     /// Lifetime statistics merged across every batch served.
     pub fn stats(&self) -> EngineStats {
-        self.totals.lock().expect("stats lock").clone()
+        relock(&self.totals).clone()
     }
 
     /// The shard that owns `q` — the only shard that will evaluate it.
@@ -277,7 +319,7 @@ impl Router {
     /// aggregate-budget settlement, mirroring [`Engine::run`]).
     pub fn run(&self, q: &Query) -> QueryResult {
         let result = self.shards[self.route(q)].run(q);
-        let mut totals = self.totals.lock().expect("stats lock");
+        let mut totals = relock(&self.totals);
         totals.queries += 1;
         totals.total_visits += result.visits;
         result
@@ -291,35 +333,71 @@ impl Router {
     /// aggregate visit budget is settled once at the router in input
     /// order. Answers, visit counts, denials and charged visits are all
     /// byte-identical to a single engine running the same batch — for any
-    /// shard count and any partitioner.
+    /// shard count and any partitioner. That parity extends to the
+    /// robustness knobs: the front door computes one deadline instant and
+    /// one [shortest-job-first](rbq_engine::AdmissionPolicy) shed set and
+    /// every shard serves under them.
+    ///
+    /// **Degraded mode.** A shard whose worker thread is lost (a panic
+    /// that escaped the engine's per-query containment) does not take the
+    /// batch down: the router rebuilds a cold replica over the shared
+    /// offline structures and retries that sub-batch once. If the retry is
+    /// also lost, the sub-batch settles as [`Answer::Failed`] — every
+    /// other shard's answers are unaffected.
     pub fn run_batch(&self, queries: &[Query]) -> RouterReport {
+        let deadline = self
+            .shard_cfg
+            .batch_timeout
+            .map(|t: Duration| Instant::now() + t);
         let k = self.shards.len();
+        // Front-door admission: one deterministic shed decision for the
+        // whole batch (shard engines hold no aggregate budget).
+        let shed = self.shards[0].admission_shed_for(queries, self.aggregate_visit_budget);
         let mut sub: Vec<Vec<Query>> = vec![Vec::new(); k];
         let mut origin: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut slots: Vec<Option<QueryResult>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
         for (i, q) in queries.iter().enumerate() {
+            if let Some(answer) = &shed[i] {
+                slots[i] = Some(QueryResult {
+                    answer: answer.clone(),
+                    visits: 0,
+                    cached: false,
+                });
+                continue;
+            }
             let s = self.route(q);
             sub[s].push(q.clone());
             origin[s].push(i);
         }
 
-        let mut reports: Vec<Option<rbq_engine::BatchReport>> = Vec::new();
+        let mut reports: Vec<Option<BatchReport>> = Vec::new();
         reports.resize_with(k, || None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = sub
                 .iter()
                 .enumerate()
                 .filter(|(_, batch)| !batch.is_empty())
-                .map(|(s, batch)| (s, scope.spawn(move || self.shards[s].run_batch(batch))))
+                .map(|(s, batch)| {
+                    (
+                        s,
+                        scope.spawn(move || {
+                            rbq_graph::faultpoint::fire_at("router.shard", s as u64);
+                            self.shards[s].run_batch_until(batch, deadline)
+                        }),
+                    )
+                })
                 .collect();
             for (s, h) in handles {
-                reports[s] = Some(h.join().expect("shard worker panicked"));
+                reports[s] = match h.join() {
+                    Ok(report) => Some(report),
+                    Err(_) => self.retry_shard(&sub[s], deadline),
+                };
             }
         });
 
         // Deterministic merge: scatter to input order, fold stats, settle
         // the aggregate budget once (shards ran unbudgeted).
-        let mut slots: Vec<Option<QueryResult>> = Vec::new();
-        slots.resize_with(queries.len(), || None);
         let mut stats = EngineStats::default();
         let mut per_shard = Vec::with_capacity(k);
         for (s, report) in reports.into_iter().enumerate() {
@@ -334,26 +412,71 @@ impl Router {
                         slots[i] = Some(r);
                     }
                 }
-                None => per_shard.push(ShardReport {
-                    routed: 0,
-                    stats: EngineStats::default(),
-                }),
+                None => {
+                    // Lost twice (original shard and its replica): settle
+                    // the whole sub-batch Failed, in input order.
+                    stats.failed += origin[s].len();
+                    for &i in &origin[s] {
+                        count_unevaluated(&mut stats, queries[i].class());
+                        slots[i] = Some(QueryResult {
+                            answer: Answer::Failed(
+                                "shard worker lost; replica retry also lost".to_string(),
+                            ),
+                            visits: 0,
+                            cached: false,
+                        });
+                    }
+                    per_shard.push(ShardReport {
+                        routed: origin[s].len(),
+                        stats: EngineStats::default(),
+                    });
+                }
+            }
+        }
+        let mut shed_count = 0;
+        for (i, s) in shed.iter().enumerate() {
+            if s.is_some() {
+                shed_count += 1;
+                count_unevaluated(&mut stats, queries[i].class());
             }
         }
         let mut results: Vec<QueryResult> = slots
             .into_iter()
-            .map(|r| r.expect("query answered"))
+            .map(|r| {
+                // invariant: every slot was filled above — shed, scattered
+                // from a shard report, or settled Failed.
+                r.expect("query answered")
+            })
             .collect();
         let settlement = settle_aggregate(&mut results, self.aggregate_visit_budget);
-        stats.denied = settlement.denied;
+        stats.denied = shed_count + settlement.denied;
         stats.charged_visits = settlement.charged_visits;
 
-        self.totals.lock().expect("stats lock").merge(&stats);
+        relock(&self.totals).merge(&stats);
         RouterReport {
             results,
             stats,
             per_shard,
         }
+    }
+
+    /// Second (and last) chance for a lost shard: build a cold replica
+    /// over the same shared structures and re-run the sub-batch under the
+    /// same deadline. Answers are deterministic functions of the batch and
+    /// the epoch, so a replica's answers are byte-identical to what the
+    /// lost shard would have returned — only cache warmth differs.
+    fn retry_shard(&self, batch: &[Query], deadline: Option<Instant>) -> Option<BatchReport> {
+        let replica = Engine::with_indexes(
+            self.g.clone(),
+            self.shard_cfg.clone(),
+            Some(self.nbr.clone()),
+            Some(self.reach.clone()),
+        );
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rbq_graph::faultpoint::fire("router.shard.retry");
+            replica.run_batch_until(batch, deadline)
+        }))
+        .ok()
     }
 }
 
@@ -567,6 +690,84 @@ mod tests {
             router.run_batch(&[pattern_query("Michael")]).results.len(),
             1
         );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_every_shard() {
+        let g = fig1_graph();
+        let queries = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            pattern_query("Michael"),
+            pattern_query("CL"),
+        ];
+        let zero = EngineConfig {
+            batch_timeout: Some(std::time::Duration::ZERO),
+            ..cfg()
+        };
+        for k in [1usize, 2, 4] {
+            let router = Router::new(g.clone(), zero.clone(), k, &SccPartitioner).unwrap();
+            let report = router.run_batch(&queries);
+            for (i, r) in report.results.iter().enumerate() {
+                assert_eq!(
+                    r.answer,
+                    Answer::TimedOut,
+                    "query {i} not timed out at k={k}"
+                );
+            }
+            assert_eq!(report.stats.timed_out, 3);
+            // Still healthy afterwards: the same router serves a clean
+            // single query (Router::run takes the engine timeout path,
+            // but a fresh instant makes fig. 1 unreachable to expire).
+            let healthy = Router::new(g.clone(), cfg(), k, &SccPartitioner).unwrap();
+            assert!(healthy.run(&queries[0]).answer.is_ok());
+        }
+    }
+
+    #[test]
+    fn sjf_admission_matches_single_engine() {
+        let g = fig1_graph();
+        let sjf = EngineConfig {
+            aggregate_visit_budget: Some(5),
+            admission: rbq_engine::AdmissionPolicy::ShortestJobFirst,
+            ..cfg()
+        };
+        let queries = vec![
+            Query::Reach {
+                source: NodeId(0),
+                target: NodeId(3),
+            },
+            pattern_query("Michael"),
+            Query::Reach {
+                source: NodeId(3),
+                target: NodeId(0),
+            },
+        ];
+        let baseline = Engine::new(g.clone(), sjf.clone()).run_batch(&queries);
+        assert!(
+            baseline
+                .results
+                .iter()
+                .any(|r| matches!(r.answer, Answer::Denied { .. })),
+            "fixture must actually shed"
+        );
+        for partitioner in [&LabelHashPartitioner as &dyn Partitioner, &SccPartitioner] {
+            for k in [1usize, 2, 4] {
+                let router = Router::new(g.clone(), sjf.clone(), k, partitioner).unwrap();
+                let report = router.run_batch(&queries);
+                for (i, (a, b)) in baseline.results.iter().zip(&report.results).enumerate() {
+                    assert_eq!(a.answer, b.answer, "answer {i} diverged at k={k}");
+                    assert_eq!(a.visits, b.visits, "visits {i} diverged at k={k}");
+                }
+                assert_eq!(report.stats.queries, baseline.stats.queries);
+                assert_eq!(report.stats.denied, baseline.stats.denied);
+                assert_eq!(report.stats.charged_visits, baseline.stats.charged_visits);
+                assert_eq!(report.stats.reach.queries, baseline.stats.reach.queries);
+                assert_eq!(report.stats.sim.queries, baseline.stats.sim.queries);
+            }
+        }
     }
 
     #[test]

@@ -14,15 +14,15 @@
 //!
 //! Graphs use the plain-text format of `rbq_graph::io` (`n <id> <label>` /
 //! `e <src> <dst>` lines); query and answer files use the versioned wire
-//! format of `rbq_engine::wire` (`#rbq-queries v1` / `#rbq-answers v1`
+//! format of `rbq_engine::wire` (`#rbq-queries v2` / `#rbq-answers v2`
 //! headers over the one-line `r <src> <dst>` / `s|i <up> <uo> <labels>
 //! <edges>` query serialization).
 
 use rbq::rbq_core::{pattern_accuracy, rbsim, NeighborIndex, ResourceBudget};
 use rbq::rbq_engine::wire::{parse_delta_file, parse_query_file, write_answer_file};
 use rbq::rbq_engine::{
-    Answer, Engine, EngineConfig, EngineError, Query, QueryParseError, WireWriteError,
-    QUERY_FILE_HEADER,
+    AdmissionPolicy, Answer, Engine, EngineConfig, EngineError, Query, QueryParseError,
+    WireWriteError, QUERY_FILE_HEADER,
 };
 use rbq::rbq_graph::{io as gio, DeltaError, Graph, GraphView, NodeId};
 use rbq::rbq_pattern::{bisimulation_compress, match_opt};
@@ -468,6 +468,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let (mut alpha, mut reach_alpha, mut threads, mut cache, mut aggregate, mut verbose) =
         (None, None, None, None, None, None);
     let (mut shards, mut partitioner, mut answers) = (None, None, None);
+    let (mut timeout_ms, mut admission) = (None, None);
     let pos = parse_flags(
         args,
         &mut [
@@ -480,10 +481,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             ("shards", &mut shards),
             ("partitioner", &mut partitioner),
             ("answers", &mut answers),
+            ("timeout-ms", &mut timeout_ms),
+            ("admission", &mut admission),
         ],
     )?;
     let [graph_path, query_path] = pos.as_slice() else {
-        return Err("usage: batch GRAPH QUERYFILE [--alpha A] [--reach-alpha A] [--threads T] [--cache N] [--aggregate N] [--shards K] [--partitioner label|scc] [--answers FILE] [--verbose 1]".into());
+        return Err("usage: batch GRAPH QUERYFILE [--alpha A] [--reach-alpha A] [--threads T] [--cache N] [--aggregate N] [--timeout-ms MS] [--admission input|sjf] [--shards K] [--partitioner label|scc] [--answers FILE] [--verbose 1]".into());
     };
     let alpha = parse_alpha(&alpha.unwrap_or_else(|| "0.01".into()), "--alpha")?;
     let reach_alpha = parse_alpha(
@@ -502,6 +505,17 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         None => None,
         Some(s) => Some(s.parse::<usize>().map_err(|_| "bad --aggregate")?),
     };
+    let timeout = match timeout_ms {
+        None => None,
+        Some(s) => Some(std::time::Duration::from_millis(
+            s.parse::<u64>().map_err(|_| "bad --timeout-ms")?,
+        )),
+    };
+    let admission = match admission.as_deref() {
+        None | Some("input") => AdmissionPolicy::InputOrder,
+        Some("sjf") => AdmissionPolicy::ShortestJobFirst,
+        Some(other) => return Err(format!("bad --admission {other:?} (want input|sjf)").into()),
+    };
     let verbose = verbose.is_some_and(|v| v != "0");
     let shards: usize = shards
         .unwrap_or_else(|| "1".into())
@@ -518,7 +532,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         .pattern_alpha(alpha)
         .reach_alpha(reach_alpha)
         .cache_capacity(cache)
-        .aggregate_visit_budget(aggregate);
+        .aggregate_visit_budget(aggregate)
+        .batch_timeout(timeout)
+        .admission(admission);
     let builder = if threads == 0 {
         builder.auto_threads()
     } else {
@@ -795,6 +811,43 @@ mod tests {
     }
 
     #[test]
+    fn batch_with_zero_timeout_exits_clean_and_times_out_answers() {
+        let g = temp_graph("batch_timeout");
+        let tmp = std::env::temp_dir();
+        let qpath = tmp.join(format!("rbq_cli_toq_{}.txt", std::process::id()));
+        let apath = tmp.join(format!("rbq_cli_toa_{}.txt", std::process::id()));
+        std::fs::write(&qpath, "#rbq-queries v2\nr 0 2\ns 0 1 ME,A 0-1\n").expect("write queries");
+        let (q, a) = (
+            qpath.to_string_lossy().into_owned(),
+            apath.to_string_lossy().into_owned(),
+        );
+        run(&argv(&[
+            "batch",
+            &g,
+            &q,
+            "--alpha",
+            "1.0",
+            "--reach-alpha",
+            "1.0",
+            "--timeout-ms",
+            "0",
+            "--answers",
+            &a,
+        ]))
+        .expect("timed-out batch still exits clean");
+        let text = std::fs::read_to_string(&apath).expect("answers file");
+        let parsed = rbq::rbq_engine::wire::parse_answer_file(&text).expect("parse answers");
+        assert_eq!(parsed.answers.len(), 2);
+        for ans in &parsed.answers {
+            assert_eq!(*ans, Answer::TimedOut);
+        }
+        assert!(run(&argv(&["batch", &g, &q, "--timeout-ms", "oops"])).is_err());
+        assert!(run(&argv(&["batch", &g, &q, "--admission", "bogus"])).is_err());
+        let _ = std::fs::remove_file(&qpath);
+        let _ = std::fs::remove_file(&apath);
+    }
+
+    #[test]
     fn batch_runs_sharded_and_writes_versioned_answers() {
         let g = temp_graph("batch_sharded");
         let tmp = std::env::temp_dir();
@@ -827,7 +880,7 @@ mod tests {
             ]))
             .expect("sharded batch");
             let text = std::fs::read_to_string(&apath).expect("answers file");
-            assert!(text.starts_with("#rbq-answers v1"), "{text}");
+            assert!(text.starts_with("#rbq-answers v2"), "{text}");
             let parsed = rbq::rbq_engine::wire::parse_answer_file(&text).expect("parse answers");
             assert_eq!(parsed.answers.len(), 4);
         }

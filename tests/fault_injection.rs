@@ -1,0 +1,358 @@
+//! Chaos differential suite: the deterministic fault-injection harness
+//! (`rbq_graph::faultpoint`) drives panics, delays, and starvation into
+//! the serving path, and the suite pins the robustness contract:
+//!
+//! * **no abort** — every faulted batch completes with one answer per
+//!   query, and the process never dies;
+//! * **no poison** — after any fault, the same engine/router serves a
+//!   clean batch byte-identical to a never-faulted instance;
+//! * **blast-radius** — a non-faulted query's answer is byte-identical to
+//!   the fault-free run; only the query (or shard sub-batch) the fault
+//!   actually hit may settle `Failed` / `TimedOut`.
+//!
+//! Runs only under `cargo test --features fault-injection`; without the
+//! feature the fault points are inline no-ops and this file is empty.
+#![cfg(feature = "fault-injection")]
+
+use proptest::prelude::*;
+use rbq::rbq_engine::faultpoint::{arm, FaultAction, FaultPlan};
+use rbq::rbq_engine::{Answer, BudgetSpec, Engine, EngineConfig, Query, QueryResult};
+use rbq::rbq_router::{Router, SccPartitioner};
+use rbq::rbq_workload::{power_law, sample_mixed_workload, MixedWorkloadSpec};
+use rbq_graph::Graph;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Fault plans are process-global: every test that arms one must hold
+/// this lock for its whole body (arm → run → drop guard).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// All fault points compiled into the serving path, with the query class
+/// whose evaluation reaches them.
+const KERNEL_POINTS: &[&str] = &["ball.bfs", "dualsim.fixpoint", "reduction.pick", "vf2.step"];
+
+fn fixture() -> (Arc<Graph>, Vec<Query>) {
+    static FIX: OnceLock<(Arc<Graph>, Vec<Query>)> = OnceLock::new();
+    let (g, qs) = FIX.get_or_init(|| {
+        let g = Arc::new(power_law(400, 3, 4, 0xfa017));
+        let qs = sample_mixed_workload(
+            &g,
+            &MixedWorkloadSpec {
+                count: 24,
+                ..Default::default()
+            },
+            7,
+        );
+        (g, qs)
+    });
+    (g.clone(), qs.clone())
+}
+
+fn cfg(threads: usize) -> EngineConfig {
+    EngineConfig {
+        pattern_budget: BudgetSpec::Ratio(0.2),
+        reach_alpha: 0.2,
+        threads,
+        cache_capacity: 0, // keep every evaluation full-cost and comparable
+        ..Default::default()
+    }
+}
+
+fn answers(results: &[QueryResult]) -> Vec<Answer> {
+    results.iter().map(|r| r.answer.clone()).collect()
+}
+
+/// The fault-free baseline for the fixture batch (computed once, single
+/// threaded — answers are thread-count-invariant anyway).
+fn baseline() -> Vec<Answer> {
+    static BASE: OnceLock<Vec<Answer>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let (g, qs) = fixture();
+        answers(&Engine::new(g, cfg(1)).run_batch(&qs).results)
+    })
+    .clone()
+}
+
+/// Assert the robustness contract on a faulted run: every non-faulted
+/// answer byte-identical to baseline, faulted ones only TimedOut/Failed.
+fn assert_blast_radius(faulted: &[Answer], base: &[Answer], what: &str) {
+    assert_eq!(faulted.len(), base.len(), "{what}: batch lost answers");
+    for (i, (f, b)) in faulted.iter().zip(base).enumerate() {
+        if f != b {
+            assert!(
+                matches!(f, Answer::TimedOut | Answer::Failed(_)),
+                "{what}: query {i} diverged to a non-fault answer: {f:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+/// After a fault, the same instance must serve a clean batch exactly.
+fn assert_no_poison(engine: &Engine, qs: &[Query], base: &[Answer], what: &str) {
+    let clean = answers(&engine.run_batch(qs).results);
+    assert_eq!(&clean, base, "{what}: post-fault batch diverged (poison)");
+}
+
+#[test]
+fn injected_panic_settles_failed_and_spares_the_rest() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    let engine = Engine::new(g, cfg(1));
+    let victim = qs.len() as u64 / 2;
+    let got = {
+        let _plan = arm(FaultPlan::new().on_index("engine.run_one", victim, FaultAction::Panic));
+        answers(&engine.run_batch(&qs).results)
+    };
+    assert!(
+        matches!(got[victim as usize], Answer::Failed(_)),
+        "victim not Failed: {:?}",
+        got[victim as usize]
+    );
+    for (i, (f, b)) in got.iter().zip(&base).enumerate() {
+        if i != victim as usize {
+            assert_eq!(f, b, "non-faulted query {i} diverged");
+        }
+    }
+    assert_no_poison(&engine, &qs, &base, "engine.run_one panic");
+}
+
+#[test]
+fn injected_delay_leaves_answers_byte_identical() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    for threads in [1usize, 4] {
+        let engine = Engine::new(g.clone(), cfg(threads));
+        let got = {
+            let _plan = arm(FaultPlan::new()
+                .on_nth(
+                    "dualsim.fixpoint",
+                    0,
+                    FaultAction::Delay(Duration::from_millis(30)),
+                )
+                .on_nth("ball.bfs", 2, FaultAction::Delay(Duration::from_millis(10))));
+            answers(&engine.run_batch(&qs).results)
+        };
+        assert_eq!(got, base, "delay changed answers at {threads} threads");
+    }
+}
+
+#[test]
+fn injected_starvation_settles_timed_out() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    let engine = Engine::new(g, cfg(1));
+    let got = {
+        let _plan = arm(FaultPlan::new().on_nth("reduction.pick", 0, FaultAction::Starve));
+        answers(&engine.run_batch(&qs).results)
+    };
+    assert!(
+        got.contains(&Answer::TimedOut),
+        "starvation never surfaced as TimedOut"
+    );
+    assert_blast_radius(&got, &base, "reduction.pick starvation");
+    assert_no_poison(&engine, &qs, &base, "reduction.pick starvation");
+}
+
+#[test]
+fn every_kernel_point_is_contained() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    for point in KERNEL_POINTS {
+        for action in [FaultAction::Panic, FaultAction::Starve] {
+            let engine = Engine::new(g.clone(), cfg(1));
+            let got = {
+                let _plan = arm(FaultPlan::new().on_nth(point, 1, action));
+                answers(&engine.run_batch(&qs).results)
+            };
+            let what = format!("{point} {action:?}");
+            assert_blast_radius(&got, &base, &what);
+            assert!(
+                got.iter()
+                    .filter(|a| matches!(a, Answer::TimedOut | Answer::Failed(_)))
+                    .count()
+                    <= 1,
+                "{what}: more than one query absorbed a single fault"
+            );
+            assert_no_poison(&engine, &qs, &base, &what);
+        }
+    }
+}
+
+#[test]
+fn reach_parallel_worker_loss_is_typed_and_recovered() {
+    let _s = serial();
+    let (g, _) = fixture();
+    let idx = rbq::rbq_reach::HierarchicalIndex::build(&g, 0.2);
+    let queries: Vec<_> = (0..64u32)
+        .map(|i| {
+            (
+                rbq_graph::NodeId(i % 400),
+                rbq_graph::NodeId((i * 13 + 7) % 400),
+            )
+        })
+        .collect();
+    let base = rbq::rbq_reach::batch_query(&idx, &queries, 1);
+    {
+        let _plan = arm(FaultPlan::new().on_index("reach.parallel", 1, FaultAction::Panic));
+        let err = rbq::rbq_reach::try_batch_query(&idx, &queries, 4)
+            .expect_err("worker panic must surface typed");
+        assert_eq!(err.chunk, 1);
+        assert!(err.message.is_some());
+    }
+    {
+        // batch_query falls back to sequential and still answers exactly.
+        let _plan = arm(FaultPlan::new().on_index("reach.parallel", 2, FaultAction::Panic));
+        let got = rbq::rbq_reach::batch_query(&idx, &queries, 4);
+        assert_eq!(got, base, "fallback answers diverged");
+    }
+}
+
+#[test]
+fn router_shard_loss_recovers_on_replica() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    for k in [1usize, 2, 4] {
+        for victim in 0..k as u64 {
+            let router = Router::new(g.clone(), cfg(2), k, &SccPartitioner).unwrap();
+            let got = {
+                let _plan =
+                    arm(FaultPlan::new().on_index("router.shard", victim, FaultAction::Panic));
+                answers(&router.run_batch(&qs).results)
+            };
+            // The replica retry re-answers the lost sub-batch exactly:
+            // full byte-identity, not just blast-radius containment.
+            assert_eq!(got, base, "replica retry diverged (k={k}, shard {victim})");
+            let clean = answers(&router.run_batch(&qs).results);
+            assert_eq!(clean, base, "post-fault router batch diverged (k={k})");
+        }
+    }
+}
+
+#[test]
+fn router_double_loss_settles_sub_batch_failed() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    let k = 2usize;
+    let router = Router::new(g.clone(), cfg(2), k, &SccPartitioner).unwrap();
+    let (got, report_stats) = {
+        let _plan = arm(FaultPlan::new()
+            .on_index("router.shard", 0, FaultAction::Panic)
+            .on_nth("router.shard.retry", 0, FaultAction::Panic));
+        let report = router.run_batch(&qs);
+        (answers(&report.results), report.stats)
+    };
+    let failed = got
+        .iter()
+        .filter(|a| matches!(a, Answer::Failed(_)))
+        .count();
+    assert!(failed > 0, "double loss produced no Failed answers");
+    assert_eq!(report_stats.failed, failed);
+    assert_blast_radius(&got, &base, "router double loss");
+    // Shard 1's answers (everything not Failed) are untouched, and the
+    // router itself is not poisoned.
+    let clean = answers(&router.run_batch(&qs).results);
+    assert_eq!(clean, base, "post-double-loss router batch diverged");
+}
+
+#[test]
+fn deadline_settlement_is_deterministic_under_delay_faults() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    // A zero deadline settles every query TimedOut at any thread count,
+    // even while delay faults skew worker timing.
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::new(
+            g.clone(),
+            EngineConfig {
+                batch_timeout: Some(Duration::ZERO),
+                ..cfg(threads)
+            },
+        );
+        let got = {
+            let _plan = arm(FaultPlan::new().on_nth(
+                "dualsim.fixpoint",
+                0,
+                FaultAction::Delay(Duration::from_millis(20)),
+            ));
+            answers(&engine.run_batch(&qs).results)
+        };
+        assert!(
+            got.iter().all(|a| *a == Answer::TimedOut),
+            "zero-deadline settlement not deterministic at {threads} threads"
+        );
+    }
+}
+
+/// Seeded chaos: arbitrary single-fault plans over every point × action,
+/// engine and router, pinning no-abort + blast-radius + no-poison.
+fn action_from(idx: usize, delay_ms: u64) -> FaultAction {
+    match idx % 3 {
+        0 => FaultAction::Panic,
+        1 => FaultAction::Starve,
+        _ => FaultAction::Delay(Duration::from_millis(delay_ms)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaos_engine_holds_the_contract(
+        point_idx in 0usize..4,
+        nth in 0u64..6,
+        action_idx in 0usize..3,
+        delay_ms in 1u64..20,
+    ) {
+        let action = action_from(action_idx, delay_ms);
+        let _s = serial();
+        let (g, qs) = fixture();
+        let base = baseline();
+        let engine = Engine::new(g, cfg(1));
+        let got = {
+            let _plan = arm(FaultPlan::new().on_nth(KERNEL_POINTS[point_idx], nth, action));
+            answers(&engine.run_batch(&qs).results)
+        };
+        let what = format!("chaos {} nth={nth} {action:?}", KERNEL_POINTS[point_idx]);
+        assert_blast_radius(&got, &base, &what);
+        if matches!(action, FaultAction::Delay(_)) {
+            prop_assert_eq!(&got, &base, "delay must not change answers");
+        }
+        assert_no_poison(&engine, &qs, &base, &what);
+    }
+
+    #[test]
+    fn chaos_router_holds_the_contract(
+        k in 1usize..5,
+        victim in 0u64..5,
+        action_idx in 0usize..3,
+        delay_ms in 1u64..20,
+    ) {
+        let action = action_from(action_idx, delay_ms);
+        let _s = serial();
+        let (g, qs) = fixture();
+        let base = baseline();
+        let router = Router::new(g, cfg(2), k, &SccPartitioner).unwrap();
+        let got = {
+            let _plan = arm(FaultPlan::new().on_index("router.shard", victim % k as u64, action));
+            answers(&router.run_batch(&qs).results)
+        };
+        // Panic → replica retry; Starve → the shard thread unwinds with a
+        // CancelPanic before evaluating, which is also a lost worker and
+        // also retried; Delay → answers unchanged. In every case the
+        // batch must come back byte-identical: a single shard loss is
+        // fully recovered.
+        prop_assert_eq!(&got, &base, "k={} victim={}", k, victim);
+        let clean = answers(&router.run_batch(&qs).results);
+        prop_assert_eq!(&clean, &base, "router poisoned");
+    }
+}
