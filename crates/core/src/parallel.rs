@@ -11,6 +11,32 @@ use crate::rbsub::rbsub;
 use crate::reduction::PatternAnswer;
 use rbq_graph::Graph;
 use rbq_pattern::ResolvedPattern;
+use std::fmt;
+
+/// A worker thread of [`try_batch_pattern_queries`] panicked.
+///
+/// The batch itself is not lost: every other worker is still joined, and
+/// the caller can fall back to sequential evaluation (what
+/// [`batch_pattern_queries`] does) or surface the failure typed — the same
+/// containment contract as `rbq_reach::parallel`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelError {
+    /// Zero-based index of the panicked chunk.
+    pub chunk: usize,
+    /// The panic message, when the payload was a string.
+    pub message: Option<String>,
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.message {
+            Some(m) => write!(f, "pattern query worker {} panicked: {m}", self.chunk),
+            None => write!(f, "pattern query worker {} panicked", self.chunk),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
 
 /// Which bounded algorithm a batch runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +50,9 @@ pub enum BatchAlgorithm {
 /// Evaluate `queries` under the shared `budget` with `threads` workers.
 ///
 /// Answers are returned in input order, identical to sequential runs.
+/// A panicked worker degrades to sequential re-evaluation instead of
+/// aborting the batch (see [`try_batch_pattern_queries`] for the typed
+/// variant).
 pub fn batch_pattern_queries(
     g: &Graph,
     idx: &NeighborIndex,
@@ -32,26 +61,69 @@ pub fn batch_pattern_queries(
     algo: BatchAlgorithm,
     threads: usize,
 ) -> Vec<PatternAnswer> {
+    match try_batch_pattern_queries(g, idx, queries, budget, algo, threads) {
+        Ok(r) => r,
+        // A panicked worker does not abort the process: recompute the
+        // whole batch sequentially in the caller's thread, so a transient
+        // failure yields correct answers and a deterministic one
+        // resurfaces as an ordinary catchable panic in the caller.
+        Err(_) => {
+            let run = |q: &ResolvedPattern| match algo {
+                BatchAlgorithm::Simulation => rbsim(g, idx, q, budget),
+                BatchAlgorithm::Isomorphism => rbsub(g, idx, q, budget),
+            };
+            queries.iter().map(run).collect()
+        }
+    }
+}
+
+/// [`batch_pattern_queries`] with typed worker-failure propagation: a
+/// panicked worker yields `Err(ParallelError)` after every other worker
+/// has been joined, instead of re-panicking in the caller.
+pub fn try_batch_pattern_queries(
+    g: &Graph,
+    idx: &NeighborIndex,
+    queries: &[ResolvedPattern],
+    budget: &ResourceBudget,
+    algo: BatchAlgorithm,
+    threads: usize,
+) -> Result<Vec<PatternAnswer>, ParallelError> {
     let run = |q: &ResolvedPattern| match algo {
         BatchAlgorithm::Simulation => rbsim(g, idx, q, budget),
         BatchAlgorithm::Isomorphism => rbsub(g, idx, q, budget),
     };
     let threads = threads.max(1).min(queries.len().max(1));
     if threads <= 1 || queries.len() < 2 {
-        return queries.iter().map(run).collect();
+        return Ok(queries.iter().map(run).collect());
     }
     let chunk = queries.len().div_ceil(threads);
     let mut results: Vec<Vec<PatternAnswer>> = Vec::with_capacity(threads);
+    let mut failed: Option<ParallelError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|qs| scope.spawn(move || qs.iter().map(run).collect::<Vec<_>>()))
             .collect();
-        for h in handles {
-            results.push(h.join().expect("pattern worker panicked"));
+        for (ci, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    // First failure wins; keep joining so no worker leaks.
+                    if failed.is_none() {
+                        let message = payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned());
+                        failed = Some(ParallelError { chunk: ci, message });
+                    }
+                }
+            }
         }
     });
-    results.concat()
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(results.concat()),
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,8 @@ pub fn rbsim_any_with(
                 .get(pattern.label_str(u))
                 .map_or(0, |l| g.count_nodes_with_label(l))
         })
+        // invariant: `Pattern::build` asserts non-empty, so every resolved
+        // pattern has at least one node and `min_by_key` yields `Some`.
         .expect("patterns have nodes");
 
     // Re-anchor the pattern at u*: reuse the anchored machinery with
@@ -147,6 +149,8 @@ pub fn rbsim_any_with(
     // Split the budget evenly; remainder to the first seeds. Per-seed
     // answers are sorted vectors; the union is a sort + dedup at the end
     // (no hash set on the matching path).
+    // invariant: the empty-seed case returned early above, so the loop ran
+    // at least once and `resolved` was set.
     let mut q = resolved.expect("seeds are non-empty, so resolution succeeded");
     let per_seed = (budget.max_units / seeds.len()).max(1);
     let mut matches: Vec<NodeId> = Vec::new();

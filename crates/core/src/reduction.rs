@@ -341,6 +341,7 @@ pub fn search_reduced_graph_with<'g>(
 /// The returned [`ReductionOutcome::gq`] owns the scratch's subgraph
 /// buffers; hand it back with [`ReductionScratch::recycle`] once evaluated
 /// so the next query starts warm.
+// rbq-lint: hot
 pub fn search_reduced_graph_scratch<'g>(
     g: &'g Graph,
     idx: &NeighborIndex,
@@ -387,7 +388,9 @@ pub fn search_reduced_graph_scratch<'g>(
     // The potential's deduplicated query-neighbor label sets depend only on
     // the query: computed once here, not once per scored candidate.
     if uniq_out.len() < p.node_count() {
+        // rbq-lint: allow(hot-path-alloc, "cold first-use growth of the scratch label pools; steady state re-enters the branch only for a larger pattern")
         uniq_out.resize_with(p.node_count(), Vec::new);
+        // rbq-lint: allow(hot-path-alloc, "cold first-use growth, same as the line above")
         uniq_in.resize_with(p.node_count(), Vec::new);
     }
     for u in p.nodes() {

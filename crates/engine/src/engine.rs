@@ -444,6 +444,9 @@ impl Engine {
     /// validate first and exit gracefully.
     pub fn new(g: Arc<Graph>, cfg: EngineConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // invariant: documented `# Panics` contract of `Engine::new`;
+            // front ends validate the config and exit gracefully before
+            // constructing an engine.
             panic!("invalid engine config: {e}");
         }
         let cache = Mutex::new(ReductionCache::new(cfg.cache_capacity));
@@ -460,9 +463,7 @@ impl Engine {
     /// one snapshot, so a mid-query [`Engine::apply_deltas`] cannot mix
     /// old-graph and new-graph state inside a single evaluation.
     fn pin(&self) -> Arc<Epoch> {
-        // The guarded value is an Arc swap — always consistent, so a poison
-        // flag from some past panic carries no information; recover.
-        self.epoch.read().unwrap_or_else(|e| e.into_inner()).clone()
+        relock_read(&self.epoch).clone()
     }
 
     /// Check out a warm worker scratch (or a fresh one when the pool is
@@ -489,9 +490,7 @@ impl Engine {
     ) -> Self {
         let e = Engine::new(g, cfg);
         {
-            // invariant: `e` was created two lines up and never shared, so
-            // no other thread can have poisoned its lock.
-            let ep = e.epoch.read().expect("epoch lock");
+            let ep = relock_read(&e.epoch);
             if let Some(n) = neighbor {
                 let _ = ep.nbr.set(n);
             }
@@ -568,9 +567,15 @@ impl Engine {
             let hn = rebuild_nbr.then(|| s.spawn(|| Arc::new(NeighborIndex::build(&g2))));
             let hr = rebuild_reach
                 .then(|| s.spawn(|| Arc::new(HierarchicalIndex::build(&g2, self.cfg.reach_alpha))));
+            // A panicked rebuild worker degrades to lazy rebuild: the new
+            // epoch's `OnceLock` slot simply stays unset, and the next
+            // query that needs the index builds it inside the per-query
+            // panic containment (a deterministic failure settles as
+            // `Answer::Failed`, never an abort). The delta itself already
+            // applied, so the swap must still happen.
             (
-                hn.map(|h| h.join().expect("neighbor index rebuild panicked")),
-                hr.map(|h| h.join().expect("reach index rebuild panicked")),
+                hn.and_then(|h| h.join().ok()),
+                hr.and_then(|h| h.join().ok()),
             )
         });
         self.install_graph(g2, nbr, reach, &report.touched_labels);
@@ -592,8 +597,7 @@ impl Engine {
         touched_labels: &[String],
     ) {
         {
-            // Arc swap: consistent under any poison history; recover.
-            let mut slot = self.epoch.write().unwrap_or_else(|e| e.into_inner());
+            let mut slot = relock_write(&self.epoch);
             let next = Epoch::new(g, slot.generation + 1);
             if let Some(n) = neighbor {
                 let _ = next.nbr.set(n);
@@ -836,6 +840,7 @@ impl Engine {
     /// deadline expiry) becomes `TimedOut`, anything else becomes
     /// [`Answer::Failed`]; either way the scratch an unwind passed through
     /// is discarded, so the pool never recycles torn buffers.
+    // rbq-lint: hot
     fn run_one(
         &self,
         ep: &Epoch,
@@ -1054,6 +1059,18 @@ pub fn settle_aggregate(results: &mut [QueryResult], budget: Option<usize>) -> A
 /// its own invariants across a panic — the poison flag adds no safety.
 fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-lock an `RwLock`, recovering the guard if a past panic poisoned
+/// it. The engine's only `RwLock` guards the epoch `Arc` swap, which is
+/// consistent under any poison history.
+fn relock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock an `RwLock`, recovering from poisoning (see [`relock_read`]).
+fn relock_write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Render a caught panic payload as a message for [`Answer::Failed`].

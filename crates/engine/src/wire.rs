@@ -53,6 +53,8 @@ pub struct QueryFile {
 fn parse_header_version(line: &str, kind: &str) -> Result<u32, QueryParseError> {
     let rest = line
         .strip_prefix(&format!("#rbq-{kind}"))
+        // invariant: both callers dispatch on `line.starts_with` the same
+        // prefix immediately before calling, so the strip cannot fail.
         .expect("caller checked prefix")
         .trim();
     let v: u32 = rest
@@ -567,12 +569,14 @@ mod tests {
 
     #[test]
     fn future_version_rejected() {
+        // rbq-lint: allow(wire-version, "rejection test: a future v3 header must error")
         let err = parse_query_file("#rbq-queries v3\nr 0 1\n").unwrap_err();
         assert!(
             matches!(&err, QueryParseError::AtLine(1, e)
                 if matches!(**e, QueryParseError::UnsupportedVersion(_))),
             "{err}"
         );
+        // rbq-lint: allow(wire-version, "rejection test: a future v9 header must error")
         assert!(parse_answer_file("#rbq-answers v9\n").is_err());
     }
 
@@ -613,6 +617,7 @@ mod tests {
         let parsed = parse_delta_file("ae 0 1\nre 2 3\n").unwrap();
         assert_eq!(parsed.batch.len(), 2);
         assert!(parsed.headerless);
+        // rbq-lint: allow(wire-version, "rejection test: a future v9 header must error")
         assert!(parse_delta_file("#rbq-deltas v9\n").is_err());
     }
 

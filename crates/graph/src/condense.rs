@@ -49,6 +49,8 @@ pub fn condense(g: &Graph) -> Condensation {
 
     let mut b = GraphBuilder::with_capacity(k, g.edge_count().min(k * 4));
     for r in rep.iter().take(k) {
+        // invariant: component ids come from `scc()` over the same graph,
+        // so every id in `0..k` was assigned to at least one node above.
         let r = r.expect("every component has a member");
         b.add_node(g.node_label_str(r));
     }

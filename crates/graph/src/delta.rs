@@ -377,6 +377,8 @@ fn merge_side(
         let mut ri = rem.iter().peekable();
         for &w in base {
             while ai.peek().is_some_and(|&&a| a < w) {
+                // invariant: `ai.peek()` returned `Some` in the loop guard,
+                // so `next()` on the same iterator cannot return `None`.
                 scratch.push(*ai.next().unwrap());
             }
             if ri.peek() == Some(&&w) {

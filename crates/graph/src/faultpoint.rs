@@ -24,6 +24,23 @@
 #[cfg(feature = "fault-injection")]
 pub use imp::{arm, ArmedPlan, FaultAction, FaultPlan};
 
+/// The declared registry of every fault-point name compiled into the
+/// serving path. `rbq-lint`'s `faultpoint-registry` rule checks both
+/// directions on every push: a [`fire`] / [`fire_at`] call whose name is
+/// not listed here is a lint error, and so is a listed name that nothing
+/// fires — so the registry can neither drift stale nor hide typos in the
+/// stringly point names.
+pub const REGISTRY: &[&str] = &[
+    "ball.bfs",           // BallScratch BFS inner loop
+    "dualsim.fixpoint",   // dual-simulation worklist fixpoint
+    "reduction.pick",     // reduction Pick scoring loop
+    "vf2.step",           // VF2 enumeration step
+    "reach.parallel",     // parallel reach join
+    "engine.run_one",     // per-query engine entry
+    "router.shard",       // per-shard router worker
+    "router.shard.retry", // cold-replica retry after a lost shard
+];
+
 /// Fire the named fault point. No-op unless the `fault-injection` feature
 /// is enabled and an armed plan matches this hit.
 #[cfg(not(feature = "fault-injection"))]
@@ -163,6 +180,9 @@ mod imp {
 
     fn perform(action: FaultAction, point: &'static str) {
         match action {
+            // invariant: the injected panic *is* this action's contract —
+            // callers opt in via `FaultPlan` and the serving loop contains
+            // it with per-query `catch_unwind`.
             FaultAction::Panic => panic!("injected fault at {point}"),
             FaultAction::Delay(d) => std::thread::sleep(d),
             FaultAction::Starve => std::panic::panic_any(CancelPanic {

@@ -152,6 +152,7 @@ impl BallScratch {
     /// Undirected BFS from `center` to depth `r`; leaves the visited set
     /// (with depths) in `self.queue` and returns the `(min, max)` visited
     /// node indexes (`(0, 0)` when the center is absent).
+    // rbq-lint: hot
     fn bfs<V: GraphView + ?Sized>(&mut self, g: &V, center: NodeId, r: usize) -> (usize, usize) {
         crate::faultpoint::fire("ball.bfs");
         self.next_epoch();
@@ -246,6 +247,7 @@ pub fn n_r(g: &Graph, v: NodeId, r: usize) -> (FxHashMap<NodeId, usize>, VisitSt
     let mut stats = VisitStats::default();
     dist.insert(v, 0);
     queue.push_back((v, 0usize));
+    // rbq-lint: allow(cancel-coverage, "legacy offline helper for benches and test oracles; the serving path uses the ticked BallScratch::bfs")
     while let Some((u, d)) = queue.pop_front() {
         stats.nodes += 1;
         if d == r {

@@ -90,6 +90,9 @@ pub fn tarjan_scc(g: &Graph) -> SccPartition {
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root; pop its component.
                     loop {
+                        // invariant: Tarjan pushes `v` before exploring it,
+                        // so the component stack holds `v` until this pop
+                        // loop reaches it — it cannot underflow first.
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp[w as usize] = count;

@@ -229,6 +229,8 @@ impl<'g> DynamicSubgraph<'g> {
     /// this against the resource budget.
     pub fn add_node(&mut self, v: NodeId) -> usize {
         self.try_add_node(v, usize::MAX)
+            // invariant: with `remaining = usize::MAX` the budget check in
+            // `try_add_node` can never reject, so the result is `Some`.
             .expect("unbounded add cannot exceed the budget")
     }
 

@@ -39,6 +39,8 @@ pub fn is_acyclic(g: &Graph) -> bool {
 /// # Panics
 /// Panics if `g` is cyclic (call on the condensation of a cyclic graph).
 pub fn topological_ranks(g: &Graph) -> Vec<u32> {
+    // invariant: documented `# Panics` contract — callers pass the (acyclic)
+    // condensation, never a raw possibly-cyclic graph.
     let order = topological_order(g).expect("topological_ranks requires a DAG");
     let mut rank = vec![0u32; g.node_count()];
     // Process in reverse topological order so children are ranked first.

@@ -1,0 +1,38 @@
+//! `rbq-lint check [ROOT]` — run the workspace static-analysis pass and
+//! exit nonzero on any finding. Diagnostics go to stderr as
+//! `file:line: rule-id: message`, one per line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("", &args[..]),
+    };
+    if cmd != "check" || rest.len() > 1 {
+        eprintln!("usage: rbq-lint check [ROOT]");
+        return ExitCode::from(2);
+    }
+    let start = rest
+        .first()
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = rbq_lint::find_workspace_root(&start) else {
+        eprintln!(
+            "rbq-lint: no workspace root at or above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+    match rbq_lint::check_and_report(&root) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("rbq-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The repo-specific rule set. Each rule walks one file's token stream
+//! (test scope already excluded by the caller-supplied [`Analysis`]) and
+//! emits raw findings; the engine in `lib.rs` applies `allow` suppression
+//! afterwards.
+
+use crate::lexer::Tok;
+use crate::scope::{fn_body_after_line, loop_body_span};
+use crate::{Analysis, RawFinding};
+
+pub const SERVING_UNWRAP: &str = "serving-unwrap";
+pub const LOCK_RELOCK: &str = "lock-relock";
+pub const CANCEL_COVERAGE: &str = "cancel-coverage";
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+pub const FAULTPOINT_REGISTRY: &str = "faultpoint-registry";
+pub const WIRE_VERSION: &str = "wire-version";
+/// Meta-rule for suppression hygiene: malformed, blanket, or unused
+/// `allow` directives. Not itself suppressible.
+pub const LINT_ALLOW: &str = "lint-allow";
+
+/// Every real (suppressible) rule id.
+pub const RULES: &[&str] = &[
+    SERVING_UNWRAP,
+    LOCK_RELOCK,
+    CANCEL_COVERAGE,
+    HOT_PATH_ALLOC,
+    FAULTPOINT_REGISTRY,
+    WIRE_VERSION,
+];
+
+fn ident_is(t: &Tok, name: &str) -> bool {
+    matches!(t, Tok::Ident(n) if n == name)
+}
+
+fn punct_is(t: &Tok, c: char) -> bool {
+    *t == Tok::Punct(c)
+}
+
+/// `serving-unwrap`: no `.unwrap()` / `.expect(` / `panic!` on the serving
+/// path unless the site carries a `// invariant:` comment (preceding line
+/// or trailing) or a reasoned `allow`. `.lock()/.read()/.write()` receivers
+/// are excluded here — `lock-relock` owns those sites with the sharper fix.
+pub fn serving_unwrap(a: &Analysis, out: &mut Vec<RawFinding>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.scope.contains_token(i) {
+            continue;
+        }
+        let t = &toks[i].tok;
+        let line = toks[i].line;
+        let mut hit: Option<&str> = None;
+        if ident_is(t, "unwrap")
+            && i >= 1
+            && punct_is(&toks[i - 1].tok, '.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(p) if punct_is(p, '('))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(p) if punct_is(p, ')'))
+        {
+            hit = Some(".unwrap()");
+        } else if ident_is(t, "expect")
+            && i >= 1
+            && punct_is(&toks[i - 1].tok, '.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(p) if punct_is(p, '('))
+        {
+            hit = Some(".expect(…)");
+        } else if ident_is(t, "panic")
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(p) if punct_is(p, '!'))
+        {
+            hit = Some("panic!");
+        }
+        let Some(what) = hit else { continue };
+        if what != "panic!" && is_lock_receiver(a, i) {
+            continue; // lock-relock reports these
+        }
+        if a.invariant_covers(line) {
+            continue;
+        }
+        out.push(RawFinding {
+            line,
+            rule: SERVING_UNWRAP,
+            message: format!(
+                "{what} on the serving path — return a typed error, or document the \
+                 invariant with a `// invariant:` comment on the line above"
+            ),
+        });
+    }
+}
+
+/// Whether the method-name token at `i` (unwrap/expect) is called directly
+/// on a `.lock()` / `.read()` / `.write()` result.
+fn is_lock_receiver(a: &Analysis, i: usize) -> bool {
+    let toks = &a.lexed.tokens;
+    i >= 4
+        && punct_is(&toks[i - 1].tok, '.')
+        && punct_is(&toks[i - 2].tok, ')')
+        && punct_is(&toks[i - 3].tok, '(')
+        && matches!(&toks[i - 4].tok, Tok::Ident(n) if matches!(n.as_str(), "lock" | "read" | "write"))
+}
+
+/// `lock-relock`: serving code never unwraps a lock acquisition directly —
+/// poisoning must go through the crate's `relock` helpers so a contained
+/// panic in one query cannot take the whole engine down.
+pub fn lock_relock(a: &Analysis, out: &mut Vec<RawFinding>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.scope.contains_token(i) {
+            continue;
+        }
+        let Tok::Ident(m) = &toks[i].tok else {
+            continue;
+        };
+        if !matches!(m.as_str(), "lock" | "read" | "write") {
+            continue;
+        }
+        let ok = i >= 1
+            && punct_is(&toks[i - 1].tok, '.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(p) if punct_is(p, '('))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(p) if punct_is(p, ')'))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(p) if punct_is(p, '.'))
+            && matches!(
+                toks.get(i + 4).map(|t| &t.tok),
+                Some(Tok::Ident(u)) if matches!(u.as_str(), "unwrap" | "expect")
+            )
+            && matches!(toks.get(i + 5).map(|t| &t.tok), Some(p) if punct_is(p, '('));
+        if ok {
+            out.push(RawFinding {
+                line: toks[i].line,
+                rule: LOCK_RELOCK,
+                message: format!(
+                    ".{m}().unwrap()-style acquisition on the serving path — use the \
+                     poison-recovering `relock` helpers instead"
+                ),
+            });
+        }
+    }
+}
+
+/// `cancel-coverage`: every `loop` / `while` body in a registered kernel
+/// hot-loop file must contain a cooperative `tick(` cancellation point
+/// (directly or in a nested loop), so an armed deadline can always
+/// interrupt the kernel.
+pub fn cancel_coverage(a: &Analysis, out: &mut Vec<RawFinding>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.scope.contains_token(i) {
+            continue;
+        }
+        let Tok::Ident(kw) = &toks[i].tok else {
+            continue;
+        };
+        if kw != "loop" && kw != "while" {
+            continue;
+        }
+        let Some(body) = loop_body_span(toks, i) else {
+            continue;
+        };
+        let has_tick = (body.start..body.end).any(|j| {
+            ident_is(&toks[j].tok, "tick")
+                && matches!(toks.get(j + 1).map(|t| &t.tok), Some(p) if punct_is(p, '('))
+        });
+        if !has_tick {
+            out.push(RawFinding {
+                line: toks[i].line,
+                rule: CANCEL_COVERAGE,
+                message: format!(
+                    "`{kw}` body in a registered kernel file has no `CancelTicker::tick` \
+                     cancellation point — an armed deadline cannot interrupt it"
+                ),
+            });
+        }
+    }
+}
+
+/// Allocating constructs recognized by `hot-path-alloc`.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Arc", "new"),
+    ("Rc", "new"),
+];
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned", "clone"];
+/// Path-form calls that look allocating but are not: `Arc::clone` /
+/// `Rc::clone` are refcount bumps.
+const ALLOWED_PATHS: &[(&str, &str)] = &[("Arc", "clone"), ("Rc", "clone")];
+
+/// `hot-path-alloc`: inside a function annotated `// rbq-lint: hot`, no
+/// allocating construct outside the built-in allowlist — the static
+/// complement to the counting-allocator pin in `tests/alloc_free.rs`.
+/// Cold branches inside a hot function carry a reasoned `allow`.
+pub fn hot_path_alloc(a: &Analysis, out: &mut Vec<RawFinding>) {
+    let toks = &a.lexed.tokens;
+    for &hot_line in &a.hot_lines {
+        if a.scope.contains_line(hot_line) {
+            continue;
+        }
+        let Some(body) = fn_body_after_line(toks, hot_line) else {
+            out.push(RawFinding {
+                line: hot_line,
+                rule: HOT_PATH_ALLOC,
+                message: "dangling `// rbq-lint: hot` — no function body follows the annotation"
+                    .into(),
+            });
+            continue;
+        };
+        for j in body.start..body.end {
+            if a.scope.contains_token(j) {
+                continue;
+            }
+            let line = toks[j].line;
+            let Tok::Ident(name) = &toks[j].tok else {
+                continue;
+            };
+            let next = toks.get(j + 1).map(|t| &t.tok);
+            // vec! / format!
+            if ALLOC_MACROS.contains(&name.as_str()) && matches!(next, Some(p) if punct_is(p, '!'))
+            {
+                out.push(RawFinding {
+                    line,
+                    rule: HOT_PATH_ALLOC,
+                    message: format!("`{name}!` allocates inside a `// rbq-lint: hot` function"),
+                });
+                continue;
+            }
+            // Type::method( path calls
+            if punct_is(
+                toks.get(j + 1).map(|t| &t.tok).unwrap_or(&Tok::Punct(' ')),
+                ':',
+            ) && matches!(toks.get(j + 2).map(|t| &t.tok), Some(p) if punct_is(p, ':'))
+            {
+                if let Some(Tok::Ident(m)) = toks.get(j + 3).map(|t| &t.tok) {
+                    let pair = (name.as_str(), m.as_str());
+                    if ALLOC_PATHS.contains(&pair) && !ALLOWED_PATHS.contains(&pair) {
+                        out.push(RawFinding {
+                            line,
+                            rule: HOT_PATH_ALLOC,
+                            message: format!(
+                                "`{name}::{m}` allocates inside a `// rbq-lint: hot` function"
+                            ),
+                        });
+                        continue;
+                    }
+                }
+            }
+            // .method( calls
+            if j >= 1
+                && punct_is(&toks[j - 1].tok, '.')
+                && ALLOC_METHODS.contains(&name.as_str())
+                && matches!(next, Some(p) if punct_is(p, '('))
+            {
+                out.push(RawFinding {
+                    line,
+                    rule: HOT_PATH_ALLOC,
+                    message: format!(
+                        "`.{name}(` allocates inside a `// rbq-lint: hot` function \
+                         (use `Arc::clone` for refcount bumps; cold branches need a \
+                         reasoned allow)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A `fire("name")` / `fire_at("name", …)` call site.
+#[derive(Debug, Clone)]
+pub struct FireSite {
+    pub name: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Collect the non-test fault-point call sites of one file.
+pub fn collect_fire_sites(a: &Analysis, out: &mut Vec<FireSite>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.scope.contains_token(i) {
+            continue;
+        }
+        let Tok::Ident(f) = &toks[i].tok else {
+            continue;
+        };
+        if f != "fire" && f != "fire_at" {
+            continue;
+        }
+        // Skip the definitions (`fn fire(...)`).
+        if i >= 1 && ident_is(&toks[i - 1].tok, "fn") {
+            continue;
+        }
+        if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(p) if punct_is(p, '(')) {
+            continue;
+        }
+        if let Some(Tok::Str(name)) = toks.get(i + 2).map(|t| &t.tok) {
+            out.push(FireSite {
+                name: name.clone(),
+                file: a.path.clone(),
+                line: toks[i].line,
+            });
+        }
+    }
+}
+
+/// A registry entry parsed out of the declared `REGISTRY` const.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    pub name: String,
+    pub line: u32,
+}
+
+/// Parse the `REGISTRY: &[&str]` const from the fault-point module: every
+/// string literal between `REGISTRY` and the closing `;`.
+pub fn parse_registry(a: &Analysis) -> Option<Vec<RegistryEntry>> {
+    let toks = &a.lexed.tokens;
+    let start = toks.iter().position(|t| ident_is(&t.tok, "REGISTRY"))?;
+    let mut entries = Vec::new();
+    for t in &toks[start..] {
+        match &t.tok {
+            Tok::Str(s) => entries.push(RegistryEntry {
+                name: s.clone(),
+                line: t.line,
+            }),
+            Tok::Punct(';') => break,
+            _ => {}
+        }
+    }
+    Some(entries)
+}
+
+/// The wire-format declaration parsed from `wire.rs`: one entry per
+/// `*_FILE_HEADER` const.
+#[derive(Debug, Clone)]
+pub struct WireDecl {
+    /// (kind, version, line) per declared header const.
+    pub headers: Vec<(String, u32, u32)>,
+}
+
+impl WireDecl {
+    pub fn current_version(&self) -> Option<u32> {
+        self.headers.first().map(|h| h.1)
+    }
+}
+
+const HEADER_CONSTS: &[(&str, &str)] = &[
+    ("QUERY_FILE_HEADER", "queries"),
+    ("ANSWER_FILE_HEADER", "answers"),
+    ("DELTA_FILE_HEADER", "deltas"),
+];
+
+/// Parse the three header consts from the wire module, reporting malformed
+/// or missing ones as findings against that file.
+pub fn parse_wire_decl(a: &Analysis, out: &mut Vec<RawFinding>) -> Option<WireDecl> {
+    let toks = &a.lexed.tokens;
+    let mut headers = Vec::new();
+    for (cname, kind) in HEADER_CONSTS {
+        let Some(i) = toks.iter().position(|t| ident_is(&t.tok, cname)) else {
+            out.push(RawFinding {
+                line: 1,
+                rule: WIRE_VERSION,
+                message: format!("wire module does not declare `{cname}`"),
+            });
+            continue;
+        };
+        // The const's value is the first string literal before the `;`.
+        let mut lit = None;
+        for t in &toks[i..] {
+            match &t.tok {
+                Tok::Str(s) => {
+                    lit = Some((s.clone(), t.line));
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+        }
+        let parsed = lit.as_ref().and_then(|(s, _)| parse_header(s));
+        match (lit, parsed) {
+            (Some((_, line)), Some((k, v))) if k == *kind => headers.push((k, v, line)),
+            (Some((s, line)), _) => out.push(RawFinding {
+                line,
+                rule: WIRE_VERSION,
+                message: format!("`{cname}` value {s:?} is not a `#rbq-{kind} v<N>` header"),
+            }),
+            (None, _) => out.push(RawFinding {
+                line: toks[i].line,
+                rule: WIRE_VERSION,
+                message: format!("`{cname}` has no string literal value"),
+            }),
+        }
+    }
+    if headers.is_empty() {
+        return None;
+    }
+    let v0 = headers[0].1;
+    for (kind, v, line) in &headers {
+        if *v != v0 {
+            out.push(RawFinding {
+                line: *line,
+                rule: WIRE_VERSION,
+                message: format!(
+                    "wire header versions disagree: `#rbq-{kind}` is v{v} but \
+                     `#rbq-{}` is v{v0}",
+                    headers[0].0
+                ),
+            });
+        }
+    }
+    Some(WireDecl { headers })
+}
+
+/// Parse `#rbq-<kind> v<N>` from the *start* of a header string. The kind
+/// is a lowercase word and ` v<digits>` must follow it immediately, so
+/// prose mentions like "has no #rbq-queries header" don't parse.
+fn parse_header(s: &str) -> Option<(String, u32)> {
+    let rest = s.strip_prefix("#rbq-")?;
+    let kind: String = rest.chars().take_while(char::is_ascii_lowercase).collect();
+    if kind.is_empty() {
+        return None;
+    }
+    let rest = rest[kind.len()..].strip_prefix(" v")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    Some((kind, digits.parse().ok()?))
+}
+
+/// `wire-version`: every `#rbq-…` header occurrence in string literals and
+/// comments must agree with the declared current version. Test scope may
+/// reference older versions (legacy-read coverage); a *future* version in a
+/// test marks an intentional rejection test and needs an explicit allow.
+pub fn wire_version(a: &Analysis, decl: &WireDecl, out: &mut Vec<RawFinding>) {
+    let Some(current) = decl.current_version() else {
+        return;
+    };
+    let mut check = |text: &str, line: u32, in_test: bool| {
+        let mut rest = text;
+        while let Some(pos) = rest.find("#rbq-") {
+            rest = &rest[pos..];
+            let occurrence = rest;
+            rest = &rest["#rbq-".len()..];
+            let Some((kind, v)) = parse_header(occurrence) else {
+                continue; // versionless prefix check like `starts_with("#rbq-queries")`
+            };
+            if !decl.headers.iter().any(|(k, _, _)| *k == kind) {
+                if !in_test {
+                    out.push(RawFinding {
+                        line,
+                        rule: WIRE_VERSION,
+                        message: format!("unknown wire header kind `#rbq-{kind}`"),
+                    });
+                }
+                continue;
+            }
+            if !in_test && v != current {
+                out.push(RawFinding {
+                    line,
+                    rule: WIRE_VERSION,
+                    message: format!(
+                        "stale wire header `#rbq-{kind} v{v}` — the declared current \
+                         version is v{current}"
+                    ),
+                });
+            } else if in_test && v > current {
+                out.push(RawFinding {
+                    line,
+                    rule: WIRE_VERSION,
+                    message: format!(
+                        "future wire version `#rbq-{kind} v{v}` in test (current is \
+                         v{current}) — a deliberate rejection test needs a reasoned allow"
+                    ),
+                });
+            }
+        }
+    };
+    for (i, t) in a.lexed.tokens.iter().enumerate() {
+        if let Tok::Str(s) = &t.tok {
+            check(s, t.line, a.scope.contains_token(i));
+        }
+    }
+    for c in &a.lexed.comments {
+        check(&c.text, c.line, a.scope.contains_line(c.line));
+    }
+}

@@ -1,0 +1,398 @@
+//! Structural analysis over the token stream: matching braces, finding the
+//! bodies of items and loops, and computing which token/line ranges are
+//! *test scope* (`#[cfg(test)]` items, `#[test]` functions, `mod tests`).
+//! Rules skip test scope — test code may unwrap, allocate, and fabricate
+//! wire headers freely.
+
+use crate::lexer::{Tok, Token};
+
+/// A half-open token-index range that is also carried as a closed line
+/// range (for attributing comments to scopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Test-scoped spans of a file, queryable by token index or line.
+#[derive(Debug, Default)]
+pub struct TestScope {
+    spans: Vec<Span>,
+    /// Whole file is test scope (integration tests, benches, examples).
+    pub whole_file: bool,
+}
+
+impl TestScope {
+    pub fn contains_token(&self, idx: usize) -> bool {
+        self.whole_file || self.spans.iter().any(|s| idx >= s.start && idx < s.end)
+    }
+
+    pub fn contains_line(&self, line: u32) -> bool {
+        self.whole_file
+            || self
+                .spans
+                .iter()
+                .any(|s| line >= s.start_line && line <= s.end_line)
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (which must be a `{`), or
+/// `None` if unbalanced.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    debug_assert_eq!(tokens[open].tok, Tok::Punct('{'));
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index one past the `]` closing the attribute whose `#` is at `hash`
+/// (`tokens[hash] == '#'`, `tokens[hash+1] == '['`), plus the attribute's
+/// inner tokens. Returns `None` if unbalanced.
+fn attr_end(tokens: &[Token], hash: usize) -> Option<(usize, &[Token])> {
+    let open = hash + 1;
+    if tokens.get(open).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((i + 1, &tokens[open + 1..i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    tokens[i].tok == Tok::Punct('#') && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+}
+
+/// Whether an attribute's inner tokens select test builds: `#[test]`, any
+/// `*::test]` path attribute, or `#[cfg(...)]` whose condition mentions
+/// `test` outside a `not(...)` group.
+fn is_test_attr(inner: &[Token]) -> bool {
+    if inner
+        .iter()
+        .all(|t| matches!(&t.tok, Tok::Ident(_) | Tok::Punct(':')))
+        && matches!(inner.last().map(|t| &t.tok), Some(Tok::Ident(n)) if n == "test")
+    {
+        return true; // #[test], #[tokio::test], …
+    }
+    if !matches!(inner.first().map(|t| &t.tok), Some(Tok::Ident(n)) if n == "cfg") {
+        return false;
+    }
+    // Scan the cfg condition: `test` counts unless inside `not(...)`.
+    let mut group_stack: Vec<String> = Vec::new();
+    let mut last_ident = String::new();
+    for t in &inner[1..] {
+        match &t.tok {
+            Tok::Punct('(') => {
+                group_stack.push(std::mem::take(&mut last_ident));
+            }
+            Tok::Punct(')') => {
+                group_stack.pop();
+            }
+            Tok::Ident(n) => {
+                if n == "test" && !group_stack.iter().any(|g| g == "not") {
+                    return true;
+                }
+                last_ident = n.clone();
+            }
+            _ => last_ident.clear(),
+        }
+    }
+    false
+}
+
+/// Compute the test-scoped spans of a token stream.
+pub fn test_scope(tokens: &[Token]) -> TestScope {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_attr_start(tokens, i) {
+            let Some((after, inner)) = attr_end(tokens, i) else {
+                break;
+            };
+            if is_test_attr(inner) {
+                if let Some(span) = item_body_span(tokens, after) {
+                    spans.push(span);
+                    i = span.end;
+                    continue;
+                }
+            }
+            i = after;
+            continue;
+        }
+        // `mod tests { … }` (or any `mod test*`) without an attribute.
+        if let Tok::Ident(kw) = &tokens[i].tok {
+            if kw == "mod" {
+                if let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    if name.starts_with("test")
+                        && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('{'))
+                    {
+                        if let Some(close) = matching_brace(tokens, i + 2) {
+                            spans.push(Span {
+                                start: i,
+                                end: close + 1,
+                                start_line: tokens[i].line,
+                                end_line: tokens[close].line,
+                            });
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    TestScope {
+        spans,
+        whole_file: false,
+    }
+}
+
+/// The braced body of the item starting at `from` (after its attributes):
+/// skips further attributes and header tokens, then spans the first `{` at
+/// bracket/paren depth zero through its match. Returns `None` for items
+/// ending in `;` first (e.g. `mod tests;`, consts, use-decls).
+fn item_body_span(tokens: &[Token], from: usize) -> Option<Span> {
+    let mut i = from;
+    // Skip any further attributes on the same item.
+    while i < tokens.len() && is_attr_start(tokens, i) {
+        i = attr_end(tokens, i)?.0;
+    }
+    let start = i;
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct(';') if paren == 0 => return None,
+            Tok::Punct('{') if paren == 0 => {
+                let close = matching_brace(tokens, i)?;
+                return Some(Span {
+                    start,
+                    end: close + 1,
+                    start_line: tokens[start].line,
+                    end_line: tokens[close].line,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The body brace span of the `fn` item whose first token (attribute,
+/// visibility, or the `fn` keyword itself) is the first code token on a
+/// line strictly after `line`. Used to resolve `// rbq-lint: hot`
+/// annotations. Returns the token-index span of `{ … }` inclusive.
+pub fn fn_body_after_line(tokens: &[Token], line: u32) -> Option<Span> {
+    let first = tokens.iter().position(|t| t.line > line)?;
+    // The annotated item must start with `fn` within a handful of header
+    // tokens (attrs / pub / const / unsafe / extern "abi"); find it.
+    let mut i = first;
+    loop {
+        if is_attr_start(tokens, i) {
+            i = attr_end(tokens, i)?.0;
+            continue;
+        }
+        match &tokens[i].tok {
+            Tok::Ident(k) if k == "fn" => break,
+            Tok::Ident(k)
+                if matches!(k.as_str(), "pub" | "const" | "unsafe" | "extern" | "async") =>
+            {
+                i += 1;
+            }
+            Tok::Punct('(') => {
+                // pub(crate) / pub(super)
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match tokens[i].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            Tok::Str(_) => i += 1, // extern "C"
+            _ => return None,
+        }
+        if i >= tokens.len() {
+            return None;
+        }
+    }
+    // From `fn`, the body is the first `{` at paren/bracket depth zero.
+    let mut paren = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct(';') if paren == 0 => return None, // trait method decl
+            Tok::Punct('{') if paren == 0 => {
+                let close = matching_brace(tokens, j)?;
+                return Some(Span {
+                    start: j,
+                    end: close + 1,
+                    start_line: tokens[j].line,
+                    end_line: tokens[close].line,
+                });
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The body brace span of the `loop` / `while` whose keyword is at `kw`:
+/// the first `{` after the keyword at paren/bracket depth zero (closure
+/// braces inside a parenthesized condition are correctly skipped because
+/// they sit at positive depth).
+pub fn loop_body_span(tokens: &[Token], kw: usize) -> Option<Span> {
+    let mut paren = 0i32;
+    for j in kw + 1..tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct('{') if paren == 0 => {
+                let close = matching_brace(tokens, j)?;
+                return Some(Span {
+                    start: j,
+                    end: close + 1,
+                    start_line: tokens[j].line,
+                    end_line: tokens[close].line,
+                });
+            }
+            Tok::Punct(';') if paren == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scope_of(src: &str) -> (Vec<Token>, TestScope) {
+        let l = lex(src).unwrap();
+        let s = test_scope(&l.tokens);
+        (l.tokens, s)
+    }
+
+    fn ident_at(tokens: &[Token], name: &str) -> usize {
+        tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident(name.into()))
+            .unwrap()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_scoped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let (toks, s) = scope_of(src);
+        assert!(!s.contains_token(ident_at(&toks, "live")));
+        assert!(s.contains_token(ident_at(&toks, "unwrap")));
+        assert!(s.contains_line(4));
+        assert!(!s.contains_line(1));
+    }
+
+    #[test]
+    fn test_attribute_scopes_one_fn() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() { b; }\n";
+        let (toks, s) = scope_of(src);
+        assert!(s.contains_token(ident_at(&toks, "unwrap")));
+        assert!(!s.contains_token(ident_at(&toks, "live")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n";
+        let (toks, s) = scope_of(src);
+        assert!(!s.contains_token(ident_at(&toks, "unwrap")));
+    }
+
+    #[test]
+    fn cfg_any_containing_test_is_scoped() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { a.unwrap(); }\n";
+        let (toks, s) = scope_of(src);
+        assert!(s.contains_token(ident_at(&toks, "unwrap")));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_scoped() {
+        let src = "mod tests { fn t() { x.unwrap(); } }\nfn live() {}\n";
+        let (toks, s) = scope_of(src);
+        assert!(s.contains_token(ident_at(&toks, "unwrap")));
+        assert!(!s.contains_token(ident_at(&toks, "live")));
+    }
+
+    #[test]
+    fn cfg_test_use_decl_without_body() {
+        // `#[cfg(test)] use …;` has no braced body; the next item stays live.
+        let src = "#[cfg(test)]\nuse helpers::x;\nfn live() { a.unwrap(); }\n";
+        let (toks, s) = scope_of(src);
+        assert!(!s.contains_token(ident_at(&toks, "unwrap")));
+    }
+
+    #[test]
+    fn loop_body_spans() {
+        let l = lex("while q.pop().is_some() { work(); }\nloop { tick(); }").unwrap();
+        let w = ident_at(&l.tokens, "while");
+        let span = loop_body_span(&l.tokens, w).unwrap();
+        let inner = &l.tokens[span.start..span.end];
+        assert!(inner.iter().any(|t| t.tok == Tok::Ident("work".into())));
+        assert!(!inner.iter().any(|t| t.tok == Tok::Ident("tick".into())));
+    }
+
+    #[test]
+    fn while_condition_closure_brace_is_not_body() {
+        let l = lex("while items.iter().any(|x| { deep(x) }) { body(); }").unwrap();
+        let w = ident_at(&l.tokens, "while");
+        let span = loop_body_span(&l.tokens, w).unwrap();
+        let inner = &l.tokens[span.start..span.end];
+        assert!(inner.iter().any(|t| t.tok == Tok::Ident("body".into())));
+        assert!(!inner.iter().any(|t| t.tok == Tok::Ident("deep".into())));
+    }
+
+    #[test]
+    fn fn_body_after_annotation_line() {
+        let src = "// rbq-lint: hot\n#[inline]\npub(crate) fn hot_one(a: &[u32]) -> u32 {\n    a.len() as u32\n}\nfn other() { vec![1]; }\n";
+        let l = lex(src).unwrap();
+        let span = fn_body_after_line(&l.tokens, 1).unwrap();
+        let inner = &l.tokens[span.start..span.end];
+        assert!(inner.iter().any(|t| t.tok == Tok::Ident("len".into())));
+        assert!(!inner.iter().any(|t| t.tok == Tok::Ident("vec".into())));
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: `lint-allow` suppression hygiene — checked as
+//! `crates/core/src/fx_allows.rs`.
+
+// rbq-lint: allow(serving-unwrap)
+pub fn bad_blanket_no_reason(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// rbq-lint: allow(*, "everything")
+pub fn bad_blanket_star(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// rbq-lint: allow(bogus-rule, "no such rule")
+pub fn bad_unknown_rule() {}
+
+// rbq-lint: allow(serving-unwrap, "suppresses nothing — itself a finding")
+pub fn bad_unused_allow() {}
+
+// rbq-lint: frobnicate
+pub fn bad_unknown_directive() {}

@@ -1,0 +1,22 @@
+//! Fixture: `faultpoint-registry` declaration side — checked as
+//! `crates/core/src/fx_faultpoint.rs` (the fixture context's registry).
+
+pub const REGISTRY: &[&str] = &[
+    "fx.fired",   // fired below — consistent
+    "fx.unused",  // never fired — finding
+    "fx.dup",     // duplicate — finding
+    "fx.dup",
+    "fx.kernel",  // fired from fx_kernel.rs
+];
+
+pub fn fire(_point: &'static str) {}
+
+pub fn fire_at(_point: &'static str, _index: u64) {}
+
+pub fn uses_registered() {
+    fire("fx.fired");
+}
+
+pub fn uses_unregistered() {
+    fire_at("fx.rogue", 3);
+}

@@ -1,0 +1,38 @@
+//! Fixture: `hot-path-alloc` — checked as `crates/core/src/fx_hot.rs`.
+
+// rbq-lint: hot
+pub fn bad_hot(xs: &[u32]) -> u32 {
+    let v: Vec<u32> = xs.to_vec();
+    let mut out = Vec::new();
+    out.extend_from_slice(&v);
+    let s = format!("{}", out.len());
+    s.len() as u32
+}
+
+// rbq-lint: hot
+pub fn good_hot(xs: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    scratch.iter().sum()
+}
+
+// rbq-lint: hot
+pub fn good_arc_clone(a: &std::sync::Arc<u32>) -> std::sync::Arc<u32> {
+    std::sync::Arc::clone(a)
+}
+
+// rbq-lint: hot
+pub fn good_cold_branch_allowed(xs: &[u32], pool: &mut Vec<Vec<u32>>) {
+    if pool.is_empty() {
+        // rbq-lint: allow(hot-path-alloc, "fixture: cold first-use growth of the pool")
+        pool.resize_with(4, Vec::new);
+    }
+    pool[0].extend_from_slice(xs);
+}
+
+pub fn cold_fn_may_allocate() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+// rbq-lint: hot
+pub const DANGLING_ANNOTATION: u32 = 0;

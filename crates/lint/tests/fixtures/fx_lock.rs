@@ -1,0 +1,21 @@
+//! Fixture: `lock-relock` — checked as `crates/engine/src/fx_lock.rs`.
+//! A `.lock().unwrap()` fires lock-relock (and only lock-relock — the
+//! serving-unwrap rule cedes lock receivers to the sharper rule).
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bad_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn bad_read(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap()
+}
+
+pub fn bad_write(l: &RwLock<u32>) {
+    *l.write().expect("poisoned") = 1;
+}
+
+pub fn good_relock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,41 @@
+//! Fixture: `serving-unwrap` — checked as `crates/core/src/fx_serving.rs`.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("should be set")
+}
+
+pub fn bad_panic(v: u32) {
+    if v == 0 {
+        panic!("zero is not allowed");
+    }
+}
+
+pub fn good_documented(v: Option<u32>) -> u32 {
+    // invariant: the caller populated `v` two lines up; this cannot fail.
+    v.expect("populated by caller")
+}
+
+pub fn good_trailing(v: Option<u32>) -> u32 {
+    v.expect("populated by caller") // invariant: caller populated it
+}
+
+pub fn good_allowed(v: Option<u32>) -> u32 {
+    // rbq-lint: allow(serving-unwrap, "fixture demonstrating a reasoned allow")
+    v.unwrap()
+}
+
+pub fn not_flagged_in_strings() -> &'static str {
+    "this string mentions .unwrap() and panic! but is data"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u32).unwrap();
+    }
+}

@@ -174,6 +174,7 @@ pub fn dual_simulation<V: GraphView + ?Sized>(
 /// [`dual_simulation`] through a reusable [`DualSimScratch`]: identical
 /// answers, zero steady-state allocation. The returned [`DualSimRef`]
 /// borrows the scratch's result buffers.
+// rbq-lint: hot
 pub fn dual_simulation_with<'s, V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,
@@ -416,6 +417,7 @@ pub fn dual_simulation_screened<V: GraphView + ?Sized>(
 /// the per-ball hot path of strong simulation. Identical answers; the
 /// intersection lists, fixpoint state, and result vectors are all recycled
 /// scratch buffers.
+// rbq-lint: hot
 pub fn dual_simulation_screened_with<'s, V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,

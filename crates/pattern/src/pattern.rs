@@ -389,7 +389,10 @@ impl PatternBuilder {
     /// were not set.
     pub fn build(&self) -> Pattern {
         assert!(!self.labels.is_empty(), "pattern must have nodes");
+        // invariant: documented `# Panics` contract of `build` — pattern
+        // construction is an offline/setup step, not a serving-path one.
         let personalized = self.personalized.expect("personalized node not set");
+        // invariant: same documented `# Panics` contract as above.
         let output = self.output.expect("output node not set");
         let n = self.labels.len();
         let mut edges = self.edges.clone();

@@ -67,6 +67,7 @@ pub fn strong_simulation_on_view<V: GraphView + ?Sized>(q: &ResolvedPattern, g: 
 /// identical answers, written into `out` (cleared first), with zero
 /// steady-state allocation. This is the evaluation half of the warm
 /// `rbsim` serving path.
+// rbq-lint: hot
 pub fn strong_simulation_on_view_with<V: GraphView + ?Sized>(
     q: &ResolvedPattern,
     g: &V,

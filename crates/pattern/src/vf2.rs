@@ -123,6 +123,7 @@ fn connectivity_order(q: &ResolvedPattern) -> Vec<PNode> {
     let mut queue = std::collections::VecDeque::new();
     seen[q.up().index()] = true;
     queue.push_back(q.up());
+    // rbq-lint: allow(cancel-coverage, "bounded by pattern size |Vp| (a handful of nodes), not by |G|")
     while let Some(u) = queue.pop_front() {
         order.push(u);
         for &w in p.out(u).iter().chain(p.inn(u)) {
@@ -160,6 +161,8 @@ fn backtrack<V: GraphView + ?Sized>(
     }
     if depth == order.len() {
         outcome.embeddings += 1;
+        // invariant: `depth == order.len()` means every pattern node —
+        // including `uo` — was assigned an image on the way down.
         let img = mapping[q.uo().index()].expect("complete mapping");
         found.insert(img);
         return;

@@ -506,6 +506,8 @@ fn landmark_reach_bitsets(
     if words == 0 || k == 0 {
         return Vec::new();
     }
+    // invariant: `dag` is the SCC condensation built upstream in this
+    // module, which is acyclic by construction.
     let order = rbq_graph::topo::topological_order(dag).expect("compressed graph is a DAG");
     let mut lm_reach = vec![0u64; k * words];
     let mut node_reach = Vec::new();
@@ -560,6 +562,7 @@ fn coverage_estimates(dag: &Graph) -> (Vec<u64>, Vec<u64>) {
     if n == 0 {
         return (desc, anc);
     }
+    // invariant: `dag` is the SCC condensation, acyclic by construction.
     let order = rbq_graph::topo::topological_order(dag).expect("DAG");
     for &v in order.iter().rev() {
         let mut d = 1u64;
@@ -593,6 +596,7 @@ fn first_hit_labels(
     if n == 0 {
         return labels;
     }
+    // invariant: `dag` is the SCC condensation, acyclic by construction.
     let order = rbq_graph::topo::topological_order(dag).expect("DAG");
     let iter: Box<dyn Iterator<Item = &NodeId>> = if forward {
         Box::new(order.iter().rev())

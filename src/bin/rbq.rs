@@ -144,7 +144,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: rbq <generate|stats|compress|reach|pattern|workload|batch|ingest> [args]\n\
+                "usage: rbq <generate|stats|compress|reach|pattern|workload|batch|ingest|lint> [args]\n\
                  see module docs for details"
             );
             ExitCode::from(2)
@@ -164,8 +164,30 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "workload" => cmd_workload(rest),
         "batch" => cmd_batch(rest),
         "ingest" => cmd_ingest(rest),
+        "lint" => cmd_lint(rest),
         other => Err(format!("unknown subcommand {other:?}").into()),
     }
+}
+
+/// `lint [ROOT]` — run the `rbq-lint` static-analysis pass over the
+/// workspace at (or above) ROOT, defaulting to the current directory.
+/// Findings print to stderr as `file:line: rule-id: message`; any finding
+/// exits the process with status 1, matching the standalone `rbq-lint`
+/// binary so either entry point can gate CI.
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
+    if args.len() > 1 {
+        return Err("usage: lint [ROOT]".into());
+    }
+    let start = match args.first() {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::current_dir()?,
+    };
+    let root = rbq_lint::find_workspace_root(&start)
+        .ok_or_else(|| format!("lint: no workspace root at or above {}", start.display()))?;
+    if rbq_lint::check_and_report(&root)? > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 /// Extract `--flag value` from an argument list. Returns remaining
