@@ -204,7 +204,13 @@ fn main() {
 /// its before/after trajectory. Run with `--compare OLD.json` to embed the
 /// old run as `baseline` and report per-bench speedups.
 ///
-/// Schema `rbq-perf-snapshot-v5` (PR 8): adds `rbsim_deadline_overhead`
+/// Schema `rbq-perf-snapshot-v6` (PR 10): adds `snapshot_load_vs_build`
+/// — the wall time of [`load_snapshot`] on the suite graph (the snapshot
+/// is written once to a scratch directory, then loaded per rep). This is
+/// a whole-graph duration, not a per-query figure; the text-format parse
+/// it replaces is timed alongside and printed to stdout as context. The
+/// row is the baseline that ROADMAP item 3's mmap-backed loader must
+/// beat. v5 (PR 8) added `rbsim_deadline_overhead`
 /// — the warm `rbsim` loop with an unreachable deadline armed on the
 /// scratch, isolating the cooperative cancellation tick's cost (the
 /// deadline guard must stay within ~5% of the plain `rbsim` row).
@@ -482,6 +488,34 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
         ));
     }
 
+    // Durable-state snapshot load vs text-format build: how fast a
+    // recovering process gets the CSR back from `snapshot.bin` compared
+    // to re-parsing the `#rbq-graph` text it replaces.
+    {
+        let dir = std::env::temp_dir().join(format!("rbq_bench_snapshot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create snapshot scratch dir");
+        let snap_path = dir.join(rbq_graph::snapshot::SNAPSHOT_FILE);
+        rbq_graph::write_snapshot(&ds.g, &snap_path, 0).expect("write bench snapshot");
+        let t_load = time_median(cfg.reps, || {
+            std::hint::black_box(
+                rbq_graph::load_snapshot(&snap_path).expect("bench snapshot loads"),
+            );
+        });
+        rows.push(("snapshot_load_vs_build", t_load));
+        let mut text = Vec::new();
+        rbq_graph::io::write_graph(&ds.g, &mut text).expect("serialize graph text");
+        let t_text = time_median(cfg.reps, || {
+            std::hint::black_box(rbq_graph::io::read_graph(&text[..]).expect("graph text parses"));
+        });
+        println!(
+            "snapshot load {} vs text-format parse {} ({:.1}x)",
+            fmt_dur(t_load),
+            fmt_dur(t_text),
+            t_text.as_secs_f64() / t_load.as_secs_f64().max(1e-12)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     for (name, d) in &rows {
         println!("{name:<20} {:>12} /query", fmt_dur(*d));
     }
@@ -552,7 +586,7 @@ fn perf_snapshot(cfg: &ExpConfig, out_path: &str, compare: Option<&str>, demo_no
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"rbq-perf-snapshot-v5\",\n");
+    json.push_str("  \"schema\": \"rbq-perf-snapshot-v6\",\n");
     json.push_str(&format!("  \"nodes\": {},\n", ds.g.node_count()));
     json.push_str(&format!("  \"graph_size\": {},\n", ds.g.size()));
     json.push_str(&format!("  \"seed\": {},\n", cfg.seed));

@@ -3,13 +3,16 @@
 
 use crate::cache::{CacheKey, CachedAnswer, ReductionCache};
 use crate::canonical::canonical_pattern;
+use crate::durability::{
+    ApplyError, Durability, DurabilityConfig, DurabilityError, RecoveryReport,
+};
 use crate::error::EngineError;
 use crate::{Answer, Query, QueryClass, QueryResult};
 use rbq_core::guard::Semantics;
 use rbq_core::{
     rbsim_with, rbsub_scratch, NeighborIndex, PatternAnswer, PatternScratch, ResourceBudget,
 };
-use rbq_graph::{CancelPanic, CancelToken, DeltaBatch, DeltaError, DeltaReport, Graph, NodeId};
+use rbq_graph::{CancelPanic, CancelToken, DeltaBatch, DeltaReport, Graph, NodeId};
 use rbq_pattern::{Pattern, Vf2Config};
 use rbq_reach::HierarchicalIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -421,6 +424,11 @@ pub struct Engine {
     epoch: RwLock<Arc<Epoch>>,
     cache: Mutex<ReductionCache>,
     totals: Mutex<EngineStats>,
+    /// Durable-state handle (WAL appender + snapshot directory), present
+    /// when durability is enabled. Held across the append inside
+    /// [`Engine::apply_deltas`] so concurrent appliers serialize on the
+    /// log.
+    durability: Mutex<Option<Durability>>,
     /// Warm per-worker evaluation scratches. Each batch worker checks one
     /// out for its whole run (no contention on the hot path) and returns
     /// it afterwards, so steady-state serving reuses warm buffers across
@@ -456,6 +464,7 @@ impl Engine {
             cache,
             totals: Mutex::new(EngineStats::default()),
             scratches: Mutex::new(Vec::new()),
+            durability: Mutex::new(None),
         }
     }
 
@@ -555,10 +564,31 @@ impl Engine {
     /// entry; queries arriving after the swap see the new graph and a new
     /// generation, so no post-mutation lookup can surface a pre-mutation
     /// cached answer.
-    pub fn apply_deltas(&self, batch: &DeltaBatch) -> Result<DeltaReport, DeltaError> {
+    ///
+    /// When durability is enabled ([`Engine::enable_durability`]), the
+    /// batch is appended to the WAL **and fsynced before the epoch swap**:
+    /// an append failure returns [`ApplyError::Durability`] with nothing
+    /// installed (the old epoch keeps serving), so no query ever observes
+    /// state that would not survive a crash. When the apply compacts (the
+    /// graph crate's churn threshold), the compacted graph is written as a
+    /// new snapshot and the log is rotated. A checkpoint failure also
+    /// surfaces as [`ApplyError::Durability`], but with the batch already
+    /// durable *and* installed — serving is consistent and recovery is
+    /// unaffected (the WAL still holds every batch); the caller may keep
+    /// serving and retry the checkpoint via a later compacting batch.
+    pub fn apply_deltas(&self, batch: &DeltaBatch) -> Result<DeltaReport, ApplyError> {
         let ep = self.pin();
         let (g2, report) = ep.g.apply_delta(batch)?;
         let g2 = Arc::new(g2);
+        // Durability barrier, before any index build or swap: hold the
+        // handle across the append so concurrent appliers serialize on
+        // the log in the same order their epochs install.
+        {
+            let mut slot = relock(&self.durability);
+            if let Some(d) = slot.as_mut() {
+                d.append(batch)?;
+            }
+        }
         // Rebuild only what the old epoch had paid for; indexes never
         // queried stay lazy in the new epoch too.
         let rebuild_nbr = ep.nbr.get().is_some();
@@ -578,8 +608,47 @@ impl Engine {
                 hr.and_then(|h| h.join().ok()),
             )
         });
-        self.install_graph(g2, nbr, reach, &report.touched_labels);
+        self.install_graph(g2.clone(), nbr, reach, &report.touched_labels);
+        if report.compacted {
+            // The apply already paid for a full compaction; fold it into a
+            // snapshot and rotate the log so recovery replays a short WAL.
+            let mut slot = relock(&self.durability);
+            if let Some(d) = slot.as_mut() {
+                d.checkpoint(&g2)?;
+            }
+        }
         Ok(report)
+    }
+
+    /// Enable durability: initialize `cfg.dir` with a snapshot of the
+    /// *current* graph and a fresh WAL, then persist every subsequent
+    /// [`Engine::apply_deltas`] batch. Replaces any previous contents of
+    /// the directory (to resume an existing directory instead, use
+    /// [`Engine::recover`]).
+    pub fn enable_durability(&self, cfg: &DurabilityConfig) -> Result<(), DurabilityError> {
+        let d = Durability::create(&cfg.dir, &self.pin().g)?;
+        *relock(&self.durability) = Some(d);
+        Ok(())
+    }
+
+    /// Whether durability is currently enabled.
+    pub fn durability_enabled(&self) -> bool {
+        relock(&self.durability).is_some()
+    }
+
+    /// Recover an engine from a durability directory: load the snapshot,
+    /// replay the WAL's valid prefix (skipping records the snapshot
+    /// already covers, truncating a torn tail, quarantining corruption —
+    /// see [`crate::durability`]), and serve the result with durability
+    /// enabled for further ingest.
+    pub fn recover(
+        dir: &std::path::Path,
+        cfg: EngineConfig,
+    ) -> Result<(Engine, RecoveryReport), DurabilityError> {
+        let (g, d, report) = Durability::recover(dir)?;
+        let engine = Engine::new(Arc::new(g), cfg);
+        *relock(&engine.durability) = Some(d);
+        Ok((engine, report))
     }
 
     /// Install a pre-built successor graph (and any pre-built indexes) as

@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod canonical;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod query;
@@ -40,6 +41,7 @@ pub mod wire;
 
 pub use cache::{CacheKey, CachedAnswer, ReductionCache};
 pub use canonical::canonical_pattern;
+pub use durability::{ApplyError, Durability, DurabilityConfig, DurabilityError, RecoveryReport};
 pub use engine::{
     settle_aggregate, AdmissionPolicy, AggregateSettlement, BatchReport, BudgetSpec, ClassStats,
     Engine, EngineConfig, EngineConfigBuilder, EngineStats,

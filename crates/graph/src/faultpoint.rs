@@ -39,6 +39,11 @@ pub const REGISTRY: &[&str] = &[
     "engine.run_one",     // per-query engine entry
     "router.shard",       // per-shard router worker
     "router.shard.retry", // cold-replica retry after a lost shard
+    "wal.append",         // WAL record write, before bytes reach the file
+    "wal.fsync",          // WAL durability barrier, before sync_data
+    "snapshot.write",     // snapshot serialization entry
+    "snapshot.load",      // snapshot deserialization entry
+    "wal.replay",         // WAL replay, once per record walked
 ];
 
 /// Fire the named fault point. No-op unless the `fault-injection` feature

@@ -51,6 +51,38 @@ impl From<io::Error> for ReadError {
     }
 }
 
+/// Write a file atomically: the content goes to a sibling temp file which
+/// is fsynced and then renamed over `path`, so a crash mid-write can never
+/// leave a half-written artifact at the destination — readers see either
+/// the old file or the complete new one.
+///
+/// The temp file lives in the same directory as `path` (renames are only
+/// atomic within a filesystem). On any error the temp file is removed
+/// best-effort and the destination is untouched.
+pub fn atomic_write<F>(path: &std::path::Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
+{
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(f);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Serialize `g` to the text format.
 pub fn write_graph<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
     writeln!(
@@ -185,5 +217,42 @@ mod tests {
     fn empty_input_is_empty_graph() {
         let g = read_graph("".as_bytes()).unwrap();
         assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("rbq_io_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        std::fs::write(&path, "old").unwrap();
+        atomic_write(&path, |w| w.write_all(b"new contents")).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        // No temp file survives a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_failure_keeps_old_file() {
+        let dir = std::env::temp_dir().join(format!("rbq_io_atomic_err_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        std::fs::write(&path, "old").unwrap();
+        let err = atomic_write(&path, |_| Err(io::Error::other("writer failed")));
+        assert!(err.is_err());
+        // Destination untouched, temp cleaned up.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -32,7 +32,13 @@
 //! * [`subgraph`] — induced subgraphs and the incrementally grown
 //!   [`subgraph::DynamicSubgraph`] used for `G_Q`;
 //! * [`stats`] — degree and label statistics (`d_G`, `l`, `f` of Theorem 3);
-//! * [`io`] — a plain-text edge-list interchange format.
+//! * [`io`] — a plain-text edge-list interchange format, plus the atomic
+//!   write-temp-then-rename helper every durable artifact goes through;
+//! * [`snapshot`] — a versioned, checksummed binary snapshot of the
+//!   compacted CSR (the mmap-loader precursor of ROADMAP item 3), and
+//! * [`wal`] — a length-prefixed, per-record-CRC append-only log of
+//!   [`DeltaBatch`]es with torn-tail truncation on replay: together the
+//!   durability substrate for crash-recoverable serving.
 
 pub mod adapters;
 pub mod builder;
@@ -47,12 +53,14 @@ pub mod labels;
 pub mod neighborhood;
 pub mod partition;
 pub mod scc;
+pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 pub mod topo;
 pub mod traverse;
 pub mod types;
 pub mod view;
+pub mod wal;
 
 pub use builder::GraphBuilder;
 pub use cancel::{CancelPanic, CancelTicker, CancelToken};
@@ -61,6 +69,8 @@ pub use graph::Graph;
 pub use labels::LabelInterner;
 pub use neighborhood::BallScratch;
 pub use partition::{PartitionError, PartitionStats, ShardAssignment};
+pub use snapshot::{load_snapshot, write_snapshot, SnapshotError, SnapshotMeta};
 pub use subgraph::{DynamicSubgraph, InducedSubgraph, SubgraphScratch};
 pub use types::{Label, NodeId};
 pub use view::{GraphView, Neighbors, NodeIds};
+pub use wal::{replay as wal_replay, WalError, WalReplay, WalWriter};

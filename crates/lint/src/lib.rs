@@ -10,6 +10,7 @@
 //! | `hot-path-alloc` | `// rbq-lint: hot` functions never allocate (static complement to `tests/alloc_free.rs`) |
 //! | `faultpoint-registry` | `fire(…)` names ↔ the declared `REGISTRY` in `faultpoint.rs` |
 //! | `wire-version` | `#rbq-*` header literals agree with the declared wire version |
+//! | `snapshot-version` | `#rbq-snapshot`/`#rbq-wal` magics agree with the declared file-format versions |
 //!
 //! Suppression is explicit and audited: `// rbq-lint: allow(rule-id,
 //! "reason")` with a mandatory non-empty reason; blanket, malformed, or
@@ -91,6 +92,10 @@ pub struct Context {
     pub kernel_files: Vec<String>,
     pub registry_file: String,
     pub wire_file: String,
+    /// Declares `SNAPSHOT_FILE_MAGIC` (the durable snapshot format).
+    pub snapshot_file: String,
+    /// Declares `WAL_FILE_MAGIC` (the durable delta log format).
+    pub wal_file: String,
     /// Path substrings that make an entire file test scope.
     pub test_path_markers: Vec<String>,
 }
@@ -115,6 +120,8 @@ impl Context {
             .collect(),
             registry_file: "crates/graph/src/faultpoint.rs".into(),
             wire_file: "crates/engine/src/wire.rs".into(),
+            snapshot_file: "crates/graph/src/snapshot.rs".into(),
+            wal_file: "crates/graph/src/wal.rs".into(),
             test_path_markers: ["tests/", "benches/", "examples/", "fixtures/"]
                 .iter()
                 .map(|s| s.to_string())
@@ -255,8 +262,9 @@ fn analyze(ctx: &Context, file: &SourceFile, lexed: Lexed) -> Analysis {
 
 /// Run every rule over `files`, apply suppression, and return the sorted
 /// diagnostics. `files` is the whole set to check — the cross-file rules
-/// (`faultpoint-registry`, `wire-version`) read their declarations from
-/// `ctx.registry_file` / `ctx.wire_file` if present in the set.
+/// (`faultpoint-registry`, `wire-version`, `snapshot-version`) read their
+/// declarations from `ctx.registry_file` / `ctx.wire_file` /
+/// `ctx.snapshot_file` / `ctx.wal_file` if present in the set.
 pub fn run(ctx: &Context, files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut analyses: Vec<Analysis> = Vec::new();
@@ -282,6 +290,32 @@ pub fn run(ctx: &Context, files: &[SourceFile]) -> Vec<Diagnostic> {
     if let Some(a) = analyses.iter().find(|a| a.path == ctx.wire_file) {
         wire_decl = rules::parse_wire_decl(a, &mut wire_decl_findings);
     }
+    let mut snapshot_decl_findings = Vec::new();
+    let snapshot_decl = analyses
+        .iter()
+        .find(|a| a.path == ctx.snapshot_file)
+        .and_then(|a| {
+            rules::parse_magic_decl(
+                a,
+                "SNAPSHOT_FILE_MAGIC",
+                "snapshot",
+                &mut snapshot_decl_findings,
+            )
+        });
+    let mut wal_decl_findings = Vec::new();
+    let wal_decl = analyses
+        .iter()
+        .find(|a| a.path == ctx.wal_file)
+        .and_then(|a| rules::parse_magic_decl(a, "WAL_FILE_MAGIC", "wal", &mut wal_decl_findings));
+    // One combined declaration set drives the occurrence checker, so a
+    // `#rbq-snapshot` literal anywhere in the workspace is checked against
+    // the snapshot module's declared version.
+    let header_decl = {
+        let mut headers: Vec<rules::HeaderDecl> = wire_decl.map(|d| d.headers).unwrap_or_default();
+        headers.extend(snapshot_decl);
+        headers.extend(wal_decl);
+        (!headers.is_empty()).then_some(rules::WireDecl { headers })
+    };
 
     // Per-file rules.
     let mut fire_sites = Vec::new();
@@ -297,11 +331,17 @@ pub fn run(ctx: &Context, files: &[SourceFile]) -> Vec<Diagnostic> {
         }
         rules::hot_path_alloc(a, &mut raw);
         rules::collect_fire_sites(a, &mut fire_sites);
-        if let Some(decl) = &wire_decl {
+        if let Some(decl) = &header_decl {
             rules::wire_version(a, decl, &mut raw);
         }
         if a.path == ctx.wire_file {
             raw.append(&mut wire_decl_findings);
+        }
+        if a.path == ctx.snapshot_file {
+            raw.append(&mut snapshot_decl_findings);
+        }
+        if a.path == ctx.wal_file {
+            raw.append(&mut wal_decl_findings);
         }
         per_file.push((ai, raw));
     }
@@ -450,7 +490,12 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let ctx = Context::workspace();
     let files = collect_workspace_files(root)?;
     let mut diags = run(&ctx, &files);
-    for anchor in [&ctx.registry_file, &ctx.wire_file] {
+    for anchor in [
+        &ctx.registry_file,
+        &ctx.wire_file,
+        &ctx.snapshot_file,
+        &ctx.wal_file,
+    ] {
         if !files.iter().any(|f| f.path == *anchor) {
             diags.push(Diagnostic {
                 file: anchor.clone(),

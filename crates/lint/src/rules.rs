@@ -13,6 +13,7 @@ pub const CANCEL_COVERAGE: &str = "cancel-coverage";
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 pub const FAULTPOINT_REGISTRY: &str = "faultpoint-registry";
 pub const WIRE_VERSION: &str = "wire-version";
+pub const SNAPSHOT_VERSION: &str = "snapshot-version";
 /// Meta-rule for suppression hygiene: malformed, blanket, or unused
 /// `allow` directives. Not itself suppressible.
 pub const LINT_ALLOW: &str = "lint-allow";
@@ -25,6 +26,7 @@ pub const RULES: &[&str] = &[
     HOT_PATH_ALLOC,
     FAULTPOINT_REGISTRY,
     WIRE_VERSION,
+    SNAPSHOT_VERSION,
 ];
 
 fn ident_is(t: &Tok, name: &str) -> bool {
@@ -328,18 +330,23 @@ pub fn parse_registry(a: &Analysis) -> Option<Vec<RegistryEntry>> {
     Some(entries)
 }
 
-/// The wire-format declaration parsed from `wire.rs`: one entry per
-/// `*_FILE_HEADER` const.
+/// One declared `#rbq-<kind> v<N>` header or file magic: the version the
+/// workspace currently writes, where it is declared, and which rule id
+/// polices stale occurrences of its kind. Wire headers share one version
+/// (`wire-version`); the durable-state magics (`snapshot-version`) each
+/// version independently.
 #[derive(Debug, Clone)]
-pub struct WireDecl {
-    /// (kind, version, line) per declared header const.
-    pub headers: Vec<(String, u32, u32)>,
+pub struct HeaderDecl {
+    pub kind: String,
+    pub version: u32,
+    pub line: u32,
+    pub rule: &'static str,
 }
 
-impl WireDecl {
-    pub fn current_version(&self) -> Option<u32> {
-        self.headers.first().map(|h| h.1)
-    }
+/// Every declared header/magic the occurrence checker knows about.
+#[derive(Debug, Clone)]
+pub struct WireDecl {
+    pub headers: Vec<HeaderDecl>,
 }
 
 const HEADER_CONSTS: &[(&str, &str)] = &[
@@ -376,7 +383,12 @@ pub fn parse_wire_decl(a: &Analysis, out: &mut Vec<RawFinding>) -> Option<WireDe
         }
         let parsed = lit.as_ref().and_then(|(s, _)| parse_header(s));
         match (lit, parsed) {
-            (Some((_, line)), Some((k, v))) if k == *kind => headers.push((k, v, line)),
+            (Some((_, line)), Some((k, v))) if k == *kind => headers.push(HeaderDecl {
+                kind: k,
+                version: v,
+                line,
+                rule: WIRE_VERSION,
+            }),
             (Some((s, line)), _) => out.push(RawFinding {
                 line,
                 rule: WIRE_VERSION,
@@ -392,21 +404,79 @@ pub fn parse_wire_decl(a: &Analysis, out: &mut Vec<RawFinding>) -> Option<WireDe
     if headers.is_empty() {
         return None;
     }
-    let v0 = headers[0].1;
-    for (kind, v, line) in &headers {
-        if *v != v0 {
+    let v0 = headers[0].version;
+    for h in &headers {
+        if h.version != v0 {
             out.push(RawFinding {
-                line: *line,
+                line: h.line,
                 rule: WIRE_VERSION,
                 message: format!(
-                    "wire header versions disagree: `#rbq-{kind}` is v{v} but \
+                    "wire header versions disagree: `#rbq-{}` is v{} but \
                      `#rbq-{}` is v{v0}",
-                    headers[0].0
+                    h.kind, h.version, headers[0].kind
                 ),
             });
         }
     }
     Some(WireDecl { headers })
+}
+
+/// Parse a single `#rbq-<kind> v<N>` magic const (the snapshot / WAL file
+/// formats) out of its declaring module, reporting a missing or malformed
+/// declaration under `snapshot-version`. Unlike the wire headers, each
+/// magic versions independently.
+pub fn parse_magic_decl(
+    a: &Analysis,
+    cname: &str,
+    kind: &str,
+    out: &mut Vec<RawFinding>,
+) -> Option<HeaderDecl> {
+    let toks = &a.lexed.tokens;
+    let Some(i) = toks.iter().position(|t| ident_is(&t.tok, cname)) else {
+        out.push(RawFinding {
+            line: 1,
+            rule: SNAPSHOT_VERSION,
+            message: format!("module does not declare `{cname}`"),
+        });
+        return None;
+    };
+    let mut lit = None;
+    for t in &toks[i..] {
+        match &t.tok {
+            Tok::Str(s) => {
+                lit = Some((s.clone(), t.line));
+                break;
+            }
+            Tok::Punct(';') => break,
+            _ => {}
+        }
+    }
+    match lit {
+        Some((s, line)) => match parse_header(&s) {
+            Some((k, v)) if k == kind => Some(HeaderDecl {
+                kind: k,
+                version: v,
+                line,
+                rule: SNAPSHOT_VERSION,
+            }),
+            _ => {
+                out.push(RawFinding {
+                    line,
+                    rule: SNAPSHOT_VERSION,
+                    message: format!("`{cname}` value {s:?} is not a `#rbq-{kind} v<N>` magic"),
+                });
+                None
+            }
+        },
+        None => {
+            out.push(RawFinding {
+                line: toks[i].line,
+                rule: SNAPSHOT_VERSION,
+                message: format!("`{cname}` has no string literal value"),
+            });
+            None
+        }
+    }
 }
 
 /// Parse `#rbq-<kind> v<N>` from the *start* of a header string. The kind
@@ -426,14 +496,16 @@ fn parse_header(s: &str) -> Option<(String, u32)> {
     Some((kind, digits.parse().ok()?))
 }
 
-/// `wire-version`: every `#rbq-…` header occurrence in string literals and
-/// comments must agree with the declared current version. Test scope may
-/// reference older versions (legacy-read coverage); a *future* version in a
-/// test marks an intentional rejection test and needs an explicit allow.
+/// `wire-version` / `snapshot-version`: every `#rbq-…` header occurrence
+/// in string literals and comments must agree with the declared current
+/// version of its kind — wire headers against the wire declaration,
+/// snapshot/WAL magics against theirs. Test scope may reference older
+/// versions (legacy-read coverage); a *future* version in a test marks an
+/// intentional rejection test and needs an explicit allow.
 pub fn wire_version(a: &Analysis, decl: &WireDecl, out: &mut Vec<RawFinding>) {
-    let Some(current) = decl.current_version() else {
+    if decl.headers.is_empty() {
         return;
-    };
+    }
     let mut check = |text: &str, line: u32, in_test: bool| {
         let mut rest = text;
         while let Some(pos) = rest.find("#rbq-") {
@@ -443,7 +515,7 @@ pub fn wire_version(a: &Analysis, decl: &WireDecl, out: &mut Vec<RawFinding>) {
             let Some((kind, v)) = parse_header(occurrence) else {
                 continue; // versionless prefix check like `starts_with("#rbq-queries")`
             };
-            if !decl.headers.iter().any(|(k, _, _)| *k == kind) {
+            let Some(h) = decl.headers.iter().find(|h| h.kind == kind) else {
                 if !in_test {
                     out.push(RawFinding {
                         line,
@@ -452,22 +524,23 @@ pub fn wire_version(a: &Analysis, decl: &WireDecl, out: &mut Vec<RawFinding>) {
                     });
                 }
                 continue;
-            }
+            };
+            let current = h.version;
             if !in_test && v != current {
                 out.push(RawFinding {
                     line,
-                    rule: WIRE_VERSION,
+                    rule: h.rule,
                     message: format!(
-                        "stale wire header `#rbq-{kind} v{v}` — the declared current \
+                        "stale header `#rbq-{kind} v{v}` — the declared current \
                          version is v{current}"
                     ),
                 });
             } else if in_test && v > current {
                 out.push(RawFinding {
                     line,
-                    rule: WIRE_VERSION,
+                    rule: h.rule,
                     message: format!(
-                        "future wire version `#rbq-{kind} v{v}` in test (current is \
+                        "future version `#rbq-{kind} v{v}` in test (current is \
                          v{current}) — a deliberate rejection test needs a reasoned allow"
                     ),
                 });

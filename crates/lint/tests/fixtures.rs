@@ -15,6 +15,8 @@ const FIXTURES: &[(&str, &str)] = &[
     ("fx_hot.rs", "crates/core/src/fx_hot.rs"),
     ("fx_faultpoint.rs", "crates/core/src/fx_faultpoint.rs"),
     ("fx_wire.rs", "crates/engine/src/fx_wire.rs"),
+    ("fx_snapshot.rs", "crates/core/src/fx_snapshot.rs"),
+    ("fx_wal.rs", "crates/core/src/fx_wal.rs"),
     ("fx_allows.rs", "crates/core/src/fx_allows.rs"),
 ];
 
@@ -24,6 +26,8 @@ fn fixture_ctx() -> Context {
         kernel_files: vec!["crates/core/src/fx_kernel.rs".into()],
         registry_file: "crates/core/src/fx_faultpoint.rs".into(),
         wire_file: "crates/engine/src/fx_wire.rs".into(),
+        snapshot_file: "crates/core/src/fx_snapshot.rs".into(),
+        wal_file: "crates/core/src/fx_wal.rs".into(),
         test_path_markers: vec!["tests/".into()],
     }
 }

@@ -1,0 +1,11 @@
+//! Fixture: the WAL-magic declaration, consistent throughout — the
+//! passing counterpart to `fx_snapshot.rs`. Note the WAL version is
+//! independent of both the wire version and the snapshot version.
+
+/// Declared current WAL file format.
+pub const WAL_FILE_MAGIC: &str = "#rbq-wal v1";
+
+/// Every mention of the `#rbq-wal v1` magic here matches the declaration.
+pub fn current_magic() -> &'static str {
+    "#rbq-wal v1"
+}

@@ -3,8 +3,8 @@
 use crate::partitioner::{Partitioner, PartitionerKind};
 use rbq_core::NeighborIndex;
 use rbq_engine::{
-    settle_aggregate, Answer, BatchReport, Engine, EngineConfig, EngineError, EngineStats, Query,
-    QueryClass, QueryResult,
+    settle_aggregate, Answer, BatchReport, Durability, DurabilityConfig, DurabilityError, Engine,
+    EngineConfig, EngineError, EngineStats, Query, QueryClass, QueryResult, RecoveryReport,
 };
 use rbq_graph::{
     DeltaBatch, DeltaError, DeltaReport, Graph, PartitionError, PartitionStats, ShardAssignment,
@@ -33,7 +33,7 @@ fn count_unevaluated(stats: &mut EngineStats, class: QueryClass) {
 }
 
 /// Errors constructing or operating a [`Router`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum RouterError {
     /// A shard count of zero.
     InvalidShards,
@@ -52,6 +52,33 @@ pub enum RouterError {
     /// Nothing was installed: the router keeps serving its pre-delta
     /// state. Carries the name of the structure whose rebuild failed.
     RebuildFailed(&'static str),
+    /// Persisting a delta batch (or recovering durable state) failed
+    /// (wrapped losslessly; `Arc` because the underlying I/O error is not
+    /// `Clone`). On an append failure nothing was installed — the
+    /// pre-delta state keeps serving.
+    Durability(std::sync::Arc<DurabilityError>),
+}
+
+// Hand-written because `DurabilityError` wraps live `io::Error` values:
+// durability variants compare by rendered message, everything else
+// structurally (matching the former derive).
+impl PartialEq for RouterError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (RouterError::InvalidShards, RouterError::InvalidShards) => true,
+            (RouterError::Engine(a), RouterError::Engine(b)) => a == b,
+            (RouterError::Partition(a), RouterError::Partition(b)) => a == b,
+            (RouterError::Delta(a), RouterError::Delta(b)) => a == b,
+            (RouterError::UnsupportedPartitioner(a), RouterError::UnsupportedPartitioner(b)) => {
+                a == b
+            }
+            (RouterError::RebuildFailed(a), RouterError::RebuildFailed(b)) => a == b,
+            (RouterError::Durability(a), RouterError::Durability(b)) => {
+                a.to_string() == b.to_string()
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for RouterError {
@@ -68,6 +95,7 @@ impl std::fmt::Display for RouterError {
             RouterError::RebuildFailed(what) => {
                 write!(f, "{what} rebuild panicked; pre-delta state still serving")
             }
+            RouterError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -78,6 +106,7 @@ impl std::error::Error for RouterError {
             RouterError::Engine(e) => Some(e),
             RouterError::Partition(e) => Some(e),
             RouterError::Delta(e) => Some(e),
+            RouterError::Durability(e) => Some(e.as_ref()),
             RouterError::InvalidShards
             | RouterError::UnsupportedPartitioner(_)
             | RouterError::RebuildFailed(_) => None,
@@ -100,6 +129,12 @@ impl From<PartitionError> for RouterError {
 impl From<DeltaError> for RouterError {
     fn from(e: DeltaError) -> Self {
         RouterError::Delta(e)
+    }
+}
+
+impl From<DurabilityError> for RouterError {
+    fn from(e: DurabilityError) -> Self {
+        RouterError::Durability(std::sync::Arc::new(e))
     }
 }
 
@@ -154,6 +189,10 @@ pub struct Router {
     /// the router settles once, in input order.
     aggregate_visit_budget: Option<usize>,
     totals: Mutex<EngineStats>,
+    /// Durable-state handle when durability is enabled: the router owns
+    /// the WAL (one log for the whole deployment) and appends each batch
+    /// before any shard installs it.
+    durability: Option<Durability>,
 }
 
 impl Router {
@@ -214,7 +253,40 @@ impl Router {
             repartition: partitioner.name().parse::<PartitionerKind>().ok(),
             aggregate_visit_budget: cfg.aggregate_visit_budget,
             totals: Mutex::new(EngineStats::default()),
+            durability: None,
         })
+    }
+
+    /// Enable durability: initialize `cfg.dir` with a snapshot of the
+    /// *current* graph and a fresh WAL, then persist every subsequent
+    /// [`Router::apply_deltas`] batch — one log for the whole deployment,
+    /// appended and fsynced before any shard installs the new epoch.
+    /// Replaces any previous contents of the directory (to resume an
+    /// existing directory instead, use [`Router::recover`]).
+    pub fn enable_durability(&mut self, cfg: &DurabilityConfig) -> Result<(), RouterError> {
+        self.durability = Some(Durability::create(&cfg.dir, &self.g).map_err(RouterError::from)?);
+        Ok(())
+    }
+
+    /// Whether durability is currently enabled.
+    pub fn durability_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Recover a sharded deployment from a durability directory: load the
+    /// snapshot, replay the WAL's valid prefix (see
+    /// [`rbq_engine::durability`]), then build the router over the
+    /// recovered graph with durability enabled for further ingest.
+    pub fn recover(
+        dir: &std::path::Path,
+        cfg: EngineConfig,
+        shards: usize,
+        partitioner: &dyn Partitioner,
+    ) -> Result<(Router, RecoveryReport), RouterError> {
+        let (g, d, report) = Durability::recover(dir).map_err(RouterError::from)?;
+        let mut router = Router::new(Arc::new(g), cfg, shards, partitioner)?;
+        router.durability = Some(d);
+        Ok((router, report))
     }
 
     /// Apply a delta batch to the whole sharded deployment.
@@ -235,6 +307,12 @@ impl Router {
             .ok_or(RouterError::UnsupportedPartitioner(self.partitioner))?;
         let (g2, report) = self.g.apply_delta(batch)?;
         let g2 = Arc::new(g2);
+        // Durability barrier: the batch must be on disk (and fsynced)
+        // before any shard can install the post-delta epoch. An append
+        // failure installs nothing — the pre-delta state keeps serving.
+        if let Some(d) = self.durability.as_mut() {
+            d.append(batch).map_err(RouterError::from)?;
+        }
         let reach_alpha = self.shards[0].config().reach_alpha;
         let (nbr, reach) = std::thread::scope(|s| {
             let hn = s.spawn(|| Arc::new(NeighborIndex::build(&g2)));
@@ -258,6 +336,15 @@ impl Router {
         self.assignment = assignment;
         self.nbr = nbr;
         self.reach = reach;
+        if report.compacted {
+            // The apply already paid for a compaction; checkpoint so
+            // recovery replays a short WAL. The batch itself is durable
+            // and installed even if this fails (see
+            // [`rbq_engine::Engine::apply_deltas`] for the contract).
+            if let Some(d) = self.durability.as_mut() {
+                d.checkpoint(&self.g).map_err(RouterError::from)?;
+            }
+        }
         Ok(report)
     }
 

@@ -1,0 +1,260 @@
+//! Crash-recovery differential: a panic injected at ANY of the registered
+//! IO fault points (`wal.append`, `wal.fsync`, `snapshot.write`,
+//! `snapshot.load`, `wal.replay`) — during ingest, checkpoint, or a prior
+//! recovery attempt — leaves on-disk state from which `Engine::recover`
+//! rebuilds an engine equivalent to a fresh one built from the same
+//! surviving prefix of delta batches: same graph, byte-identical answers
+//! on the mixed workload.
+//!
+//! Runs only under `cargo test --features fault-injection`.
+#![cfg(feature = "fault-injection")]
+
+use rbq::rbq_engine::faultpoint::{arm, FaultAction, FaultPlan};
+use rbq::rbq_engine::{
+    Answer, BudgetSpec, Durability, DurabilityConfig, Engine, EngineConfig, Query,
+};
+use rbq::rbq_workload::{power_law, sample_mixed_workload, MixedWorkloadSpec};
+use rbq_graph::{DeltaBatch, Graph, NodeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Fault plans are process-global; every test holds this for its body.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rbq_crashrec_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fixture() -> (Arc<Graph>, Vec<Query>) {
+    static FIX: OnceLock<(Arc<Graph>, Vec<Query>)> = OnceLock::new();
+    let (g, qs) = FIX.get_or_init(|| {
+        let g = Arc::new(power_law(300, 3, 4, 0xd15c));
+        let qs = sample_mixed_workload(
+            &g,
+            &MixedWorkloadSpec {
+                count: 16,
+                ..Default::default()
+            },
+            11,
+        );
+        (g, qs)
+    });
+    (g.clone(), qs.clone())
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        pattern_budget: BudgetSpec::Ratio(0.2),
+        reach_alpha: 0.2,
+        threads: 1,
+        cache_capacity: 0,
+        ..Default::default()
+    }
+}
+
+/// Batches of new nodes wired into the fixture graph (n = 300).
+fn sample_batches() -> Vec<DeltaBatch> {
+    (0..4u32)
+        .map(|i| {
+            let mut b = DeltaBatch::new();
+            b.add_node("NEW");
+            let v = NodeId(300 + i);
+            b.add_edge(NodeId(i * 37 % 300), v);
+            b.add_edge(v, NodeId((i * 53 + 7) % 300));
+            b
+        })
+        .collect()
+}
+
+fn answers(engine: &Engine, qs: &[Query]) -> Vec<Answer> {
+    engine
+        .run_batch(qs)
+        .results
+        .iter()
+        .map(|r| r.answer.clone())
+        .collect()
+}
+
+/// The reference: a fresh, non-durable engine over the base graph with
+/// the first `k` batches plainly applied.
+fn reference_answers(
+    base: &Arc<Graph>,
+    batches: &[DeltaBatch],
+    k: usize,
+    qs: &[Query],
+) -> Vec<Answer> {
+    let mut g = (**base).clone();
+    for b in &batches[..k] {
+        g = g.apply_delta(b).expect("reference apply").0;
+    }
+    answers(&Engine::new(Arc::new(g), cfg()), qs)
+}
+
+/// Crash during durable ingest at `point` on its `nth` firing, then pin
+/// `recover()` ≡ fresh-engine-from-surviving-prefix.
+fn ingest_crash_scenario(point: &'static str, nth: u64, crash_batch: usize) {
+    let (g, qs) = fixture();
+    let batches = sample_batches();
+    let dir = fresh_dir("ingest");
+
+    let engine = Engine::new(g.clone(), cfg());
+    engine
+        .enable_durability(&DurabilityConfig::new(&dir))
+        .expect("enable durability");
+    let crashed = {
+        let _plan = arm(FaultPlan::new().on_nth(point, nth, FaultAction::Panic));
+        let mut crashed = false;
+        for b in &batches {
+            if catch_unwind(AssertUnwindSafe(|| engine.apply_deltas(b))).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        crashed
+    };
+    assert!(crashed, "{point} nth={nth}: injected fault never fired");
+    drop(engine); // the "process" died; only the directory survives
+
+    let (recovered, report) = Engine::recover(&dir, cfg())
+        .unwrap_or_else(|e| panic!("{point} nth={nth}: recovery failed: {e}"));
+    let k = report.last_seq as usize;
+    // The crash hit batch `crash_batch`: everything before it is durable,
+    // and the crashed batch itself survives only if its bytes reached the
+    // file before the panic (wal.fsync fires after the record write).
+    assert!(
+        k == crash_batch || k == crash_batch + 1,
+        "{point} nth={nth}: surviving prefix {k} not adjacent to crash batch {crash_batch}"
+    );
+    assert!(
+        report.quarantined == 0,
+        "{point}: clean crash quarantined records"
+    );
+    let got = answers(&recovered, &qs);
+    let want = reference_answers(&g, &batches, k, &qs);
+    assert_eq!(
+        got, want,
+        "{point} nth={nth}: recovered answers diverge from surviving-prefix reference"
+    );
+}
+
+#[test]
+fn crash_during_wal_append_recovers_prefix() {
+    let _s = serial();
+    for k in 0..sample_batches().len() {
+        ingest_crash_scenario("wal.append", k as u64, k);
+    }
+}
+
+#[test]
+fn crash_during_wal_fsync_recovers_prefix() {
+    let _s = serial();
+    for k in 0..sample_batches().len() {
+        ingest_crash_scenario("wal.fsync", k as u64, k);
+    }
+}
+
+/// `snapshot.write` fires when the durable directory is first seeded: a
+/// crash there leaves no snapshot, and recovery reports it typed.
+#[test]
+fn crash_during_initial_snapshot_write_is_typed_on_recovery() {
+    let _s = serial();
+    let (g, _qs) = fixture();
+    let dir = fresh_dir("seed");
+    let engine = Engine::new(g, cfg());
+    {
+        let _plan = arm(FaultPlan::new().on_nth("snapshot.write", 0, FaultAction::Panic));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            engine.enable_durability(&DurabilityConfig::new(&dir))
+        }));
+        assert!(r.is_err(), "seeding snapshot.write fault never fired");
+    }
+    assert!(
+        !engine.durability_enabled(),
+        "crashed seeding left durability on"
+    );
+    match Engine::recover(&dir, cfg()) {
+        Err(e) => {
+            let _ = e.to_string();
+        }
+        Ok(_) => panic!("recovery succeeded with no snapshot on disk"),
+    }
+}
+
+/// A crash inside `checkpoint` (snapshot rewrite) must not lose state:
+/// the old snapshot plus the full WAL still recover everything.
+#[test]
+fn crash_during_checkpoint_snapshot_write_loses_nothing() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let batches = sample_batches();
+    let dir = fresh_dir("ckpt");
+    let mut d = Durability::create(&dir, &g).expect("create durable state");
+    for b in &batches {
+        d.append(b).expect("append");
+    }
+    // The graph content the checkpoint would have written is irrelevant to
+    // the contract — the crash happens before any bytes land.
+    {
+        let _plan = arm(FaultPlan::new().on_nth("snapshot.write", 0, FaultAction::Panic));
+        let r = catch_unwind(AssertUnwindSafe(|| d.checkpoint(&g)));
+        assert!(r.is_err(), "checkpoint snapshot.write fault never fired");
+    }
+    drop(d);
+    let (recovered, report) = Engine::recover(&dir, cfg()).expect("recover after checkpoint crash");
+    assert_eq!(report.last_seq as usize, batches.len());
+    let got = answers(&recovered, &qs);
+    let want = reference_answers(&g, &batches, batches.len(), &qs);
+    assert_eq!(got, want, "checkpoint crash lost durable batches");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash during a RECOVERY attempt (`snapshot.load` / `wal.replay`), then
+/// a second, clean recovery must still serve the full surviving prefix —
+/// recovery is read-only until it succeeds, so it is retryable.
+#[test]
+fn crash_during_recovery_is_retryable() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let batches = sample_batches();
+    for (point, nth) in [
+        ("snapshot.load", 0u64),
+        ("wal.replay", 0),
+        ("wal.replay", 2),
+    ] {
+        let dir = fresh_dir("rerecover");
+        let mut d = Durability::create(&dir, &g).expect("create durable state");
+        for b in &batches {
+            d.append(b).expect("append");
+        }
+        drop(d);
+        {
+            let _plan = arm(FaultPlan::new().on_nth(point, nth, FaultAction::Panic));
+            let r = catch_unwind(AssertUnwindSafe(|| Engine::recover(&dir, cfg())));
+            assert!(r.is_err(), "{point} nth={nth}: recovery fault never fired");
+        }
+        let (recovered, report) =
+            Engine::recover(&dir, cfg()).expect("clean recovery after crashed recovery");
+        assert_eq!(
+            report.last_seq as usize,
+            batches.len(),
+            "{point}: lost batches"
+        );
+        let got = answers(&recovered, &qs);
+        let want = reference_answers(&g, &batches, batches.len(), &qs);
+        assert_eq!(got, want, "{point} nth={nth}: retried recovery diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -293,6 +293,73 @@ fn deadline_settlement_is_deterministic_under_delay_faults() {
     }
 }
 
+/// The durable-state IO fault points that fire during a durable ingest
+/// (the recovery-side points are exercised in `tests/crash_recovery.rs`).
+const IO_INGEST_POINTS: &[&str] = &["wal.append", "wal.fsync"];
+
+/// IO faults on the durability path are contained exactly like kernel
+/// faults: a panicked append unwinds out of `apply_deltas` BEFORE the
+/// epoch swap, so the pre-crash epoch keeps serving byte-identical
+/// answers, no lock stays poisoned, and the failed writer surfaces as a
+/// typed error on the next durable apply — never an abort.
+#[test]
+fn durable_io_faults_keep_the_old_epoch_serving() {
+    let _s = serial();
+    let (g, qs) = fixture();
+    let base = baseline();
+    for point in IO_INGEST_POINTS {
+        for action in [
+            FaultAction::Panic,
+            FaultAction::Delay(Duration::from_millis(10)),
+        ] {
+            let dir = std::env::temp_dir().join(format!(
+                "rbq_fi_io_{}_{}",
+                point.replace('.', "_"),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine = Engine::new(g.clone(), cfg(1));
+            engine
+                .enable_durability(&rbq::rbq_engine::DurabilityConfig::new(&dir))
+                .expect("enable durability");
+            let mut batch = rbq_graph::DeltaBatch::new();
+            batch.add_node("IO");
+            batch.add_edge(rbq_graph::NodeId(0), rbq_graph::NodeId(400));
+            let what = format!("{point} {action:?}");
+            let panicked = {
+                let _plan = arm(FaultPlan::new().on_nth(point, 0, action));
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.apply_deltas(&batch)
+                }))
+                .is_err()
+            };
+            match action {
+                FaultAction::Panic => {
+                    assert!(panicked, "{what}: fault never fired");
+                    // The epoch never swapped: the engine serves the
+                    // pre-fault graph byte-identically…
+                    assert_no_poison(&engine, &qs, &base, &what);
+                    // …and the wounded WAL writer reports typed, it does
+                    // not panic again.
+                    match engine.apply_deltas(&batch) {
+                        Err(e) => {
+                            let _ = e.to_string();
+                        }
+                        Ok(_) => panic!("{what}: poisoned WAL writer accepted an append"),
+                    }
+                }
+                _ => {
+                    assert!(!panicked, "{what}: delay fault must not unwind");
+                    // Delay is harmless: the batch landed, and serving
+                    // reflects it (one more node than the fixture).
+                    assert_eq!(engine.graph().node_count(), 401, "{what}: batch lost");
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Seeded chaos: arbitrary single-fault plans over every point × action,
 /// engine and router, pinning no-abort + blast-radius + no-poison.
 fn action_from(idx: usize, delay_ms: u64) -> FaultAction {
